@@ -1,0 +1,38 @@
+"""Shared benchmark helpers.
+
+Every benchmark regenerates one paper artefact (figure/table) and
+reports the reproduced rows three ways: attached to
+``benchmark.extra_info`` (lands in the pytest-benchmark JSON), printed
+(visible with ``pytest -s``), and appended to
+``benchmarks/results/<slug>.txt`` so the tables survive a plain
+``pytest benchmarks/ --benchmark-only`` run.  EXPERIMENTS.md records the
+paper-vs-measured comparison produced by these benches.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+_RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def record_rows(benchmark, title: str, rows: list[str]) -> None:
+    """Attach reproduced output rows to the benchmark, print them, and
+    persist them under ``benchmarks/results/``."""
+    benchmark.extra_info[title] = rows
+    print(f"\n=== {title} ===")
+    for row in rows:
+        print(row)
+    _RESULTS_DIR.mkdir(exist_ok=True)
+    slug = re.sub(r"[^a-z0-9]+", "_", title.lower()).strip("_")[:60]
+    path = _RESULTS_DIR / f"{slug}.txt"
+    path.write_text(f"=== {title} ===\n" + "\n".join(rows) + "\n")
+
+
+@pytest.fixture()
+def report():
+    """Fixture returning the row recorder."""
+    return record_rows

@@ -1,0 +1,72 @@
+"""Ablation A6 — automatic modulo scheduling vs. manual factor-2 pipelining.
+
+The paper pipelines the loop by hand because its tool flow lacks
+software pipelining.  This ablation runs a full iterative modulo
+scheduler over the same dataflow graphs and reports the initiation
+interval (II): the tick budget one revolution actually needs once
+iterations overlap freely.
+
+Findings encoded in the assertions:
+
+1. on the *unsplit* model the long Eq. 2→6 recurrence (RecMII ≈ 73
+   ticks) caps what any scheduler can do — for 8 bunches manual
+   splitting beats pure modulo scheduling;
+2. the manual barrier *cuts that recurrence* (RecMII → 3), and modulo
+   scheduling on top of the split graph dominates everything: the
+   remaining bound is the single SensorAccess port (ResMII), i.e. pure
+   IO pressure — the true architectural limit of the design.
+"""
+
+from repro.cgra.fabric import CgraConfig, CgraFabric
+from repro.cgra.models import compile_beam_model
+from repro.cgra.modulo import ModuloScheduler
+
+
+def _sweep():
+    fabric = CgraFabric(CgraConfig())
+    ms = ModuloScheduler(fabric)
+    table = {}
+    for n_bunches in (1, 4, 8):
+        manual = compile_beam_model(n_bunches=n_bunches, pipelined=True)
+        plain = compile_beam_model(n_bunches=n_bunches, pipelined=False)
+        mod_plain = ms.schedule(plain.graph)
+        mod_split = ms.schedule(manual.graph)
+        table[n_bunches] = {
+            "manual_ticks": manual.schedule_length,
+            "modulo_plain": mod_plain,
+            "modulo_split": mod_split,
+        }
+    return table
+
+
+def test_modulo_vs_manual_pipelining(benchmark, report):
+    table = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+
+    rows = [
+        "bunches   manual ticks   modulo II (plain)   modulo II (split)   "
+        "ResMII  RecMII(split)   max f_rev (split+modulo)",
+    ]
+    for n, entry in sorted(table.items()):
+        ms = entry["modulo_split"]
+        mp = entry["modulo_plain"]
+        rows.append(
+            f"{n:6d}   {entry['manual_ticks']:12d}   {mp.ii:17d}   {ms.ii:17d}   "
+            f"{ms.res_mii:6d}  {ms.rec_mii:13d}   {ms.max_revolution_frequency() / 1e6:6.3f} MHz"
+        )
+    rows.append(
+        "the manual barrier cuts the Eq. 2->6 recurrence; modulo scheduling "
+        "then runs into the SensorAccess port (ResMII) — the architectural "
+        "limit. Automatic software pipelining would buy the paper's bench "
+        f"{table[8]['manual_ticks'] / table[8]['modulo_split'].ii:.2f}x more "
+        "revolution-frequency headroom at 8 bunches."
+    )
+    report(benchmark, "A6 — modulo scheduling vs. manual pipelining", rows)
+
+    for n, entry in table.items():
+        assert entry["modulo_split"].ii <= entry["manual_ticks"]
+    # The recurrence dominates the unsplit 8-bunch model.
+    assert table[8]["modulo_plain"].rec_mii > 50
+    assert table[8]["modulo_split"].rec_mii < 10
+    # IO pressure is the split model's binding constraint at 8 bunches.
+    e8 = table[8]["modulo_split"]
+    assert e8.res_mii >= e8.rec_mii

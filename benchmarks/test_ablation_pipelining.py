@@ -1,0 +1,40 @@
+"""Ablation A1 — loop pipelining and bunch-count scaling.
+
+Sweeps the bunch count with pipelining on and off, separating the two
+effects the paper reports: pipelining removes the serial stage-1+stage-2
+critical path; each extra bunch adds SensorAccess port pressure.
+"""
+
+from repro.cgra.models import compile_beam_model
+
+
+def _sweep():
+    out = {}
+    for pipelined in (False, True):
+        for n in (1, 2, 4, 6, 8):
+            m = compile_beam_model(n_bunches=n, pipelined=pipelined)
+            out[(n, pipelined)] = (m.schedule_length, m.max_f_rev)
+    return out
+
+
+def test_pipelining_bunch_sweep(benchmark, report):
+    table = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+
+    rows = ["bunches   plain ticks   pipelined ticks   saving   max f_rev (pipelined)"]
+    for n in (1, 2, 4, 6, 8):
+        plain, _ = table[(n, False)]
+        piped, fmax = table[(n, True)]
+        rows.append(
+            f"{n:6d}   {plain:10d}   {piped:14d}   {plain - piped:6d}   "
+            f"{fmax / 1e6:6.3f} MHz"
+        )
+    per_bunch = (table[(8, True)][0] - table[(1, True)][0]) / 7
+    rows.append(
+        f"marginal cost per bunch (pipelined): {per_bunch:.1f} ticks "
+        "(paper: (111-93)/7 = 2.6 ticks — SensorAccess serialisation)"
+    )
+    report(benchmark, "A1 — pipelining x bunch count", rows)
+
+    for n in (1, 2, 4, 6, 8):
+        assert table[(n, True)][0] < table[(n, False)][0]
+    assert 0 < per_bunch < 8

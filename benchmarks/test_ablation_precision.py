@@ -1,0 +1,38 @@
+"""Ablation A3 — single vs. double precision on the CGRA.
+
+The overlay uses single-precision FP cores; this ablation measures the
+numeric drift that choice costs on the Fig. 5 observable (working in
+Δ-quantities is what keeps it small — exactly why the paper's model
+tracks Δγ/Δt instead of absolute energies and times).
+"""
+
+import numpy as np
+
+from repro.experiments.mde import bench_config
+from repro.hil.simulator import CavityInTheLoop
+
+
+def _run(precision: str):
+    sim = CavityInTheLoop(bench_config(engine="cgra", record_every=1,
+                                       precision=precision, jump_start_time=0.002))
+    return sim.run(0.02)
+
+
+def test_precision_ablation(benchmark, report):
+    r32 = benchmark.pedantic(_run, args=("single",), rounds=1, iterations=1)
+    r64 = _run("double")
+
+    diff = np.abs(r32.phase_deg - r64.phase_deg)
+    signal_pp = r64.phase_deg.max() - r64.phase_deg.min()
+    rows = [
+        "20 ms closed-loop window, CGRA engine, one jump:",
+        f"  signal peak-to-peak          : {signal_pp:8.2f} deg",
+        f"  |single - double| max        : {diff.max():8.4f} deg",
+        f"  |single - double| rms        : {np.sqrt((diff ** 2).mean()):8.4f} deg",
+        f"  relative worst-case error    : {diff.max() / signal_pp * 100:8.3f} %",
+        "single precision suffices because the model tracks Delta quantities "
+        "(paper Section IV-A), keeping all magnitudes near unity.",
+    ]
+    report(benchmark, "A3 — single vs. double precision", rows)
+
+    assert diff.max() < 0.05 * signal_pp

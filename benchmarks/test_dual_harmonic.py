@@ -1,0 +1,73 @@
+"""E12 — dual-harmonic cavity study (paper ref. [9]'s LLRF system).
+
+Regenerates the Landau-reservoir table across second-harmonic ratios and
+demonstrates the HIL architecture's free extension: a dual-harmonic gap
+signal requires no CGRA model change because the model reads the gap
+ring buffer.
+"""
+
+import numpy as np
+
+from repro.experiments.dual_harmonic_study import dual_harmonic_landau_study
+from repro.experiments.mde import bench_config
+from repro.hil.simulator import CavityInTheLoop
+from repro.physics import SIS18, KNOWN_IONS
+from repro.physics.oscillation import estimate_oscillation_frequency
+
+
+def test_dual_harmonic_landau_table(benchmark, report):
+    rows_data = benchmark.pedantic(
+        dual_harmonic_landau_study,
+        args=(SIS18, KNOWN_IONS["14N7+"]),
+        kwargs={"n_particles": 1500, "n_turns": 36000},
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = [
+        "ratio   f_s linear   f_s(5ns)   f_s(50ns)   rel. spread   dipole retention",
+    ]
+    for r in rows_data:
+        rows.append(
+            f"{r.ratio:5.2f}   {r.f_s_linear:8.0f} Hz {r.f_s_small:8.0f} Hz "
+            f"{r.f_s_large:9.0f} Hz   {r.frequency_spread * 100:9.1f} %   "
+            f"{r.amplitude_retention * 100:10.1f} %"
+        )
+    rows.append(
+        "bunch-lengthening (r -> 0.5) multiplies the synchrotron-frequency "
+        "spread ~10x and decoheres coherent dipoles fastest — the operating "
+        "mode of the dual-harmonic LLRF the paper's control chain serves."
+    )
+    report(benchmark, "E12 — dual-harmonic Landau study", rows)
+
+    single = rows_data[0]
+    flat = rows_data[-1]
+    assert flat.frequency_spread > 5 * single.frequency_spread
+    assert flat.amplitude_retention < single.amplitude_retention
+
+
+def test_dual_harmonic_closed_loop(benchmark, report):
+    def run():
+        cfg = bench_config(record_every=4, dual_harmonic_ratio=0.3,
+                           jump_start_time=0.002)
+        sim = CavityInTheLoop(cfg)
+        return sim, sim.run(0.04)
+
+    sim, res = benchmark.pedantic(run, rounds=1, iterations=1)
+    sel = (res.time > 0.002) & (res.time < 0.014)
+    f = estimate_oscillation_frequency(res.time[sel], res.phase_deg[sel])
+    tail = res.phase_deg[res.time > 0.03]
+
+    rows = [
+        f"closed loop with r = 0.3 second harmonic (V1 raised to "
+        f"{sim.gap_voltage_amplitude:.0f} V to keep f_s):",
+        f"  oscillation frequency : {f:7.1f} Hz (target 1280)",
+        f"  settled level         : {tail.mean():7.2f} deg (jump 8)",
+        f"  residual pp           : {tail.max() - tail.min():7.3f} deg",
+        "  CGRA model unchanged — the gap buffer simply carries the "
+        "dual-harmonic waveform.",
+    ]
+    report(benchmark, "E12b — dual-harmonic closed loop", rows)
+
+    assert abs(f - 1.28e3) / 1.28e3 < 0.08
+    assert abs(tail.mean() - 8.0) < 0.5

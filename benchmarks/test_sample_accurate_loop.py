@@ -1,0 +1,74 @@
+"""E4b — the fully sample-accurate closed loop (waveform-level DSP).
+
+The fast-path Fig. 5 bench closes the loop on the model's Δt directly;
+this bench closes it the hardware way: the DSP IQ-demodulates the
+*beam waveform* the DAC produced.  Reports the measurement-chain
+accuracy and the damping achieved through the full 250 MHz chain.
+"""
+
+import numpy as np
+
+from repro.control import ControlLoopConfig
+from repro.hil.closed_loop import SampleAccurateBench, SampleAccurateBenchConfig
+from repro.physics import SIS18, KNOWN_IONS
+
+
+def test_sample_accurate_closed_loop(benchmark, report):
+    def run():
+        bench = SampleAccurateBench(SampleAccurateBenchConfig(
+            ring=SIS18,
+            ion=KNOWN_IONS["14N7+"],
+            control=ControlLoopConfig(sample_rate=800e3, gain_scale=0.1),
+            jump_start_time=0.0,
+        ))
+        return bench.run_revolutions(1500)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    ground_truth = -360.0 * 4 * 800e3 * result.delta_t
+    err = np.abs(result.phase_deg[50:] - ground_truth[50:])
+    early = result.phase_deg[100:400]
+    late = result.phase_deg[1200:]
+    rows = [
+        "1500 revolutions, DSP measuring the beam *waveform* (IQ at 3.2 MHz):",
+        f"  IQ vs model ground truth : median {np.median(err):.3f} deg, "
+        f"worst {err.max():.3f} deg",
+        f"  oscillation damped       : pp {early.max() - early.min():.2f} deg -> "
+        f"{late.max() - late.min():.2f} deg",
+        f"  settled level            : {late.mean():.2f} deg (jump 8)",
+        "every Fig. 4 stage exercised at 250 MHz: DDS -> ADC -> buffers -> "
+        "CGRA -> Gauss pulses -> DAC -> IQ DSP -> FIR -> gap phase.",
+    ]
+    report(benchmark, "E4b — sample-accurate closed loop", rows)
+
+    assert err.max() < 0.2
+    assert (late.max() - late.min()) < 0.3 * (early.max() - early.min())
+
+
+def test_fig5_cgra_engine_crosscheck(benchmark, report):
+    """E5b cross-check: the headline scenario on the cycle-accurate
+    float32 CGRA engine (what the real overlay computes)."""
+    from repro.experiments.fig5 import fig5_metrics
+    from repro.experiments.mde import bench_config
+    from repro.hil.simulator import CavityInTheLoop
+
+    def run():
+        sim = CavityInTheLoop(bench_config(engine="cgra", precision="single",
+                                           record_every=4))
+        return sim.run(0.06)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    m = fig5_metrics(result.time, result.phase_deg_smoothed(), 8.0, 0.005)
+    rows = [
+        "Fig. 5a scenario on the cycle-accurate single-precision CGRA engine:",
+        f"  synchrotron frequency : {m.synchrotron_frequency:.1f} Hz",
+        f"  peak ratio            : {m.peak_ratio:.2f}",
+        f"  settled shift         : {m.settled_shift:.2f} deg",
+        "matches the fast path (bit-identical at double precision; "
+        "float32 deviates < 0.001 deg over this window, see A3).",
+    ]
+    report(benchmark, "E5b — Fig. 5a on the CGRA engine", rows)
+
+    assert abs(m.synchrotron_frequency - 1.28e3) / 1.28e3 < 0.08
+    assert 0.75 < m.peak_ratio < 1.15
+    assert abs(m.settled_shift - 8.0) < 0.5

@@ -1,0 +1,41 @@
+"""E6 — Section IV-B schedule lengths and maximum revolution frequencies.
+
+Runs the full tool flow (C → SCAR → list scheduler → contexts) for every
+configuration of the paper's table and prints measured vs. paper values.
+The benchmark time is the tool-flow wall clock (the "reconfiguration in
+seconds" quantity).
+"""
+
+from repro.experiments.schedule_table import schedule_length_table
+
+
+def test_schedule_length_table(benchmark, report):
+    rows_data = benchmark.pedantic(schedule_length_table, rounds=2, iterations=1)
+
+    rows = [
+        "configuration          ticks (paper)   max f_rev (paper)      1 MHz?",
+    ]
+    for r in rows_data:
+        label = f"{r.n_bunches} bunch{'es' if r.n_bunches > 1 else '  '}, " \
+                f"{'pipelined    ' if r.pipelined else 'no pipelining'}"
+        rows.append(
+            f"{label}  {r.schedule_ticks:4d}  ({r.paper_ticks:3d})   "
+            f"{r.max_f_rev_hz / 1e6:5.3f} MHz ({r.paper_max_f_rev_hz / 1e6:5.3f})   "
+            f"{'yes' if r.meets_1mhz else 'no'}"
+        )
+    rows.append(
+        "shape reproduced: pipelining crosses the 1 MHz line; fewer bunches "
+        "shorten the schedule (paper: 128 -> 111 -> 99 -> 93)."
+    )
+    rows.append(
+        "absolute ticks depend on FP-core latency estimates "
+        "(OperatorLatencies); see EXPERIMENTS.md E6 for the calibration."
+    )
+    report(benchmark, "Section IV-B — schedule lengths", rows)
+
+    table = {(r.n_bunches, r.pipelined): r for r in rows_data}
+    assert table[(8, True)].schedule_ticks < table[(8, False)].schedule_ticks
+    assert table[(1, True)].schedule_ticks < table[(4, True)].schedule_ticks \
+        < table[(8, True)].schedule_ticks
+    assert not table[(8, False)].meets_1mhz
+    assert table[(8, True)].meets_1mhz

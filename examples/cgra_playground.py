@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Compile your own mini-C kernel onto the CGRA and execute it.
+
+Shows the Section III-C tool flow in isolation: C source → SCAR dataflow
+graph → list schedule → context memories → cycle-accurate execution, for
+a small damped-oscillator kernel that has nothing to do with beams —
+demonstrating the overlay is a general real-time compute fabric (the
+paper's UltraSynth reference used the same framework for vehicle
+dynamics).
+
+Run:  python examples/cgra_playground.py
+"""
+
+from repro.cgra import (
+    CgraConfig,
+    CgraExecutor,
+    CgraFabric,
+    ListScheduler,
+    SensorBus,
+    compile_c_to_dfg,
+)
+from repro.cgra.context import images_to_json, build_context_images
+from repro.cgra.visualize import render_schedule, utilisation_bars
+
+SOURCE = """
+// A driven, damped harmonic oscillator integrated per tick:
+//   v += (-K*x - D*v + force) * DT;  x += v * DT
+#define S_FORCE 3
+#define A_POS 17
+
+void oscillator(float K, float D, float DT) {
+    float x = 1.0;
+    float v = 0.0;
+    while (1) {
+        float force = read_sensor(S_FORCE);
+        write_actuator(A_POS, x);
+        pipeline_barrier();
+        float accel = force - K * x - D * v;
+        v = v + accel * DT;
+        x = x + v * DT;
+    }
+}
+"""
+
+
+def main() -> None:
+    graph = compile_c_to_dfg(SOURCE)
+    print(f"dataflow graph: {len(graph)} nodes, params {graph.params}")
+    print(graph.dump())
+
+    fabric = CgraFabric(CgraConfig(rows=3, cols=3))
+    schedule = ListScheduler(fabric).schedule(graph)
+    print(f"\nschedule length: {schedule.length} ticks on a 3x3 fabric")
+    print(render_schedule(schedule, max_width=100))
+    print()
+    print(utilisation_bars(schedule, width=30))
+
+    images = build_context_images(schedule)
+    payload = images_to_json(images)
+    print(f"\ncontext images: {len(payload)} bytes of 'bitstream insert'")
+
+    # Execute 200 iterations with a constant drive force.
+    bus = SensorBus()
+    bus.register_reader(3, lambda: 2.0)
+    trace = []
+    bus.register_writer(17, trace.append)
+    executor = CgraExecutor(schedule, bus, {"K": 4.0, "D": 0.4, "DT": 0.05})
+    executor.run(200)
+
+    # x should settle toward force/K = 0.5.
+    print(f"\nx after 200 ticks: {trace[-1]:.4f} (analytic equilibrium 0.5)")
+    print(f"first few x values: {[round(v, 3) for v in trace[:6]]}")
+
+
+if __name__ == "__main__":
+    main()

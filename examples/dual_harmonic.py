@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Dual-harmonic cavity operation (the system of paper reference [9]).
+
+Shows the extension in three steps:
+
+1. bucket physics: the synchrotron frequency follows √(1 − 2r) and the
+   flat bucket (r = 0.5) trades the linear frequency for a huge
+   amplitude-dependent spread — the Landau-damping reservoir;
+2. the multi-particle consequence: a displaced bunch decoheres fastest
+   in bunch-lengthening mode;
+3. the HIL bench runs closed-loop with a dual-harmonic gap signal and
+   *no CGRA model change* — the beam model reads the gap ring buffer,
+   whatever waveform it carries.
+
+Run:  python examples/dual_harmonic.py
+"""
+
+import numpy as np
+
+from repro import SIS18, KNOWN_IONS, CavityInTheLoop
+from repro.experiments.dual_harmonic_study import dual_harmonic_landau_study
+from repro.experiments.mde import bench_config
+from repro.physics.dual_harmonic import (
+    DualHarmonicRF,
+    dual_harmonic_synchrotron_frequency,
+)
+from repro.physics.oscillation import estimate_oscillation_frequency
+from repro.physics.rf import RFSystem, voltage_for_synchrotron_frequency
+
+
+def bucket_physics() -> None:
+    ring, ion = SIS18, KNOWN_IONS["14N7+"]
+    gamma = ring.gamma_from_revolution_frequency(800e3)
+    probe = RFSystem(harmonic=4, voltage=1.0)
+    v1 = voltage_for_synchrotron_frequency(ring, ion, probe, gamma, 1.28e3)
+    print(f"fundamental amplitude: {v1:.0f} V (f_s = 1.28 kHz single-harmonic)")
+    print("ratio r    f_s linear   (the sqrt(1-2r) law)")
+    for r in (0.0, 0.1, 0.25, 0.4, 0.5):
+        rf = DualHarmonicRF(harmonic=4, voltage=v1, ratio=r)
+        f = dual_harmonic_synchrotron_frequency(ring, ion, rf, gamma)
+        print(f"  {r:4.2f}    {f:8.1f} Hz   (x {np.sqrt(max(1 - 2 * r, 0)):.3f})")
+    print()
+
+
+def landau_reservoir() -> None:
+    print("Landau study (amplitude-dependent f_s and dipole decoherence):")
+    rows = dual_harmonic_landau_study(
+        SIS18, KNOWN_IONS["14N7+"], n_particles=1200, n_turns=28000
+    )
+    for r in rows:
+        print(f"  r={r.ratio:4.2f}: f_s(5ns)={r.f_s_small:7.1f} Hz  "
+              f"f_s(50ns)={r.f_s_large:7.1f} Hz  "
+              f"spread={r.frequency_spread * 100:5.1f}%  "
+              f"dipole retention={r.amplitude_retention * 100:5.1f}%")
+    print()
+
+
+def closed_loop() -> None:
+    print("closed-loop bench with r = 0.3 second harmonic:")
+    sim = CavityInTheLoop(bench_config(record_every=4, dual_harmonic_ratio=0.3,
+                                       jump_start_time=0.002))
+    print(f"  fundamental raised to {sim.gap_voltage_amplitude:.0f} V to keep f_s")
+    res = sim.run(0.04)
+    sel = (res.time > 0.002) & (res.time < 0.014)
+    f = estimate_oscillation_frequency(res.time[sel], res.phase_deg[sel])
+    tail = res.phase_deg[res.time > 0.03]
+    print(f"  oscillation at {f:.0f} Hz, settled at {tail.mean():.2f} deg "
+          f"(jump 8), residual pp {tail.max() - tail.min():.3f} deg")
+    print("  the CGRA beam model is byte-identical to the single-harmonic one.")
+
+
+def main() -> None:
+    bucket_physics()
+    landau_reservoir()
+    closed_loop()
+
+
+if __name__ == "__main__":
+    main()

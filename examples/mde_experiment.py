@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""The full Fig. 5 experiment: bench (5a) vs. emulated machine (5b).
+
+Runs both sides of the paper's evaluation —
+
+* 5a: the cavity-in-the-loop simulator, 8° jumps, f_s tuned to 1.28 kHz;
+* 5b: the multi-particle "machine" emulation of the SIS18 MDE of
+  2023-11-24 (10° jumps, f_s ≈ 1.2 kHz) —
+
+and prints the comparison metrics the paper argues from: oscillation
+frequency, first-peak-to-peak ≈ 2 × jump, damping inside the inter-jump
+window and the settled phase shift.
+
+Run:  python examples/mde_experiment.py  [--fast]
+"""
+
+import sys
+
+from repro.experiments import fig5_metrics, fig5_run_bench, fig5_run_machine
+from repro.experiments.mde import (
+    MDE_DATE,
+    MDE_JUMP_DEG_BENCH,
+    MDE_JUMP_DEG_MACHINE,
+)
+
+
+def main() -> None:
+    fast = "--fast" in sys.argv
+    duration = 0.12 if fast else 0.30
+    n_particles = 1500 if fast else 5000
+
+    print(f"emulating the SIS18 machine development experiment of {MDE_DATE}")
+    print(f"duration {duration * 1e3:.0f} ms per side\n")
+
+    bench = fig5_run_bench(duration=duration)
+    jump_time = 0.005
+    mb = fig5_metrics(bench.time, bench.phase_deg_smoothed(), MDE_JUMP_DEG_BENCH, jump_time)
+    print("Fig. 5a — cavity-in-the-loop bench (8 deg jumps):")
+    print(f"  synchrotron frequency : {mb.synchrotron_frequency:7.1f} Hz  (paper: 1280 Hz)")
+    print(f"  first peak-to-peak    : {mb.first_peak_to_peak:7.2f} deg (2x jump = {2 * MDE_JUMP_DEG_BENCH:.0f})")
+    print(f"  peak ratio            : {mb.peak_ratio:7.2f}     (paper: ~1)")
+    print(f"  residual before jump  : {mb.residual_peak_to_peak:7.3f} deg")
+    print(f"  settled phase shift   : {mb.settled_shift:7.2f} deg (jump = {MDE_JUMP_DEG_BENCH})")
+    print(f"  real-time slack       : {bench.deadline.min_slack:7.1f} ticks\n")
+
+    machine = fig5_run_machine(duration=duration, n_particles=n_particles)
+    mm = fig5_metrics(machine.time, machine.phase_deg, MDE_JUMP_DEG_MACHINE, jump_time)
+    print("Fig. 5b — emulated SIS18 machine (10 deg jumps, multi-particle):")
+    print(f"  synchrotron frequency : {mm.synchrotron_frequency:7.1f} Hz  (paper: 1200 Hz)")
+    print(f"  first peak-to-peak    : {mm.first_peak_to_peak:7.2f} deg (2x jump = {2 * MDE_JUMP_DEG_MACHINE:.0f})")
+    print(f"  peak ratio            : {mm.peak_ratio:7.2f}     (paper: ~1)")
+    print(f"  residual before jump  : {mm.residual_peak_to_peak:7.3f} deg")
+    print(f"  settled phase shift   : {mm.settled_shift:7.2f} deg (jump = {MDE_JUMP_DEG_MACHINE})\n")
+
+    print("match summary (the paper's argument):")
+    print(f"  frequency ratio bench/machine: {mb.synchrotron_frequency / mm.synchrotron_frequency:.3f}"
+          f"  (paper: 1.28/1.2 = {1.28 / 1.2:.3f})")
+    print(f"  both first peaks ~= 2x their jump: bench {mb.peak_ratio:.2f}, machine {mm.peak_ratio:.2f}")
+    print("  both oscillations fully damped inside the 50 ms window: "
+          f"{mb.residual_peak_to_peak < 1.0 and mm.residual_peak_to_peak < 1.5}")
+
+
+if __name__ == "__main__":
+    main()

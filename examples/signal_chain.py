@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Drive the sample-accurate FPGA framework block by block (Figs. 2–3).
+
+Builds the full Fig. 3 signal chain — group DDS → 14-bit ADCs → 8192-deep
+ring buffers → zero-crossing / period detectors → CGRA beam model →
+Gauss-pulse generator → 16-bit DAC — and streams a few hundred
+revolutions through it at the full 250 MHz sample resolution, printing
+what each stage observes.
+
+Run:  python examples/signal_chain.py
+"""
+
+import numpy as np
+
+from repro import SIS18, KNOWN_IONS, FpgaFramework, FrameworkConfig
+from repro.constants import deg_to_rad
+from repro.signal.dds import GroupDDS
+from repro.signal.phase_detector import IQPhaseDetector
+
+
+def main() -> None:
+    f_rev, harmonic = 800e3, 4
+    adc_amplitude = 0.9
+    sample_rate = 250e6
+
+    # The kV-scale calibration: 0.9 V at the ADC stands for ~4.9 kV at the gap.
+    gap_volts = 4862.0
+    config = FrameworkConfig(
+        ring=SIS18,
+        ion=KNOWN_IONS["14N7+"],
+        harmonic=harmonic,
+        gap_volts_per_adc_volt=gap_volts / adc_amplitude,
+        ref_volts_per_adc_volt=harmonic * gap_volts / adc_amplitude,
+        n_bunches=1,
+    )
+    framework = FpgaFramework(config)
+    print(f"CGRA model: {framework.model.schedule_length} ticks/revolution, "
+          f"{len(framework.model.graph)} dataflow nodes")
+
+    # An 8 degree gap phase jump is present from the start.
+    group = GroupDDS(
+        revolution_frequency=f_rev,
+        harmonic=harmonic,
+        amplitude=adc_amplitude,
+        sample_rate=sample_rate,
+        gap_phase_drive=lambda t: deg_to_rad(8.0),
+    )
+    group.reset_phase()
+
+    block = int(round(sample_rate / f_rev))  # one revolution per block
+    n_revolutions = 400
+    beam_blocks = []
+    for _ in range(n_revolutions):
+        ref, gap = group.generate(block)
+        beam, _monitor = framework.feed(ref.samples, gap.samples)
+        beam_blocks.append(beam.samples)
+
+    print(f"fed {n_revolutions} revolutions "
+          f"({n_revolutions * block} samples at 250 MHz)")
+    print(f"period detector: {framework.period_detector.frequency():.1f} Hz "
+          f"(expected {f_rev:.0f})")
+    print(f"model initialised: {framework.initialised}, "
+          f"iterations run: {framework.executor.iterations}")
+    print(f"current bunch delta_t: {framework.delta_t[0] * 1e9:.2f} ns")
+
+    # DSP view: IQ-demodulate the last 40 revolutions of beam signal.
+    tail = np.concatenate(beam_blocks[-40:])
+    t0 = (n_revolutions - 40) * block / sample_rate
+    detector = IQPhaseDetector(harmonic * f_rev)
+    print(f"beam-signal phase at {harmonic * f_rev / 1e6:.1f} MHz: "
+          f"{detector.measure(tail, sample_rate, t0):.2f} deg")
+
+    rec = framework.recorder.as_array()
+    print(f"DRAM recorder: {rec.shape[0]} revolution records "
+          f"(readout via framework.recorder.readout_serial())")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,107 @@
+"""Cavity in the Loop — a reproduction of the SC 2024 paper.
+
+A CGRA-based hardware/software environment that simulates the
+longitudinal beam dynamics of a synchrotron in real time, so that the
+accelerator's beam-phase control electronics can be tested
+hardware-in-the-loop instead of against the real (expensive, scarce)
+beam.
+
+Package map
+-----------
+``repro.physics``      longitudinal beam dynamics (Eqs. 1–6, buckets,
+                       multi-particle extension)
+``repro.signal``       DDS / AWG / ADC / DAC / ring buffers / detectors /
+                       FIR / phase measurement
+``repro.cgra``         the CGRA overlay: mini-C frontend, SCAR dataflow
+                       graphs, list scheduler, context images,
+                       cycle-accurate executor, timing
+``repro.control``      the beam-phase control loop
+``repro.hil``          the FPGA framework (Fig. 3) and the full
+                       closed-loop bench (Fig. 4)
+``repro.baselines``    offline tracker, software simulator, direct-FPGA
+                       cost model
+``repro.experiments``  per-figure/table data generators (see DESIGN.md)
+
+Quickstart
+----------
+>>> from repro import CavityInTheLoop, HilConfig, SIS18, KNOWN_IONS
+>>> sim = CavityInTheLoop(HilConfig(ring=SIS18, ion=KNOWN_IONS["14N7+"]))
+>>> result = sim.run(0.1)            # 100 ms of machine time
+>>> result.phase_deg_smoothed()      # the Fig. 5a trace
+"""
+
+from repro.constants import SPEED_OF_LIGHT, ATOMIC_MASS_EV
+from repro.errors import (
+    CgraError,
+    ConfigurationError,
+    ExecutionError,
+    FrontendError,
+    HilError,
+    PhysicsError,
+    RealTimeViolation,
+    ReproError,
+    ScheduleError,
+    SignalError,
+)
+from repro.physics import (
+    SIS18,
+    KNOWN_IONS,
+    IonSpecies,
+    MacroParticleTracker,
+    MultiParticleTracker,
+    RFSystem,
+    SynchrotronRing,
+    synchrotron_frequency,
+)
+from repro.cgra import (
+    CgraConfig,
+    CgraExecutor,
+    CompiledModel,
+    beam_model_source,
+    compile_beam_model,
+    compile_c_to_dfg,
+)
+from repro.control import BeamPhaseControlLoop, ControlLoopConfig
+from repro.hil import CavityInTheLoop, FpgaFramework, FrameworkConfig, HilConfig, HilRunResult
+from repro.baselines import MachineExperimentConfig, MachineExperimentEmulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SPEED_OF_LIGHT",
+    "ATOMIC_MASS_EV",
+    "ReproError",
+    "ConfigurationError",
+    "PhysicsError",
+    "SignalError",
+    "CgraError",
+    "FrontendError",
+    "ScheduleError",
+    "ExecutionError",
+    "RealTimeViolation",
+    "HilError",
+    "SIS18",
+    "KNOWN_IONS",
+    "IonSpecies",
+    "SynchrotronRing",
+    "RFSystem",
+    "MacroParticleTracker",
+    "MultiParticleTracker",
+    "synchrotron_frequency",
+    "CgraConfig",
+    "CgraExecutor",
+    "CompiledModel",
+    "beam_model_source",
+    "compile_beam_model",
+    "compile_c_to_dfg",
+    "BeamPhaseControlLoop",
+    "ControlLoopConfig",
+    "CavityInTheLoop",
+    "HilConfig",
+    "HilRunResult",
+    "FpgaFramework",
+    "FrameworkConfig",
+    "MachineExperimentConfig",
+    "MachineExperimentEmulator",
+    "__version__",
+]

@@ -1,0 +1,28 @@
+"""Baselines and comparators.
+
+* :mod:`offline_tracker` — a BLonD/ESME/Long1D-style offline
+  multi-particle reference (the class of tools the paper cites as "far
+  from the real-time requirements"), doubling as the "real machine"
+  stand-in for Fig. 5b;
+* :mod:`software_sim` — the rejected pure-software simulator with its
+  microarchitectural output jitter;
+* :mod:`fpga_direct` — the rejected direct-FPGA implementation's
+  turnaround cost model (synthesis hours vs. CGRA seconds).
+"""
+
+from repro.baselines.offline_tracker import (
+    MachineExperimentConfig,
+    MachineExperimentEmulator,
+    MachineRunResult,
+)
+from repro.baselines.software_sim import SoftwareBeamSimulator
+from repro.baselines.fpga_direct import DirectFpgaFlow, turnaround_comparison
+
+__all__ = [
+    "MachineExperimentConfig",
+    "MachineExperimentEmulator",
+    "MachineRunResult",
+    "SoftwareBeamSimulator",
+    "DirectFpgaFlow",
+    "turnaround_comparison",
+]

@@ -1,0 +1,254 @@
+"""Dataflow-graph intermediate representation (the paper's SCAR).
+
+The frontend lowers the C model into one :class:`DataflowGraph` per
+steady-state loop body.  Nodes are operations in SSA form; loop-carried
+values are represented by :data:`~repro.cgra.ops.Op.PHI` nodes whose
+``back_edge`` names the node computing the next-iteration value and whose
+``init_value``/``init_param`` provide the first iteration's input.
+
+The graph must be acyclic apart from the implicit PHI back edges — that
+invariant is what lets the list scheduler treat one loop body as a DAG
+(PHI values are register reads available at tick 0).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.cgra.ops import IO_OPS, ZERO_TIME_OPS, Op
+from repro.errors import CgraError
+
+__all__ = ["DFGNode", "DataflowGraph"]
+
+
+@dataclass
+class DFGNode:
+    """One SSA operation.
+
+    Attributes
+    ----------
+    node_id:
+        Unique integer id within the graph.
+    op:
+        The operation.
+    operands:
+        ids of the nodes producing this node's inputs, in order.
+    value:
+        Constant value (``CONST`` nodes only).
+    name:
+        Debug name — source variable or synthesised label.
+    sensor_id:
+        Sensor/actuator identifier for IO operations.
+    back_edge:
+        For ``PHI`` nodes: id of the node whose value feeds the next
+        iteration.
+    init_value / init_param:
+        For ``PHI`` nodes: first-iteration input, either a literal or the
+        name of a live-in parameter.
+    """
+
+    node_id: int
+    op: Op
+    operands: list[int] = field(default_factory=list)
+    value: float | None = None
+    name: str = ""
+    sensor_id: int | None = None
+    back_edge: int | None = None
+    init_value: float | None = None
+    init_param: str | None = None
+
+    def is_io(self) -> bool:
+        """True for SensorAccess operations (they share one port)."""
+        return self.op in IO_OPS
+
+    def is_zero_time(self) -> bool:
+        """True for preloaded values (constants, params, PHI registers)."""
+        return self.op in ZERO_TIME_OPS
+
+
+class DataflowGraph:
+    """SSA dataflow graph of one steady-state loop body."""
+
+    def __init__(self, name: str = "kernel") -> None:
+        self.name = name
+        self.nodes: dict[int, DFGNode] = {}
+        self._next_id = 0
+        #: Names of live-in parameters (host-provided scalars).
+        self.params: list[str] = []
+
+    # -- construction -------------------------------------------------
+
+    def _new_node(self, op: Op, operands: list[int], **kw) -> DFGNode:
+        for oid in operands:
+            if oid not in self.nodes:
+                raise CgraError(f"operand {oid} not in graph")
+        node = DFGNode(node_id=self._next_id, op=op, operands=list(operands), **kw)
+        self.nodes[node.node_id] = node
+        self._next_id += 1
+        return node
+
+    def add_const(self, value: float, name: str = "") -> DFGNode:
+        """Add a compile-time constant."""
+        return self._new_node(Op.CONST, [], value=float(value), name=name)
+
+    def add_param(self, name: str) -> DFGNode:
+        """Add a live-in parameter (value supplied at load time)."""
+        if name not in self.params:
+            self.params.append(name)
+        return self._new_node(Op.PARAM, [], name=name)
+
+    def add_op(self, op: Op, operands: list[int], name: str = "") -> DFGNode:
+        """Add an arithmetic/compare/select operation."""
+        if op in ZERO_TIME_OPS or op in IO_OPS:
+            raise CgraError(f"use the dedicated adder for {op}")
+        return self._new_node(op, operands, name=name)
+
+    def add_phi(self, name: str, init_value: float | None = None, init_param: str | None = None) -> DFGNode:
+        """Add a loop-carried register; bind its source later."""
+        if (init_value is None) == (init_param is None):
+            raise CgraError("phi needs exactly one of init_value / init_param")
+        if init_param is not None and init_param not in self.params:
+            self.params.append(init_param)
+        return self._new_node(Op.PHI, [], name=name, init_value=init_value, init_param=init_param)
+
+    def bind_phi(self, phi: DFGNode, source: DFGNode) -> None:
+        """Set the back edge of a PHI to the node producing next iteration's value."""
+        if phi.op is not Op.PHI:
+            raise CgraError(f"node {phi.node_id} is not a PHI")
+        if source.node_id not in self.nodes:
+            raise CgraError(f"source {source.node_id} not in graph")
+        phi.back_edge = source.node_id
+
+    def add_sensor_read(self, sensor_id: int, name: str = "") -> DFGNode:
+        """Add an address-less sensor read."""
+        return self._new_node(Op.SENSOR_READ, [], sensor_id=int(sensor_id), name=name)
+
+    def add_sensor_read_addr(self, sensor_id: int, addr: DFGNode, name: str = "") -> DFGNode:
+        """Add an addressed sensor read (ring-buffer fetch)."""
+        return self._new_node(
+            Op.SENSOR_READ_ADDR, [addr.node_id], sensor_id=int(sensor_id), name=name
+        )
+
+    def add_actuator_write(self, actuator_id: int, value: DFGNode, name: str = "") -> DFGNode:
+        """Add an actuator write (e.g. the Δt output)."""
+        return self._new_node(
+            Op.ACTUATOR_WRITE, [value.node_id], sensor_id=int(actuator_id), name=name
+        )
+
+    # -- queries ------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def node(self, node_id: int) -> DFGNode:
+        """Look up a node by id."""
+        try:
+            return self.nodes[node_id]
+        except KeyError:
+            raise CgraError(f"no node {node_id} in graph {self.name!r}") from None
+
+    def phis(self) -> list[DFGNode]:
+        """All loop-carried registers."""
+        return [n for n in self.nodes.values() if n.op is Op.PHI]
+
+    def io_nodes(self) -> list[DFGNode]:
+        """All SensorAccess operations."""
+        return [n for n in self.nodes.values() if n.is_io()]
+
+    def consumers(self) -> dict[int, list[int]]:
+        """Map node id → ids of nodes consuming its value (forward edges)."""
+        out: dict[int, list[int]] = {nid: [] for nid in self.nodes}
+        for n in self.nodes.values():
+            for src in n.operands:
+                out[src].append(n.node_id)
+        return out
+
+    def validate(self) -> None:
+        """Check SSA and acyclicity invariants; raise :class:`CgraError`.
+
+        * every operand id exists,
+        * every PHI has a bound back edge,
+        * the forward-edge graph (ignoring back edges) is acyclic,
+        * exactly the operations of each type have operand counts
+          matching their arity.
+        """
+        arity = {
+            Op.CONST: 0, Op.PARAM: 0, Op.PHI: 0,
+            Op.FADD: 2, Op.FSUB: 2, Op.FMUL: 2, Op.FDIV: 2,
+            Op.FSQRT: 1, Op.FNEG: 1, Op.FMIN: 2, Op.FMAX: 2,
+            Op.CMP_LT: 2, Op.CMP_LE: 2, Op.SELECT: 3,
+            Op.SENSOR_READ: 0, Op.SENSOR_READ_ADDR: 1, Op.ACTUATOR_WRITE: 1,
+        }
+        for n in self.nodes.values():
+            if len(n.operands) != arity[n.op]:
+                raise CgraError(
+                    f"node {n.node_id} ({n.op}) has {len(n.operands)} operands, "
+                    f"expected {arity[n.op]}"
+                )
+            if n.op is Op.PHI and n.back_edge is None:
+                raise CgraError(f"PHI node {n.node_id} ({n.name!r}) has no back edge")
+            if n.op is Op.PHI and n.back_edge not in self.nodes:
+                raise CgraError(f"PHI node {n.node_id} back edge {n.back_edge} missing")
+            if n.is_io() and n.sensor_id is None:
+                raise CgraError(f"IO node {n.node_id} lacks a sensor id")
+        # Kahn's algorithm over forward edges.
+        order = list(self.topological_order())
+        if len(order) != len(self.nodes):
+            raise CgraError(
+                f"forward dataflow graph has a cycle "
+                f"({len(order)}/{len(self.nodes)} nodes sorted)"
+            )
+
+    def topological_order(self) -> Iterator[DFGNode]:
+        """Yield nodes in a forward-dataflow topological order.
+
+        PHI back edges are ignored (they cross iterations).  Stops early
+        if a cycle exists; :meth:`validate` turns that into an error.
+        """
+        indeg = {nid: len(n.operands) for nid, n in self.nodes.items()}
+        ready = sorted(nid for nid, d in indeg.items() if d == 0)
+        consumers = self.consumers()
+        emitted = 0
+        from collections import deque
+
+        queue = deque(ready)
+        while queue:
+            nid = queue.popleft()
+            yield self.nodes[nid]
+            emitted += 1
+            for c in consumers[nid]:
+                indeg[c] -= 1
+                if indeg[c] == 0:
+                    queue.append(c)
+
+    def critical_path_length(self, latencies) -> int:
+        """Length of the longest latency-weighted path through the body.
+
+        A lower bound on any schedule's makespan — used by the scheduler's
+        priority function and reported by E6.
+        """
+        dist: dict[int, int] = {}
+        for n in self.topological_order():
+            start = max((dist[o] for o in n.operands), default=0)
+            dist[n.node_id] = start + latencies.of(n.op)
+        return max(dist.values(), default=0)
+
+    def dump(self) -> str:
+        """Readable multi-line listing of the graph (debug aid)."""
+        lines = [f"; dataflow graph {self.name!r}: {len(self.nodes)} nodes"]
+        for n in self.topological_order():
+            ops = ", ".join(f"%{o}" for o in n.operands)
+            extra = ""
+            if n.op is Op.CONST:
+                extra = f" value={n.value}"
+            if n.op is Op.PARAM:
+                extra = f" param={n.name}"
+            if n.op is Op.PHI:
+                init = n.init_param if n.init_param is not None else n.init_value
+                extra = f" init={init} back=%{n.back_edge}"
+            if n.sensor_id is not None:
+                extra += f" io_id={n.sensor_id}"
+            label = f"  ; {n.name}" if n.name and n.op not in (Op.PARAM,) else ""
+            lines.append(f"%{n.node_id} = {n.op.value}({ops}){extra}{label}")
+        return "\n".join(lines)

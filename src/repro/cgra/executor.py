@@ -1,0 +1,244 @@
+"""Cycle-accurate execution of scheduled contexts.
+
+Runs the context images tick by tick against a
+:class:`~repro.cgra.sensor.SensorBus`.  Numeric behaviour matches the
+overlay's single-precision floating-point operators by default
+(``numpy.float32`` arithmetic per operation); ``precision="double"``
+switches to float64 for precision-ablation studies (benchmark E6b).
+
+Loop-carried registers are initialised from the PHI nodes' init
+values/parameters; at the end of every iteration each PHI register
+latches its back-edge value — exactly the register update the hardware
+performs between contexts.
+
+The executor also records the tick at which every actuator write issues.
+Because the schedule is static, that tick is the *same every iteration*:
+this determinism is the CGRA's core real-time property, and the jitter
+study (E7) reads it from :attr:`CgraExecutor.actuator_write_ticks`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cgra.context import ContextImage, build_context_images
+from repro.cgra.dfg import DataflowGraph
+from repro.cgra.ops import Op
+from repro.cgra.scheduler import Schedule
+from repro.cgra.sensor import SensorBus
+from repro.errors import ExecutionError
+
+__all__ = ["CgraExecutor"]
+
+
+@dataclass
+class _Entry:
+    tick: int
+    op: Op
+    node_id: int
+    operands: tuple[int, ...]
+    io_id: int | None
+
+
+class CgraExecutor:
+    """Executes one compiled loop body iteration by iteration.
+
+    Parameters
+    ----------
+    schedule:
+        The scheduled loop body.
+    bus:
+        SensorAccess bus with all sensors/actuators registered.
+    params:
+        Values for the graph's live-in parameters.
+    precision:
+        ``"single"`` (default; float32 per-operation rounding, like the
+        FPGA FP cores) or ``"double"``.
+    """
+
+    def __init__(
+        self,
+        schedule: Schedule,
+        bus: SensorBus,
+        params: dict[str, float] | None = None,
+        precision: str = "single",
+    ) -> None:
+        if precision not in ("single", "double"):
+            raise ExecutionError(f"precision must be 'single' or 'double', got {precision!r}")
+        self.schedule = schedule
+        self.graph: DataflowGraph = schedule.graph
+        self.bus = bus
+        self.precision = precision
+        self._ftype = np.float32 if precision == "single" else np.float64
+        params = dict(params or {})
+        missing = [p for p in self.graph.params if p not in params]
+        if missing:
+            raise ExecutionError(f"missing parameter values: {missing}")
+        extra = [p for p in params if p not in self.graph.params]
+        if extra:
+            raise ExecutionError(f"unknown parameters: {extra}")
+
+        #: Register file: node id → current value.
+        self.registers: dict[int, float] = {}
+        self._params = {k: self._round(v) for k, v in params.items()}
+        for node in self.graph.nodes.values():
+            if node.op is Op.CONST:
+                self.registers[node.node_id] = self._round(node.value)
+            elif node.op is Op.PARAM:
+                self.registers[node.node_id] = self._params[node.name]
+            elif node.op is Op.PHI:
+                if node.init_param is not None:
+                    self.registers[node.node_id] = self._params[node.init_param]
+                else:
+                    self.registers[node.node_id] = self._round(node.init_value)
+
+        # Merge all context images into one tick-ordered program.  The
+        # per-PE structure matters for scheduling/validation; execution
+        # order only needs global tick order (ties are independent ops).
+        images = build_context_images(schedule)
+        entries: list[_Entry] = []
+        for image in images.values():
+            for e in image.sorted_entries():
+                entries.append(
+                    _Entry(
+                        tick=e.tick,
+                        op=Op(e.op),
+                        node_id=e.node_id,
+                        operands=e.operands,
+                        io_id=e.io_id,
+                    )
+                )
+        entries.sort(key=lambda e: (e.tick, e.node_id))
+        self._program = entries
+        #: Iteration count executed so far.
+        self.iterations = 0
+        #: Ticks (within the iteration) at which each actuator write
+        #: issued during the most recent iteration: io_id → tick.
+        self.actuator_write_ticks: dict[int, int] = {}
+
+    # -- numeric core ---------------------------------------------------
+
+    def _round(self, value: float) -> float:
+        return float(self._ftype(value))
+
+    def _apply(self, op: Op, args: list[float], entry: _Entry) -> float:
+        f = self._ftype
+        try:
+            if op is Op.FADD:
+                return float(f(f(args[0]) + f(args[1])))
+            if op is Op.FSUB:
+                return float(f(f(args[0]) - f(args[1])))
+            if op is Op.FMUL:
+                return float(f(f(args[0]) * f(args[1])))
+            if op is Op.FDIV:
+                if args[1] == 0.0:
+                    raise ExecutionError(f"division by zero in node {entry.node_id}")
+                return float(f(f(args[0]) / f(args[1])))
+            if op is Op.FSQRT:
+                if args[0] < 0.0:
+                    raise ExecutionError(f"sqrt of negative value in node {entry.node_id}")
+                return float(f(np.sqrt(f(args[0]))))
+            if op is Op.FNEG:
+                return float(f(-f(args[0])))
+            if op is Op.FMIN:
+                return float(f(min(args[0], args[1])))
+            if op is Op.FMAX:
+                return float(f(max(args[0], args[1])))
+            if op is Op.CMP_LT:
+                return 1.0 if args[0] < args[1] else 0.0
+            if op is Op.CMP_LE:
+                return 1.0 if args[0] <= args[1] else 0.0
+            if op is Op.SELECT:
+                return args[1] if args[0] != 0.0 else args[2]
+        except (OverflowError, FloatingPointError) as exc:  # pragma: no cover
+            raise ExecutionError(f"numeric fault in node {entry.node_id}: {exc}") from exc
+        raise ExecutionError(f"op {op} cannot be applied arithmetically")
+
+    # -- execution --------------------------------------------------------
+
+    @property
+    def schedule_length(self) -> int:
+        """Ticks per iteration (the real-time budget consumer)."""
+        return self.schedule.length
+
+    def set_param(self, name: str, value: float) -> None:
+        """Update a live-in parameter *between* iterations (host access)."""
+        if name not in self.graph.params:
+            raise ExecutionError(f"unknown parameter {name!r}")
+        self._params[name] = self._round(value)
+        for node in self.graph.nodes.values():
+            if node.op is Op.PARAM and node.name == name:
+                self.registers[node.node_id] = self._params[name]
+
+    def run_iteration(self) -> None:
+        """Execute one loop iteration (one particle revolution)."""
+        regs = self.registers
+        write_ticks: dict[int, int] = {}
+        for entry in self._program:
+            if entry.op is Op.SENSOR_READ:
+                regs[entry.node_id] = self._round(self.bus.read(entry.io_id))
+                continue
+            if entry.op is Op.SENSOR_READ_ADDR:
+                addr = regs[entry.operands[0]]
+                regs[entry.node_id] = self._round(self.bus.read_addr(entry.io_id, addr))
+                continue
+            if entry.op is Op.ACTUATOR_WRITE:
+                self.bus.write(entry.io_id, regs[entry.operands[0]])
+                write_ticks[entry.io_id] = entry.tick
+                regs[entry.node_id] = 0.0
+                continue
+            try:
+                args = [regs[o] for o in entry.operands]
+            except KeyError as exc:
+                raise ExecutionError(
+                    f"node {entry.node_id} reads unwritten register {exc}"
+                ) from None
+            with np.errstate(over="ignore", invalid="ignore"):
+                value = self._apply(entry.op, args, entry)
+            if not math.isfinite(value):
+                raise ExecutionError(
+                    f"non-finite value {value} produced by node {entry.node_id} "
+                    f"({entry.op}) in iteration {self.iterations}"
+                )
+            regs[entry.node_id] = value
+        # Latch loop-carried registers for the next iteration.
+        for phi in self.graph.phis():
+            regs[phi.node_id] = regs[phi.back_edge]
+        self.actuator_write_ticks = write_ticks
+        self.iterations += 1
+
+    def run(self, n_iterations: int) -> None:
+        """Execute ``n_iterations`` revolutions."""
+        if n_iterations < 0:
+            raise ExecutionError("n_iterations must be non-negative")
+        for _ in range(n_iterations):
+            self.run_iteration()
+
+    def set_register(self, name: str, value: float) -> None:
+        """Set a loop-carried register by name *between* iterations.
+
+        The host uses this to program initial conditions that are not
+        compile-time constants (e.g. per-bunch injection offsets).
+        """
+        for phi in self.graph.phis():
+            if phi.name == name:
+                self.registers[phi.node_id] = self._round(value)
+                return
+        raise ExecutionError(f"no loop-carried register named {name!r}")
+
+    def register_of(self, name: str) -> float:
+        """Read the current value of a named node (debug/monitoring).
+
+        Looks up PHI registers first (the persistent state), then any
+        named node's most recent value.
+        """
+        for phi in self.graph.phis():
+            if phi.name == name:
+                return self.registers[phi.node_id]
+        for node in self.graph.nodes.values():
+            if node.name == name and node.node_id in self.registers:
+                return self.registers[node.node_id]
+        raise ExecutionError(f"no node named {name!r} with a value")

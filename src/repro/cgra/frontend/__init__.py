@@ -1,0 +1,51 @@
+"""Mini-C frontend: C source → dataflow graph (SCAR).
+
+"Programming of the CGRA is done using the C programming language.  A
+code parser converts the program into a Scheduler Application
+Representation (SCAR) control and data flow graph format, which is
+processed by the CGRA scheduler."
+
+The supported language is the subset the beam model needs (plus a little
+headroom for the ramp-up extension):
+
+* one ``void`` function; ``float`` parameters are live-in scalars loaded
+  before the loop starts (machine constants, initial energies, …);
+* ``#define NAME <number>`` token substitutions for sensor ids and
+  compile-time constants;
+* declarations before the main loop give loop-carried variables their
+  first-iteration values (literals, defines or parameter names);
+* exactly one ``while (1) { ... }`` steady-state loop — the kernel that
+  runs once per particle revolution;
+* inside the loop: ``float`` declarations, assignments, fixed-size array
+  elements, fully unrolled ``for`` loops with compile-time trip counts
+  (how the 8-bunch model is written), arithmetic (``+ - * /``, unary
+  ``-``), comparisons (``< <=``), the ternary operator, ``if``/``else``
+  (lowered by predication: both branches execute as dataflow, divergent
+  values merge through SELECT — so IO is not allowed inside branches),
+  and the intrinsics ``sqrt``, ``fmin``, ``fmax``;
+* IO intrinsics: ``read_sensor(ID)``, ``read_sensor2(ID, addr)``,
+  ``write_actuator(ID, value)`` — SensorAccess operations;
+* ``pipeline_barrier();`` — the manual loop pipelining of Section IV-B:
+  every value produced before the barrier and consumed after it is
+  carried through a register to the *next* iteration ("they do not
+  depend on the results they produce in this iteration, but on the
+  results of the previous iteration instead"), splitting the body into
+  two concurrent stages.
+
+The output of :func:`compile_c_to_dfg` is a validated
+:class:`repro.cgra.dfg.DataflowGraph`.
+"""
+
+from repro.cgra.frontend.lexer import Lexer, Token, TokenKind
+from repro.cgra.frontend.parser import Parser, parse_program
+from repro.cgra.frontend.lower import compile_c_to_dfg, lower_function
+
+__all__ = [
+    "Lexer",
+    "Token",
+    "TokenKind",
+    "Parser",
+    "parse_program",
+    "compile_c_to_dfg",
+    "lower_function",
+]

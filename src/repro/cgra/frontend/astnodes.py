@@ -1,0 +1,191 @@
+"""Abstract syntax tree of the mini-C model language.
+
+Plain dataclasses; the parser builds them, the lowering pass walks them.
+Every node records its source line for diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Expr",
+    "NumberLit",
+    "VarRef",
+    "ArrayRef",
+    "UnaryOp",
+    "BinOp",
+    "Ternary",
+    "Call",
+    "Stmt",
+    "Declaration",
+    "ArrayDeclaration",
+    "Assignment",
+    "ArrayAssignment",
+    "ExprStatement",
+    "IfStatement",
+    "ForLoop",
+    "WhileLoop",
+    "Function",
+    "Program",
+]
+
+
+@dataclass(frozen=True)
+class Expr:
+    """Base class of expressions."""
+
+    line: int
+
+
+@dataclass(frozen=True)
+class NumberLit(Expr):
+    """Numeric literal; ``is_int`` distinguishes ``8`` from ``8.0``."""
+
+    value: float
+    is_int: bool
+
+
+@dataclass(frozen=True)
+class VarRef(Expr):
+    """Reference to a scalar variable or parameter."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class ArrayRef(Expr):
+    """Read of an array element; index must fold to a constant int."""
+
+    name: str
+    index: "Expr"
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expr):
+    """Unary operator (only ``-``)."""
+
+    op: str
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    """Binary operator: ``+ - * / < <=``."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class Ternary(Expr):
+    """Conditional expression ``cond ? a : b``."""
+
+    cond: Expr
+    if_true: Expr
+    if_false: Expr
+
+
+@dataclass(frozen=True)
+class Call(Expr):
+    """Intrinsic call: sqrt, fmin, fmax, read_sensor, read_sensor2,
+    write_actuator, pipeline_barrier."""
+
+    name: str
+    args: tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class Stmt:
+    """Base class of statements."""
+
+    line: int
+
+
+@dataclass(frozen=True)
+class Declaration(Stmt):
+    """``float x = expr;`` or ``int i = expr;``."""
+
+    type_name: str
+    name: str
+    init: Expr
+
+
+@dataclass(frozen=True)
+class ArrayDeclaration(Stmt):
+    """``float x[N] = expr;`` — all elements initialised to ``expr``."""
+
+    type_name: str
+    name: str
+    size: Expr
+    init: Expr
+
+
+@dataclass(frozen=True)
+class Assignment(Stmt):
+    """``x = expr;``."""
+
+    name: str
+    value: Expr
+
+
+@dataclass(frozen=True)
+class ArrayAssignment(Stmt):
+    """``x[i] = expr;``."""
+
+    name: str
+    index: Expr
+    value: Expr
+
+
+@dataclass(frozen=True)
+class ExprStatement(Stmt):
+    """An expression evaluated for its side effects (IO intrinsics)."""
+
+    expr: Expr
+
+
+@dataclass(frozen=True)
+class IfStatement(Stmt):
+    """``if (cond) { ... } else { ... }`` — lowered by predication."""
+
+    cond: Expr
+    then_body: tuple["Stmt", ...]
+    else_body: tuple["Stmt", ...]
+
+
+@dataclass(frozen=True)
+class ForLoop(Stmt):
+    """``for (int i = a; i < b; i = i + c) { body }`` — compile-time trip
+    count, fully unrolled by the lowering pass."""
+
+    var: str
+    start: Expr
+    limit: Expr
+    step: Expr
+    body: tuple[Stmt, ...]
+
+
+@dataclass(frozen=True)
+class WhileLoop(Stmt):
+    """``while (1) { body }`` — the steady-state kernel."""
+
+    body: tuple[Stmt, ...]
+
+
+@dataclass(frozen=True)
+class Function:
+    """One ``void`` function with float parameters."""
+
+    name: str
+    params: tuple[str, ...]
+    body: tuple[Stmt, ...]
+    line: int
+
+
+@dataclass(frozen=True)
+class Program:
+    """A parsed translation unit (exactly one function for now)."""
+
+    functions: tuple[Function, ...]

@@ -1,0 +1,142 @@
+"""Tokeniser for the mini-C model language.
+
+Handles ``//`` and ``/* */`` comments, ``#define`` preprocessing (pure
+token substitution, non-recursive), numeric literals (decimal and
+scientific notation), identifiers/keywords and the operator set of the
+language.  Every token carries its source line for error reporting.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+
+from repro.errors import FrontendError
+
+__all__ = ["TokenKind", "Token", "Lexer", "tokenize"]
+
+
+class TokenKind(enum.Enum):
+    """Lexical token categories."""
+
+    IDENT = "ident"
+    NUMBER = "number"
+    KEYWORD = "keyword"
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+KEYWORDS = frozenset({"void", "float", "int", "while", "for", "if", "else", "return"})
+
+#: Multi-character operators first so maximal munch works.
+_PUNCTS = [
+    "<=", ">=", "==", "!=", "&&", "||",
+    "+", "-", "*", "/", "=", "<", ">", "(", ")", "{", "}", "[", "]", ";", ",", "?", ":",
+]
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>//[^\n]*|/\*.*?\*/)
+  | (?P<number>(\d+\.\d*|\.\d+|\d+)([eE][+-]?\d+)?[fF]?)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<punct>""" + "|".join(re.escape(p) for p in _PUNCTS) + r""")
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source line."""
+
+    kind: TokenKind
+    text: str
+    line: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Token({self.kind.name}, {self.text!r}, line {self.line})"
+
+
+class Lexer:
+    """Tokenises mini-C source, applying ``#define`` substitutions."""
+
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self.defines: dict[str, list[Token]] = {}
+
+    @staticmethod
+    def _blank_block_comments(source: str) -> str:
+        """Replace ``/* */`` comments with whitespace, keeping newlines so
+        line numbers stay correct (block comments may span lines)."""
+
+        def blank(m: re.Match) -> str:
+            return re.sub(r"[^\n]", " ", m.group())
+
+        return re.sub(r"/\*.*?\*/", blank, source, flags=re.DOTALL)
+
+    def _strip_defines(self) -> list[tuple[int, str]]:
+        """Split source into (line_number, text) pairs, extracting defines."""
+        kept: list[tuple[int, str]] = []
+        source = self._blank_block_comments(self.source)
+        for lineno, line in enumerate(source.splitlines(), start=1):
+            stripped = line.strip()
+            if stripped.startswith("#define"):
+                parts = stripped.split(None, 2)
+                if len(parts) < 3:
+                    raise FrontendError(f"line {lineno}: malformed #define: {stripped!r}")
+                name = parts[1]
+                if not re.fullmatch(r"[A-Za-z_][A-Za-z0-9_]*", name):
+                    raise FrontendError(f"line {lineno}: bad #define name {name!r}")
+                self.defines[name] = self._raw_tokens(parts[2], lineno)
+            elif stripped.startswith("#"):
+                raise FrontendError(
+                    f"line {lineno}: unsupported preprocessor directive {stripped.split()[0]!r}"
+                )
+            else:
+                kept.append((lineno, line))
+        return kept
+
+    def _raw_tokens(self, text: str, lineno: int) -> list[Token]:
+        tokens: list[Token] = []
+        pos = 0
+        while pos < len(text):
+            m = _TOKEN_RE.match(text, pos)
+            if m is None:
+                raise FrontendError(f"line {lineno}: cannot tokenise at {text[pos:pos+12]!r}")
+            pos = m.end()
+            if m.lastgroup in ("ws", "comment"):
+                continue
+            kind = {
+                "number": TokenKind.NUMBER,
+                "ident": TokenKind.IDENT,
+                "punct": TokenKind.PUNCT,
+            }[m.lastgroup]
+            text_val = m.group()
+            if kind is TokenKind.IDENT and text_val in KEYWORDS:
+                kind = TokenKind.KEYWORD
+            tokens.append(Token(kind, text_val, lineno))
+        return tokens
+
+    def tokenize(self) -> list[Token]:
+        """Produce the token stream with defines substituted."""
+        lines = self._strip_defines()
+        # Block comments may span lines; rejoin and re-lex as one text,
+        # keeping line numbers via a marker pass.
+        out: list[Token] = []
+        for lineno, line in lines:
+            for tok in self._raw_tokens(line, lineno):
+                if tok.kind is TokenKind.IDENT and tok.text in self.defines:
+                    replacement = self.defines[tok.text]
+                    out.extend(Token(t.kind, t.text, lineno) for t in replacement)
+                else:
+                    out.append(tok)
+        last_line = lines[-1][0] if lines else 1
+        out.append(Token(TokenKind.EOF, "", last_line))
+        return out
+
+
+def tokenize(source: str) -> list[Token]:
+    """Convenience wrapper: tokenise ``source`` with define substitution."""
+    return Lexer(source).tokenize()

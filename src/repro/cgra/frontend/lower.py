@@ -1,0 +1,586 @@
+"""AST → dataflow-graph lowering (symbolic execution of the kernel).
+
+The lowering pass interprets the function body symbolically:
+
+* compile-time values (literals, ``int`` loop variables, folded
+  arithmetic) stay Python numbers until an operation actually needs them
+  on the fabric, at which point they materialise as deduplicated
+  ``CONST`` nodes;
+* ``for`` loops with compile-time trip counts are fully unrolled — this
+  is how the 8-bunch model becomes 8 parallel dataflow slices;
+* variables declared before the ``while (1)`` loop and assigned inside it
+  become loop-carried ``PHI`` registers;
+* ``pipeline_barrier()`` applies the paper's manual pipelining: every
+  variable holding a value computed in the current iteration is rerouted
+  through a new ``PHI``, so post-barrier consumers read the *previous*
+  iteration's value and the scheduler can overlap the two stages.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.cgra.dfg import DataflowGraph, DFGNode
+from repro.cgra.frontend.astnodes import (
+    ArrayAssignment,
+    ArrayDeclaration,
+    ArrayRef,
+    Assignment,
+    BinOp,
+    Call,
+    Declaration,
+    Expr,
+    ExprStatement,
+    ForLoop,
+    Function,
+    IfStatement,
+    NumberLit,
+    Program,
+    Stmt,
+    Ternary,
+    UnaryOp,
+    VarRef,
+    WhileLoop,
+)
+from repro.cgra.frontend.parser import parse_program
+from repro.cgra.ops import Op
+from repro.errors import FrontendError
+
+__all__ = ["compile_c_to_dfg", "lower_function"]
+
+#: Safety bound on total unrolled statements (runaway-loop guard).
+_MAX_UNROLL = 4096
+
+
+@dataclass(frozen=True)
+class _ParamInit:
+    """Marker for a live-in parameter used as an initial value."""
+
+    name: str
+
+
+#: A symbolic value during lowering.
+_Value = float | int | _ParamInit | DFGNode
+
+
+class _Lowering:
+    """State of one function-lowering run."""
+
+    def __init__(self, fn: Function) -> None:
+        self.fn = fn
+        self.graph = DataflowGraph(name=fn.name)
+        #: scalar bindings: name -> value;  arrays: name -> list[value]
+        self.env: dict[str, _Value | list[_Value]] = {}
+        self._const_cache: dict[float, DFGNode] = {}
+        self._param_cache: dict[str, DFGNode] = {}
+        #: PHI created at loop entry per mutated pre-loop variable name
+        #: ("name" or "name[i]" for array elements).
+        self._entry_phis: dict[str, DFGNode] = {}
+        #: pre-loop initial value per slot, for barrier-phi inits.
+        self._preloop_init: dict[str, float | _ParamInit] = {}
+        self._in_loop = False
+        self._stmt_budget = _MAX_UNROLL
+        #: >0 while unrolling for-loop bodies; declarations there are
+        #: block-scoped in C, so re-declaring on the next unrolled
+        #: iteration is legal and simply rebinds the name.
+        self._for_depth = 0
+        #: >0 while lowering an if/else branch — IO intrinsics are
+        #: forbidden there (dataflow predication cannot suppress side
+        #: effects; the hardware would issue the access regardless).
+        self._cond_depth = 0
+
+    # -- value materialisation ----------------------------------------
+
+    def _as_node(self, value: _Value, line: int) -> DFGNode:
+        """Materialise a symbolic value as a graph node."""
+        if isinstance(value, DFGNode):
+            return value
+        if isinstance(value, _ParamInit):
+            if value.name not in self._param_cache:
+                self._param_cache[value.name] = self.graph.add_param(value.name)
+            return self._param_cache[value.name]
+        num = float(value)
+        if num not in self._const_cache:
+            self._const_cache[num] = self.graph.add_const(num)
+        return self._const_cache[num]
+
+    @staticmethod
+    def _as_number(value: _Value, line: int, what: str) -> float:
+        if isinstance(value, (int, float)):
+            return float(value)
+        raise FrontendError(f"line {line}: {what} must be a compile-time constant")
+
+    def _as_int(self, value: _Value, line: int, what: str) -> int:
+        num = self._as_number(value, line, what)
+        if num != int(num):
+            raise FrontendError(f"line {line}: {what} must be an integer, got {num}")
+        return int(num)
+
+    # -- expression lowering ------------------------------------------
+
+    def _lower_expr(self, expr: Expr) -> _Value:
+        if isinstance(expr, NumberLit):
+            return int(expr.value) if expr.is_int else expr.value
+        if isinstance(expr, VarRef):
+            return self._read_var(expr.name, expr.line)
+        if isinstance(expr, ArrayRef):
+            return self._read_array(expr.name, expr.index, expr.line)
+        if isinstance(expr, UnaryOp):
+            inner = self._lower_expr(expr.operand)
+            if isinstance(inner, (int, float)):
+                return -inner
+            node = self._as_node(inner, expr.line)
+            return self.graph.add_op(Op.FNEG, [node.node_id])
+        if isinstance(expr, BinOp):
+            return self._lower_binop(expr)
+        if isinstance(expr, Ternary):
+            cond = self._lower_expr(expr.cond)
+            if isinstance(cond, (int, float)):
+                return self._lower_expr(expr.if_true if cond else expr.if_false)
+            a = self._as_node(self._lower_expr(expr.if_true), expr.line)
+            b = self._as_node(self._lower_expr(expr.if_false), expr.line)
+            c = self._as_node(cond, expr.line)
+            return self.graph.add_op(Op.SELECT, [c.node_id, a.node_id, b.node_id])
+        if isinstance(expr, Call):
+            return self._lower_call(expr)
+        raise FrontendError(f"line {expr.line}: unsupported expression {type(expr).__name__}")
+
+    def _lower_binop(self, expr: BinOp) -> _Value:
+        left = self._lower_expr(expr.left)
+        right = self._lower_expr(expr.right)
+        if isinstance(left, (int, float)) and isinstance(right, (int, float)):
+            try:
+                folded = {
+                    "+": lambda a, b: a + b,
+                    "-": lambda a, b: a - b,
+                    "*": lambda a, b: a * b,
+                    "/": lambda a, b: a / b,
+                    "<": lambda a, b: 1.0 if a < b else 0.0,
+                    "<=": lambda a, b: 1.0 if a <= b else 0.0,
+                }[expr.op](left, right)
+            except ZeroDivisionError:
+                raise FrontendError(f"line {expr.line}: constant division by zero") from None
+            if (
+                isinstance(left, int)
+                and isinstance(right, int)
+                and expr.op in ("+", "-", "*")
+            ):
+                return int(folded)
+            return folded
+        op_map = {"+": Op.FADD, "-": Op.FSUB, "*": Op.FMUL, "/": Op.FDIV, "<": Op.CMP_LT, "<=": Op.CMP_LE}
+        a = self._as_node(left, expr.line)
+        b = self._as_node(right, expr.line)
+        return self.graph.add_op(op_map[expr.op], [a.node_id, b.node_id])
+
+    def _lower_call(self, expr: Call) -> _Value:
+        name, args = expr.name, expr.args
+
+        def need(n: int) -> None:
+            if len(args) != n:
+                raise FrontendError(f"line {expr.line}: {name}() takes {n} argument(s)")
+
+        if name == "sqrt":
+            need(1)
+            v = self._lower_expr(args[0])
+            if isinstance(v, (int, float)):
+                if v < 0:
+                    raise FrontendError(f"line {expr.line}: sqrt of negative constant {v}")
+                return math.sqrt(v)
+            return self.graph.add_op(Op.FSQRT, [self._as_node(v, expr.line).node_id])
+        if name in ("fmin", "fmax"):
+            need(2)
+            a = self._lower_expr(args[0])
+            b = self._lower_expr(args[1])
+            if isinstance(a, (int, float)) and isinstance(b, (int, float)):
+                return min(a, b) if name == "fmin" else max(a, b)
+            op = Op.FMIN if name == "fmin" else Op.FMAX
+            return self.graph.add_op(
+                op, [self._as_node(a, expr.line).node_id, self._as_node(b, expr.line).node_id]
+            )
+        if name == "read_sensor":
+            need(1)
+            sid = self._as_int(self._lower_expr(args[0]), expr.line, "sensor id")
+            self._require_loop(expr.line, name)
+            return self.graph.add_sensor_read(sid)
+        if name == "read_sensor2":
+            need(2)
+            sid = self._as_int(self._lower_expr(args[0]), expr.line, "sensor id")
+            addr = self._as_node(self._lower_expr(args[1]), expr.line)
+            self._require_loop(expr.line, name)
+            return self.graph.add_sensor_read_addr(sid, addr)
+        if name == "write_actuator":
+            need(2)
+            aid = self._as_int(self._lower_expr(args[0]), expr.line, "actuator id")
+            value = self._as_node(self._lower_expr(args[1]), expr.line)
+            self._require_loop(expr.line, name)
+            self.graph.add_actuator_write(aid, value)
+            return 0.0  # writes have no value; statement context ignores this
+        if name == "pipeline_barrier":
+            need(0)
+            self._require_loop(expr.line, name)
+            self._apply_barrier(expr.line)
+            return 0.0
+        raise FrontendError(f"line {expr.line}: unknown intrinsic {name!r}")
+
+    def _require_loop(self, line: int, what: str) -> None:
+        if not self._in_loop:
+            raise FrontendError(f"line {line}: {what} is only allowed inside the while(1) loop")
+        if self._cond_depth > 0:
+            raise FrontendError(
+                f"line {line}: {what} is not allowed inside if/else — the "
+                "CGRA predicates values, not side effects; hoist the IO out "
+                "of the conditional"
+            )
+
+    # -- variable access ------------------------------------------------
+
+    def _read_var(self, name: str, line: int) -> _Value:
+        if name not in self.env:
+            raise FrontendError(f"line {line}: use of undeclared variable {name!r}")
+        value = self.env[name]
+        if isinstance(value, list):
+            raise FrontendError(f"line {line}: {name!r} is an array; index it")
+        return value
+
+    def _read_array(self, name: str, index_expr: Expr, line: int) -> _Value:
+        if name not in self.env:
+            raise FrontendError(f"line {line}: use of undeclared array {name!r}")
+        value = self.env[name]
+        if not isinstance(value, list):
+            raise FrontendError(f"line {line}: {name!r} is not an array")
+        idx = self._as_int(self._lower_expr(index_expr), line, "array index")
+        if not 0 <= idx < len(value):
+            raise FrontendError(f"line {line}: index {idx} out of bounds for {name}[{len(value)}]")
+        return value[idx]
+
+    # -- statements -------------------------------------------------------
+
+    def _charge_budget(self, line: int) -> None:
+        self._stmt_budget -= 1
+        if self._stmt_budget < 0:
+            raise FrontendError(
+                f"line {line}: unrolled statement budget exceeded ({_MAX_UNROLL})"
+            )
+
+    def _lower_statement(self, stmt: Stmt) -> None:
+        self._charge_budget(stmt.line)
+        if isinstance(stmt, Declaration):
+            if stmt.name in self.env and self._for_depth == 0:
+                raise FrontendError(f"line {stmt.line}: redeclaration of {stmt.name!r}")
+            self.env[stmt.name] = self._lower_expr(stmt.init)
+            return
+        if isinstance(stmt, ArrayDeclaration):
+            if stmt.name in self.env and self._for_depth == 0:
+                raise FrontendError(f"line {stmt.line}: redeclaration of {stmt.name!r}")
+            size = self._as_int(self._lower_expr(stmt.size), stmt.line, "array size")
+            if size < 1:
+                raise FrontendError(f"line {stmt.line}: array size must be >= 1")
+            init = self._lower_expr(stmt.init)
+            self.env[stmt.name] = [init for _ in range(size)]
+            return
+        if isinstance(stmt, Assignment):
+            if stmt.name not in self.env:
+                raise FrontendError(f"line {stmt.line}: assignment to undeclared {stmt.name!r}")
+            if isinstance(self.env[stmt.name], list):
+                raise FrontendError(f"line {stmt.line}: {stmt.name!r} is an array; index it")
+            value = self._lower_expr(stmt.value)
+            node = value if not isinstance(value, DFGNode) else value
+            if isinstance(node, DFGNode) and not node.name:
+                node.name = stmt.name
+            self.env[stmt.name] = value
+            return
+        if isinstance(stmt, ArrayAssignment):
+            if stmt.name not in self.env or not isinstance(self.env[stmt.name], list):
+                raise FrontendError(f"line {stmt.line}: assignment to undeclared array {stmt.name!r}")
+            arr = self.env[stmt.name]
+            idx = self._as_int(self._lower_expr(stmt.index), stmt.line, "array index")
+            if not 0 <= idx < len(arr):
+                raise FrontendError(
+                    f"line {stmt.line}: index {idx} out of bounds for {stmt.name}[{len(arr)}]"
+                )
+            value = self._lower_expr(stmt.value)
+            if isinstance(value, DFGNode) and not value.name:
+                value.name = f"{stmt.name}[{idx}]"
+            arr[idx] = value
+            return
+        if isinstance(stmt, ExprStatement):
+            self._lower_expr(stmt.expr)
+            return
+        if isinstance(stmt, ForLoop):
+            self._lower_for(stmt)
+            return
+        if isinstance(stmt, IfStatement):
+            self._lower_if(stmt)
+            return
+        if isinstance(stmt, WhileLoop):
+            raise FrontendError(f"line {stmt.line}: nested while loops are not supported")
+        raise FrontendError(f"line {stmt.line}: unsupported statement {type(stmt).__name__}")
+
+    def _lower_for(self, stmt: ForLoop) -> None:
+        start = self._as_int(self._lower_expr(stmt.start), stmt.line, "for start")
+        limit = self._as_int(self._lower_expr(stmt.limit), stmt.line, "for limit")
+        step = self._as_int(self._lower_expr(stmt.step), stmt.line, "for step")
+        if step <= 0:
+            raise FrontendError(f"line {stmt.line}: for step must be positive")
+        shadowed = self.env.get(stmt.var)
+        self._for_depth += 1
+        try:
+            for i in range(start, limit, step):
+                self.env[stmt.var] = i
+                for inner in stmt.body:
+                    self._lower_statement(inner)
+        finally:
+            self._for_depth -= 1
+        if shadowed is None:
+            self.env.pop(stmt.var, None)
+        else:
+            self.env[stmt.var] = shadowed
+
+    def _snapshot_env(self) -> dict[str, _Value | list[_Value]]:
+        return {
+            name: (list(value) if isinstance(value, list) else value)
+            for name, value in self.env.items()
+        }
+
+    def _lower_if(self, stmt: IfStatement) -> None:
+        """Predicated lowering: run both branches symbolically, merge
+        every divergent binding through a SELECT on the condition.
+
+        Compile-time conditions fold to the taken branch only.  Names
+        declared *inside* a branch are block-scoped and vanish at the
+        merge; IO is rejected inside branches (see :meth:`_require_loop`).
+        """
+        cond = self._lower_expr(stmt.cond)
+        if isinstance(cond, (int, float)):
+            taken = stmt.then_body if cond else stmt.else_body
+            for inner in taken:
+                self._lower_statement(inner)
+            return
+        cond_node = self._as_node(cond, stmt.line)
+        base = self._snapshot_env()
+
+        self._cond_depth += 1
+        try:
+            for inner in stmt.then_body:
+                self._lower_statement(inner)
+            env_then = self.env
+            # Fresh copy of the pre-branch bindings for the else path.
+            self.env = {
+                k: (list(v) if isinstance(v, list) else v) for k, v in base.items()
+            }
+            for inner in stmt.else_body:
+                self._lower_statement(inner)
+            env_else = self.env
+        finally:
+            self._cond_depth -= 1
+
+        def merge(a: _Value, b: _Value, slot: str) -> _Value:
+            if isinstance(a, (int, float)) and isinstance(b, (int, float)) and a == b:
+                return a
+            if a is b:
+                return a
+            node_a = self._as_node(a, stmt.line)
+            node_b = self._as_node(b, stmt.line)
+            if node_a is node_b:
+                return a
+            sel = self.graph.add_op(
+                Op.SELECT, [cond_node.node_id, node_a.node_id, node_b.node_id],
+                name=slot,
+            )
+            return sel
+
+        merged: dict[str, _Value | list[_Value]] = {}
+        for name in base:  # branch-local declarations are dropped
+            a = env_then.get(name)
+            b = env_else.get(name)
+            if isinstance(base[name], list):
+                merged[name] = [
+                    merge(x, y, f"{name}[{i}]")
+                    for i, (x, y) in enumerate(zip(a, b))
+                ]
+            else:
+                merged[name] = merge(a, b, name)
+        self.env = merged
+
+    # -- the steady-state loop ---------------------------------------------
+
+    @staticmethod
+    def _assigned_slots(body: tuple[Stmt, ...]) -> set[str]:
+        """Names (scalars) / array names assigned anywhere in the body."""
+        out: set[str] = set()
+
+        def walk(stmts: tuple[Stmt, ...]) -> None:
+            for s in stmts:
+                if isinstance(s, Assignment):
+                    out.add(s.name)
+                elif isinstance(s, ArrayAssignment):
+                    out.add(s.name)
+                elif isinstance(s, ForLoop):
+                    walk(s.body)
+                elif isinstance(s, IfStatement):
+                    walk(s.then_body)
+                    walk(s.else_body)
+
+        walk(body)
+        return out
+
+    def _apply_barrier(self, line: int) -> None:
+        """The pipeline_barrier() transform (see module docstring)."""
+
+        def reroute(value: _Value, slot: str) -> _Value:
+            if not isinstance(value, DFGNode) or value.is_zero_time():
+                return value
+            init = self._preloop_init.get(slot, 0.0)
+            kwargs = (
+                {"init_param": init.name}
+                if isinstance(init, _ParamInit)
+                else {"init_value": float(init)}
+            )
+            phi = self.graph.add_phi(name=f"{slot}.pipe", **kwargs)
+            self.graph.bind_phi(phi, value)
+            return phi
+
+        for name, bound in list(self.env.items()):
+            if isinstance(bound, list):
+                self.env[name] = [
+                    reroute(v, f"{name}[{i}]") for i, v in enumerate(bound)
+                ]
+            else:
+                self.env[name] = reroute(bound, name)
+
+    def _lower_while(self, stmt: WhileLoop) -> None:
+        if self._in_loop:
+            raise FrontendError(f"line {stmt.line}: nested while loops are not supported")
+        self._in_loop = True
+        mutated = self._assigned_slots(stmt.body)
+
+        def to_init(value: _Value, line: int, slot: str) -> float | _ParamInit:
+            if isinstance(value, (int, float)):
+                return float(value)
+            if isinstance(value, _ParamInit):
+                return value
+            raise FrontendError(
+                f"line {line}: initial value of loop-carried variable {slot!r} "
+                "must be a constant or a parameter"
+            )
+
+        # Create entry PHIs for every pre-loop slot assigned in the body.
+        # Non-mutated slots keep their (constant/parameter) binding and are
+        # loop-invariant; their inits are only recorded when foldable.
+        for name, bound in list(self.env.items()):
+            if isinstance(bound, list):
+                if name in mutated:
+                    phis: list[_Value] = []
+                    for i, v in enumerate(bound):
+                        init = to_init(v, stmt.line, f"{name}[{i}]")
+                        self._preloop_init[f"{name}[{i}]"] = init
+                        kwargs = (
+                            {"init_param": init.name}
+                            if isinstance(init, _ParamInit)
+                            else {"init_value": init}
+                        )
+                        phi = self.graph.add_phi(name=f"{name}[{i}]", **kwargs)
+                        self._entry_phis[f"{name}[{i}]"] = phi
+                        phis.append(phi)
+                    self.env[name] = phis
+                else:
+                    for i, v in enumerate(bound):
+                        if isinstance(v, (int, float, _ParamInit)):
+                            self._preloop_init[f"{name}[{i}]"] = (
+                                v if isinstance(v, _ParamInit) else float(v)
+                            )
+            else:
+                if name in mutated:
+                    init = to_init(bound, stmt.line, name)
+                    self._preloop_init[name] = init
+                    kwargs = (
+                        {"init_param": init.name}
+                        if isinstance(init, _ParamInit)
+                        else {"init_value": init}
+                    )
+                    phi = self.graph.add_phi(name=name, **kwargs)
+                    self._entry_phis[name] = phi
+                    self.env[name] = phi
+                elif isinstance(bound, (int, float, _ParamInit)):
+                    self._preloop_init[name] = (
+                        bound if isinstance(bound, _ParamInit) else float(bound)
+                    )
+
+        for inner in stmt.body:
+            self._lower_statement(inner)
+
+        # Bind back edges: the value each slot holds at the end of the body
+        # is what its PHI must deliver next iteration.
+        for slot, phi in self._entry_phis.items():
+            if "[" in slot:
+                name, rest = slot.split("[", 1)
+                idx = int(rest.rstrip("]"))
+                final = self.env[name][idx]
+            else:
+                final = self.env[slot]
+            if final is phi:
+                # Never assigned (e.g. an array element the unrolled loop
+                # skipped): the value is loop-invariant — demote the PHI
+                # to its init value in place, keeping its node id for any
+                # consumers already wired to it.
+                from repro.cgra.ops import Op as _Op
+
+                if phi.init_param is not None:
+                    phi.op = _Op.PARAM
+                    phi.name = phi.init_param
+                else:
+                    phi.op = _Op.CONST
+                    phi.value = phi.init_value
+                phi.back_edge = None
+                phi.init_value = None
+                phi.init_param = None
+                continue
+            self.graph.bind_phi(phi, self._as_node(final, stmt.line))
+        self._in_loop = False
+
+    # -- entry point --------------------------------------------------------
+
+    def run(self) -> DataflowGraph:
+        """Lower the function; returns the validated graph."""
+        for p in self.fn.params:
+            self.env[p] = _ParamInit(p)
+        loops = [s for s in self.fn.body if isinstance(s, WhileLoop)]
+        if len(loops) != 1:
+            raise FrontendError(
+                f"function {self.fn.name!r} must contain exactly one while(1) loop, "
+                f"found {len(loops)}"
+            )
+        for stmt in self.fn.body:
+            if isinstance(stmt, WhileLoop):
+                self._lower_while(stmt)
+            else:
+                self._lower_statement(stmt)
+        self.graph.validate()
+        return self.graph
+
+
+def lower_function(fn: Function) -> DataflowGraph:
+    """Lower one parsed function to a validated dataflow graph."""
+    return _Lowering(fn).run()
+
+
+def compile_c_to_dfg(source: str, function: str | None = None) -> DataflowGraph:
+    """Compile mini-C ``source`` to a dataflow graph.
+
+    ``function`` selects the function by name when the source defines
+    several; by default the single function is used.
+    """
+    program: Program = parse_program(source)
+    if function is None:
+        if len(program.functions) != 1:
+            raise FrontendError(
+                f"source defines {len(program.functions)} functions; pass function="
+            )
+        fn = program.functions[0]
+    else:
+        matches = [f for f in program.functions if f.name == function]
+        if not matches:
+            raise FrontendError(f"no function named {function!r}")
+        fn = matches[0]
+    return lower_function(fn)

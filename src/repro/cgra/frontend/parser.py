@@ -1,0 +1,338 @@
+"""Recursive-descent parser for the mini-C model language.
+
+Grammar (EBNF, ignoring whitespace/comments — ``#define`` is handled by
+the lexer)::
+
+    program     := function+
+    function    := "void" IDENT "(" params? ")" block
+    params      := ("float" IDENT) ("," "float" IDENT)*
+    block       := "{" statement* "}"
+    statement   := declaration | assignment | expr_stmt | for_loop | while_loop
+    declaration := ("float"|"int") IDENT ("[" expr "]")? "=" expr ";"
+    assignment  := IDENT ("[" expr "]")? "=" expr ";"
+    expr_stmt   := expr ";"
+    for_loop    := "for" "(" ("int")? IDENT "=" expr ";" IDENT "<" expr ";"
+                    IDENT "=" expr ")" block
+    while_loop  := "while" "(" expr ")" block
+    expr        := ternary
+    ternary     := compare ("?" expr ":" expr)?
+    compare     := additive (("<"|"<=") additive)?
+    additive    := multiplicative (("+"|"-") multiplicative)*
+    multiplicative := unary (("*"|"/") unary)*
+    unary       := "-" unary | primary
+    primary     := NUMBER | IDENT | IDENT "(" args? ")" | IDENT "[" expr "]"
+                 | "(" expr ")"
+
+Errors raise :class:`~repro.errors.FrontendError` with the source line.
+"""
+
+from __future__ import annotations
+
+from repro.cgra.frontend.astnodes import (
+    ArrayAssignment,
+    ArrayDeclaration,
+    ArrayRef,
+    Assignment,
+    BinOp,
+    Call,
+    Declaration,
+    Expr,
+    ExprStatement,
+    ForLoop,
+    Function,
+    IfStatement,
+    NumberLit,
+    Program,
+    Stmt,
+    Ternary,
+    UnaryOp,
+    VarRef,
+    WhileLoop,
+)
+from repro.cgra.frontend.lexer import Token, TokenKind, tokenize
+from repro.errors import FrontendError
+
+__all__ = ["Parser", "parse_program"]
+
+
+class Parser:
+    """Token-stream parser producing the AST."""
+
+    def __init__(self, tokens: list[Token]) -> None:
+        self._toks = tokens
+        self._pos = 0
+
+    # -- token plumbing ------------------------------------------------
+
+    def _peek(self) -> Token:
+        return self._toks[self._pos]
+
+    def _advance(self) -> Token:
+        tok = self._toks[self._pos]
+        if tok.kind is not TokenKind.EOF:
+            self._pos += 1
+        return tok
+
+    def _error(self, message: str) -> FrontendError:
+        tok = self._peek()
+        where = f"'{tok.text}'" if tok.kind is not TokenKind.EOF else "end of input"
+        return FrontendError(f"line {tok.line}: {message} (at {where})")
+
+    def _expect(self, text: str) -> Token:
+        tok = self._peek()
+        if tok.text != text:
+            raise self._error(f"expected {text!r}")
+        return self._advance()
+
+    def _expect_kind(self, kind: TokenKind) -> Token:
+        tok = self._peek()
+        if tok.kind is not kind:
+            raise self._error(f"expected {kind.value}")
+        return self._advance()
+
+    def _accept(self, text: str) -> bool:
+        if self._peek().text == text:
+            self._advance()
+            return True
+        return False
+
+    # -- grammar -------------------------------------------------------
+
+    def parse_program(self) -> Program:
+        """Parse a full translation unit."""
+        functions = []
+        while self._peek().kind is not TokenKind.EOF:
+            functions.append(self._function())
+        if not functions:
+            raise FrontendError("empty program: expected at least one function")
+        return Program(tuple(functions))
+
+    def _function(self) -> Function:
+        line = self._peek().line
+        self._expect("void")
+        name = self._expect_kind(TokenKind.IDENT).text
+        self._expect("(")
+        params: list[str] = []
+        if not self._accept(")"):
+            while True:
+                self._expect("float")
+                params.append(self._expect_kind(TokenKind.IDENT).text)
+                if self._accept(")"):
+                    break
+                self._expect(",")
+        body = self._block()
+        return Function(name=name, params=tuple(params), body=body, line=line)
+
+    def _block(self) -> tuple[Stmt, ...]:
+        self._expect("{")
+        stmts: list[Stmt] = []
+        while not self._accept("}"):
+            if self._peek().kind is TokenKind.EOF:
+                raise self._error("unterminated block")
+            stmts.append(self._statement())
+        return tuple(stmts)
+
+    def _statement(self) -> Stmt:
+        tok = self._peek()
+        if tok.text in ("float", "int"):
+            return self._declaration()
+        if tok.text == "for":
+            return self._for_loop()
+        if tok.text == "while":
+            return self._while_loop()
+        if tok.text == "if":
+            return self._if_statement()
+        if tok.kind is TokenKind.IDENT:
+            # assignment or call-statement: decide by lookahead
+            nxt = self._toks[self._pos + 1]
+            if nxt.text == "=":
+                return self._assignment()
+            if nxt.text == "[":
+                # Could be x[i] = ...; find matching ']' then check '='
+                depth = 0
+                j = self._pos + 1
+                while j < len(self._toks):
+                    if self._toks[j].text == "[":
+                        depth += 1
+                    elif self._toks[j].text == "]":
+                        depth -= 1
+                        if depth == 0:
+                            break
+                    j += 1
+                if j + 1 < len(self._toks) and self._toks[j + 1].text == "=":
+                    return self._assignment()
+        line = tok.line
+        expr = self._expr()
+        self._expect(";")
+        return ExprStatement(line=line, expr=expr)
+
+    def _declaration(self) -> Stmt:
+        line = self._peek().line
+        type_name = self._advance().text
+        name = self._expect_kind(TokenKind.IDENT).text
+        if self._accept("["):
+            size = self._expr()
+            self._expect("]")
+            self._expect("=")
+            init = self._expr()
+            self._expect(";")
+            return ArrayDeclaration(line=line, type_name=type_name, name=name, size=size, init=init)
+        self._expect("=")
+        init = self._expr()
+        self._expect(";")
+        return Declaration(line=line, type_name=type_name, name=name, init=init)
+
+    def _assignment(self) -> Stmt:
+        line = self._peek().line
+        name = self._expect_kind(TokenKind.IDENT).text
+        if self._accept("["):
+            index = self._expr()
+            self._expect("]")
+            self._expect("=")
+            value = self._expr()
+            self._expect(";")
+            return ArrayAssignment(line=line, name=name, index=index, value=value)
+        self._expect("=")
+        value = self._expr()
+        self._expect(";")
+        return Assignment(line=line, name=name, value=value)
+
+    def _for_loop(self) -> Stmt:
+        line = self._peek().line
+        self._expect("for")
+        self._expect("(")
+        self._accept("int")
+        var = self._expect_kind(TokenKind.IDENT).text
+        self._expect("=")
+        start = self._expr()
+        self._expect(";")
+        cond_var = self._expect_kind(TokenKind.IDENT).text
+        if cond_var != var:
+            raise FrontendError(f"line {line}: for-loop condition must test {var!r}")
+        self._expect("<")
+        limit = self._expr()
+        self._expect(";")
+        step_var = self._expect_kind(TokenKind.IDENT).text
+        if step_var != var:
+            raise FrontendError(f"line {line}: for-loop increment must assign {var!r}")
+        self._expect("=")
+        step_expr = self._expr()
+        self._expect(")")
+        body = self._block()
+        # step must be `var + const`; the lowering pass validates folding.
+        if not (
+            isinstance(step_expr, BinOp)
+            and step_expr.op == "+"
+            and isinstance(step_expr.left, VarRef)
+            and step_expr.left.name == var
+        ):
+            raise FrontendError(f"line {line}: for-loop increment must be '{var} = {var} + <const>'")
+        return ForLoop(line=line, var=var, start=start, limit=limit, step=step_expr.right, body=body)
+
+    def _if_statement(self) -> Stmt:
+        line = self._peek().line
+        self._expect("if")
+        self._expect("(")
+        cond = self._expr()
+        self._expect(")")
+        then_body = self._block()
+        else_body: tuple[Stmt, ...] = ()
+        if self._accept("else"):
+            if self._peek().text == "if":
+                else_body = (self._if_statement(),)
+            else:
+                else_body = self._block()
+        return IfStatement(line=line, cond=cond, then_body=then_body, else_body=else_body)
+
+    def _while_loop(self) -> Stmt:
+        line = self._peek().line
+        self._expect("while")
+        self._expect("(")
+        cond = self._expr()
+        self._expect(")")
+        if not (isinstance(cond, NumberLit) and cond.value == 1):
+            raise FrontendError(f"line {line}: only 'while (1)' steady-state loops are supported")
+        body = self._block()
+        return WhileLoop(line=line, body=body)
+
+    # -- expressions -----------------------------------------------------
+
+    def _expr(self) -> Expr:
+        return self._ternary()
+
+    def _ternary(self) -> Expr:
+        cond = self._compare()
+        if self._accept("?"):
+            line = self._peek().line
+            if_true = self._expr()
+            self._expect(":")
+            if_false = self._expr()
+            return Ternary(line=line, cond=cond, if_true=if_true, if_false=if_false)
+        return cond
+
+    def _compare(self) -> Expr:
+        left = self._additive()
+        tok = self._peek()
+        if tok.text in ("<", "<="):
+            self._advance()
+            right = self._additive()
+            return BinOp(line=tok.line, op=tok.text, left=left, right=right)
+        return left
+
+    def _additive(self) -> Expr:
+        left = self._multiplicative()
+        while self._peek().text in ("+", "-"):
+            tok = self._advance()
+            right = self._multiplicative()
+            left = BinOp(line=tok.line, op=tok.text, left=left, right=right)
+        return left
+
+    def _multiplicative(self) -> Expr:
+        left = self._unary()
+        while self._peek().text in ("*", "/"):
+            tok = self._advance()
+            right = self._unary()
+            left = BinOp(line=tok.line, op=tok.text, left=left, right=right)
+        return left
+
+    def _unary(self) -> Expr:
+        tok = self._peek()
+        if tok.text == "-":
+            self._advance()
+            return UnaryOp(line=tok.line, op="-", operand=self._unary())
+        return self._primary()
+
+    def _primary(self) -> Expr:
+        tok = self._peek()
+        if tok.kind is TokenKind.NUMBER:
+            self._advance()
+            text = tok.text.rstrip("fF")
+            is_int = ("." not in text) and ("e" not in text.lower())
+            return NumberLit(line=tok.line, value=float(text), is_int=is_int)
+        if tok.kind is TokenKind.IDENT:
+            self._advance()
+            if self._accept("("):
+                args: list[Expr] = []
+                if not self._accept(")"):
+                    while True:
+                        args.append(self._expr())
+                        if self._accept(")"):
+                            break
+                        self._expect(",")
+                return Call(line=tok.line, name=tok.text, args=tuple(args))
+            if self._accept("["):
+                index = self._expr()
+                self._expect("]")
+                return ArrayRef(line=tok.line, name=tok.text, index=index)
+            return VarRef(line=tok.line, name=tok.text)
+        if tok.text == "(":
+            self._advance()
+            inner = self._expr()
+            self._expect(")")
+            return inner
+        raise self._error("expected an expression")
+
+
+def parse_program(source: str) -> Program:
+    """Tokenise and parse mini-C ``source``."""
+    return Parser(tokenize(source)).parse_program()

@@ -1,0 +1,431 @@
+"""Iterative modulo scheduling: automatic software pipelining.
+
+The paper pipelines the beam model *by hand*, by a factor of two,
+because its list scheduler has no software-pipelining support ("To
+reduce the sequential nature, we manually pipelined the loop by a factor
+of two").  A modulo scheduler generalises that transform: it overlaps an
+unbounded number of iterations, initiating a new one every **II**
+(initiation interval) ticks, with II bounded below by
+
+* **ResMII** — resource pressure: each resource class can only issue so
+  many operations per II window (the single SensorAccess port is the
+  binding one for multi-bunch models), and
+* **RecMII** — recurrences: a loop-carried dependence cycle of total
+  latency L crossing d iteration boundaries forces II ≥ L/d.
+
+This implementation is Rau's iterative modulo scheduling, simplified to
+the overlay model used across this package (see *Model* below).  It is
+used by the A6 ablation to answer: how much revolution-frequency
+headroom is left on the table by pipelining only by a factor of two?
+
+Model
+-----
+* a PE executes one operation at a time; an operation issued at ``t``
+  occupies its PE's modulo reservation slots ``t mod II ...
+  (t + occupancy - 1) mod II`` (occupancy = latency, or the SensorAccess
+  issue window for IO ops);
+* zero-time values (constants, parameters, loop-carried registers) are
+  register reads with no resource cost;
+* inter-PE routing is folded into the operation latencies (values move
+  through the shared register context between iterations); this matches
+  common modulo-scheduling formulations for CGRAs and keeps the
+  comparison with the list scheduler conservative for the *list*
+  scheduler (its lengths include explicit routing).
+
+The scheduler validates every dependence (forward and loop-carried) and
+every reservation before returning; semantic equivalence then follows
+from the dataflow graph being unchanged — see
+:class:`~repro.cgra.reference.ReferenceInterpreter` for the value-level
+oracle.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.cgra.dfg import DataflowGraph, DFGNode
+from repro.cgra.fabric import CgraFabric
+from repro.cgra.ops import Op
+from repro.cgra.scheduler import ListScheduler
+from repro.errors import ScheduleError
+
+__all__ = ["ModuloSchedule", "ModuloScheduler"]
+
+
+@dataclass
+class ModuloSchedule:
+    """A software-pipelined schedule of one loop body."""
+
+    graph: DataflowGraph
+    fabric: CgraFabric
+    #: Initiation interval: a new iteration starts every II ticks.
+    ii: int
+    #: Placement: node id → (pe, start tick within the flat schedule).
+    ops: dict[int, tuple[tuple[int, int], int]] = field(default_factory=dict)
+    #: Lower bounds that produced this II.
+    res_mii: int = 0
+    rec_mii: int = 0
+
+    @property
+    def length(self) -> int:
+        """Flat schedule length (latency of one iteration's results)."""
+        latencies = self.fabric.config.latencies
+        return max(
+            (start + latencies.of(self.graph.node(nid).op) for nid, (_, start) in self.ops.items()),
+            default=0,
+        )
+
+    @property
+    def stage_count(self) -> int:
+        """Number of overlapped iterations in the steady-state kernel."""
+        return max(1, math.ceil(self.length / self.ii)) if self.ii else 1
+
+    def max_revolution_frequency(self, clock_hz: float = 111e6) -> float:
+        """With initiation every II ticks, one revolution per II."""
+        return clock_hz / self.ii
+
+    def validate(self) -> None:
+        """Check dependences and modulo reservations; raise on violation."""
+        latencies = self.fabric.config.latencies
+        for node in self.graph.nodes.values():
+            if node.is_zero_time():
+                continue
+            if node.node_id not in self.ops:
+                raise ScheduleError(f"node {node.node_id} not scheduled")
+        # Forward and loop-carried dependences.
+        for node in self.graph.nodes.values():
+            if node.is_zero_time():
+                continue
+            _, start = self.ops[node.node_id]
+            for operand_id in node.operands:
+                producer = self.graph.node(operand_id)
+                if producer.op is Op.PHI:
+                    src = self.graph.node(producer.back_edge)
+                    if src.is_zero_time():
+                        continue
+                    _, p_start = self.ops[src.node_id]
+                    finish = p_start + latencies.of(src.op)
+                    # distance-1 dependence: available one iteration later.
+                    if start + self.ii < finish:
+                        raise ScheduleError(
+                            f"recurrence violated: node {node.node_id} at {start} "
+                            f"+ II={self.ii} before producer {src.node_id} "
+                            f"finishes at {finish}"
+                        )
+                    continue
+                if producer.is_zero_time():
+                    continue
+                _, p_start = self.ops[operand_id]
+                finish = p_start + latencies.of(producer.op)
+                if start < finish:
+                    raise ScheduleError(
+                        f"dependence violated: node {node.node_id} at {start} "
+                        f"before producer {operand_id} finishes at {finish}"
+                    )
+        # Modulo reservation table.
+        table: dict[tuple[tuple[int, int], int], int] = {}
+        for nid, (pe, start) in self.ops.items():
+            node = self.graph.node(nid)
+            occupancy = (
+                ListScheduler.IO_ISSUE_TICKS if node.is_io()
+                else max(1, latencies.of(node.op))
+            )
+            if occupancy > self.ii:
+                raise ScheduleError(
+                    f"op {nid} occupancy {occupancy} exceeds II {self.ii}"
+                )
+            if not self.fabric.supports(pe, node.op):
+                raise ScheduleError(f"PE {pe} cannot execute {node.op}")
+            for k in range(occupancy):
+                slot = (pe, (start + k) % self.ii)
+                if slot in table:
+                    raise ScheduleError(
+                        f"modulo reservation conflict on PE {pe} slot "
+                        f"{(start + k) % self.ii}: nodes {table[slot]} and {nid}"
+                    )
+                table[slot] = nid
+
+
+class ModuloScheduler:
+    """Iterative modulo scheduling on the overlay fabric."""
+
+    def __init__(self, fabric: CgraFabric) -> None:
+        self.fabric = fabric
+
+    # -- lower bounds ---------------------------------------------------
+
+    def resource_mii(self, graph: DataflowGraph) -> int:
+        """ResMII from per-resource-class issue pressure."""
+        latencies = self.fabric.config.latencies
+        io_pressure = sum(
+            ListScheduler.IO_ISSUE_TICKS for n in graph.nodes.values() if n.is_io()
+        )
+        heavy_ops = [
+            n for n in graph.nodes.values()
+            if n.op in (Op.FDIV, Op.FSQRT)
+        ]
+        heavy_pressure = sum(latencies.of(n.op) for n in heavy_ops)
+        n_heavy = max(1, len(self.fabric.heavy_pes))
+        basic_ops = [
+            n for n in graph.nodes.values()
+            if not n.is_zero_time() and not n.is_io() and n not in heavy_ops
+        ]
+        basic_pressure = sum(max(1, latencies.of(n.op)) for n in basic_ops)
+        n_pes = len(self.fabric.pes)
+        return max(
+            1,
+            io_pressure,  # single SensorAccess port
+            math.ceil(heavy_pressure / n_heavy),
+            math.ceil(basic_pressure / n_pes),
+        )
+
+    def recurrence_mii(self, graph: DataflowGraph) -> int:
+        """RecMII from loop-carried dependence cycles (distance 1).
+
+        Every cycle in this IR passes through exactly one PHI (the
+        frontend produces one register per carried value), so RecMII is
+        the longest latency path from any PHI's consumers to its
+        back-edge producer.
+        """
+        latencies = self.fabric.config.latencies
+        # Longest path *ending* at each node, starting from zero-time
+        # sources (length counts the latencies of scheduled ops only).
+        dist: dict[int, int] = {}
+        phi_start: dict[int, dict[int, int]] = {}
+        for node in graph.topological_order():
+            if node.is_zero_time():
+                dist[node.node_id] = 0
+                continue
+            best = 0
+            for operand in node.operands:
+                best = max(best, dist.get(operand, 0))
+            dist[node.node_id] = best + latencies.of(node.op)
+        rec = 1
+        for phi in graph.phis():
+            src = graph.node(phi.back_edge)
+            if src.is_zero_time():
+                continue
+            # Longest latency chain from the PHI read to its back-edge
+            # producer's completion: recompute dist restricted to paths
+            # rooted at this PHI.
+            local: dict[int, int] = {phi.node_id: 0}
+            for node in graph.topological_order():
+                if node.node_id in local or node.is_zero_time():
+                    continue
+                reachable = [
+                    local[o] for o in node.operands if o in local
+                ]
+                if reachable:
+                    local[node.node_id] = max(reachable) + latencies.of(node.op)
+            if src.node_id in local:
+                rec = max(rec, local[src.node_id])
+        return rec
+
+    # -- scheduling -------------------------------------------------------
+
+    def schedule(self, graph: DataflowGraph, max_ii: int | None = None) -> ModuloSchedule:
+        """Find the smallest feasible II and a valid placement for it."""
+        graph.validate()
+        res_mii = self.resource_mii(graph)
+        rec_mii = self.recurrence_mii(graph)
+        mii = max(res_mii, rec_mii)
+        latencies = self.fabric.config.latencies
+        # An op must fit its occupancy inside the II window.
+        min_occ = max(
+            (
+                ListScheduler.IO_ISSUE_TICKS if n.is_io() else max(1, latencies.of(n.op))
+                for n in graph.nodes.values()
+                if not n.is_zero_time()
+            ),
+            default=1,
+        )
+        mii = max(mii, min_occ)
+        upper = max_ii if max_ii is not None else max(4 * mii, mii + 256)
+        last_error: ScheduleError | None = None
+        for ii in range(mii, upper + 1):
+            try:
+                placed = self._try_ii(graph, ii)
+            except ScheduleError as exc:
+                last_error = exc
+                continue
+            result = ModuloSchedule(
+                graph=graph, fabric=self.fabric, ii=ii, ops=placed,
+                res_mii=res_mii, rec_mii=rec_mii,
+            )
+            try:
+                result.validate()
+            except ScheduleError as exc:
+                last_error = exc
+                continue
+            return result
+        raise ScheduleError(
+            f"no feasible II in [{mii}, {upper}]"
+            + (f": {last_error}" if last_error else "")
+        )
+
+    def _try_ii(self, graph: DataflowGraph, ii: int) -> dict[int, tuple[tuple[int, int], int]]:
+        """One II attempt: topological placement with repair passes."""
+        latencies = self.fabric.config.latencies
+        order = [n for n in graph.topological_order() if not n.is_zero_time()]
+        placed: dict[int, tuple[tuple[int, int], int]] = {}
+        reservations: dict[tuple[tuple[int, int], int], int] = {}
+
+        def occupancy_of(node: DFGNode) -> int:
+            return (
+                ListScheduler.IO_ISSUE_TICKS if node.is_io()
+                else max(1, latencies.of(node.op))
+            )
+
+        def free(pe: tuple[int, int], start: int, occ: int) -> bool:
+            return all(
+                (pe, (start + k) % ii) not in reservations for k in range(occ)
+            )
+
+        def reserve(pe: tuple[int, int], start: int, occ: int, nid: int) -> None:
+            for k in range(occ):
+                reservations[(pe, (start + k) % ii)] = nid
+
+        def release(pe: tuple[int, int], start: int, occ: int) -> None:
+            for k in range(occ):
+                reservations.pop((pe, (start + k) % ii), None)
+
+        def earliest(node: DFGNode) -> int:
+            est = 0
+            for operand in node.operands:
+                producer = graph.node(operand)
+                if producer.is_zero_time():
+                    continue
+                if operand in placed:
+                    _, p_start = placed[operand]
+                    est = max(est, p_start + latencies.of(producer.op))
+            return est
+
+        def place(node: DFGNode) -> bool:
+            occ = occupancy_of(node)
+            if occ > ii:
+                raise ScheduleError(f"occupancy {occ} of {node.op} exceeds II {ii}")
+            est = earliest(node)
+            candidates = (
+                [self.fabric.io_pe] if node.is_io()
+                else self.fabric.candidates(node.op)
+            )
+            # Try every start offset within one II window past the EST —
+            # later offsets only repeat the same modulo slots.
+            for delta in range(ii):
+                start = est + delta
+                for pe in candidates:
+                    if free(pe, start, occ):
+                        reserve(pe, start, occ, node.node_id)
+                        placed[node.node_id] = (pe, start)
+                        return True
+            return False
+
+        for node in order:
+            if not place(node):
+                raise ScheduleError(
+                    f"cannot place node {node.node_id} ({node.op}) at II={ii}"
+                )
+
+        # Repair passes for recurrence violations: push the *first*
+        # consumer chains later (consumers may start up to II-1 later
+        # without changing their modulo slots' feasibility search).
+        for _ in range(8):
+            violation = self._find_recurrence_violation(graph, placed, ii)
+            if violation is None:
+                return placed
+            consumer_id, needed_start = violation
+            node = graph.node(consumer_id)
+            pe, old_start = placed[consumer_id]
+            occ = occupancy_of(node)
+            release(pe, old_start, occ)
+            moved = False
+            for delta in range(ii):
+                start = needed_start + delta
+                for cand in (
+                    [self.fabric.io_pe] if node.is_io() else self.fabric.candidates(node.op)
+                ):
+                    if free(cand, start, occ):
+                        reserve(cand, start, occ, consumer_id)
+                        placed[consumer_id] = (cand, start)
+                        moved = True
+                        break
+                if moved:
+                    break
+            if not moved:
+                raise ScheduleError(
+                    f"repair failed for node {consumer_id} at II={ii}"
+                )
+            # Moving a node may break its forward consumers: re-place any
+            # consumer that now starts too early.
+            self._ripple_forward(graph, placed, reservations, ii, consumer_id)
+        raise ScheduleError(f"recurrence repair did not converge at II={ii}")
+
+    def _ripple_forward(self, graph, placed, reservations, ii, moved_id) -> None:
+        latencies = self.fabric.config.latencies
+        consumers = graph.consumers()
+        from collections import deque
+
+        queue = deque(consumers[moved_id])
+        guard = 0
+        while queue:
+            guard += 1
+            if guard > 10 * len(graph):
+                raise ScheduleError("forward ripple did not converge")
+            nid = queue.popleft()
+            node = graph.node(nid)
+            if node.is_zero_time() or nid not in placed:
+                continue
+            pe, start = placed[nid]
+            est = 0
+            for operand in node.operands:
+                producer = graph.node(operand)
+                if producer.is_zero_time() or operand not in placed:
+                    continue
+                _, p_start = placed[operand]
+                est = max(est, p_start + latencies.of(producer.op))
+            if start >= est:
+                continue
+            occ = (
+                ListScheduler.IO_ISSUE_TICKS if node.is_io()
+                else max(1, latencies.of(node.op))
+            )
+            for k in range(occ):
+                reservations.pop((pe, (start + k) % ii), None)
+            moved = False
+            for delta in range(ii):
+                new_start = est + delta
+                for cand in (
+                    [self.fabric.io_pe] if node.is_io() else self.fabric.candidates(node.op)
+                ):
+                    if all((cand, (new_start + k) % ii) not in reservations for k in range(occ)):
+                        for k in range(occ):
+                            reservations[(cand, (new_start + k) % ii)] = nid
+                        placed[nid] = (cand, new_start)
+                        moved = True
+                        break
+                if moved:
+                    break
+            if not moved:
+                raise ScheduleError(f"forward ripple failed for node {nid}")
+            queue.extend(consumers[nid])
+
+    def _find_recurrence_violation(self, graph, placed, ii):
+        """First (consumer, needed_start) breaking a distance-1 edge."""
+        latencies = self.fabric.config.latencies
+        for node in graph.nodes.values():
+            if node.is_zero_time() or node.node_id not in placed:
+                continue
+            _, start = placed[node.node_id]
+            for operand in node.operands:
+                producer = graph.node(operand)
+                if producer.op is not Op.PHI:
+                    continue
+                src = graph.node(producer.back_edge)
+                if src.is_zero_time() or src.node_id not in placed:
+                    continue
+                _, p_start = placed[src.node_id]
+                finish = p_start + latencies.of(src.op)
+                if start + ii < finish:
+                    return node.node_id, finish - ii
+        return None

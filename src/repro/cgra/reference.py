@@ -1,0 +1,142 @@
+"""Reference dataflow interpreter (the tool flow's golden model).
+
+Evaluates a :class:`~repro.cgra.dfg.DataflowGraph` directly in forward
+topological order, without scheduling, placement, routing or context
+generation.  Because it shares none of the backend's machinery, it is
+the differential-testing oracle: for any program and any fabric, the
+cycle-accurate executor must produce exactly the values this
+interpreter produces (same per-operation rounding mode), or the backend
+has a bug.  `tests/properties/test_differential_execution.py` runs that
+comparison over randomly generated kernels.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.cgra.dfg import DataflowGraph
+from repro.cgra.ops import Op
+from repro.cgra.sensor import SensorBus
+from repro.errors import ExecutionError
+
+__all__ = ["ReferenceInterpreter"]
+
+
+class ReferenceInterpreter:
+    """Direct interpreter for one loop body, iteration by iteration.
+
+    Parameters mirror :class:`~repro.cgra.executor.CgraExecutor` so the
+    two can be driven identically.
+    """
+
+    def __init__(
+        self,
+        graph: DataflowGraph,
+        bus: SensorBus,
+        params: dict[str, float] | None = None,
+        precision: str = "single",
+    ) -> None:
+        if precision not in ("single", "double"):
+            raise ExecutionError(f"precision must be 'single' or 'double', got {precision!r}")
+        graph.validate()
+        self.graph = graph
+        self.bus = bus
+        self._ftype = np.float32 if precision == "single" else np.float64
+        params = dict(params or {})
+        missing = [p for p in graph.params if p not in params]
+        if missing:
+            raise ExecutionError(f"missing parameter values: {missing}")
+        self._params = {k: self._round(v) for k, v in params.items()}
+
+        self.registers: dict[int, float] = {}
+        for node in graph.nodes.values():
+            if node.op is Op.CONST:
+                self.registers[node.node_id] = self._round(node.value)
+            elif node.op is Op.PARAM:
+                self.registers[node.node_id] = self._params[node.name]
+            elif node.op is Op.PHI:
+                init = (
+                    self._params[node.init_param]
+                    if node.init_param is not None
+                    else self._round(node.init_value)
+                )
+                self.registers[node.node_id] = init
+        self._order = [n for n in graph.topological_order() if not n.is_zero_time()]
+        self.iterations = 0
+
+    def _round(self, value: float) -> float:
+        return float(self._ftype(value))
+
+    def run_iteration(self) -> None:
+        """Evaluate the body once and latch the loop-carried registers."""
+        f = self._ftype
+        regs = self.registers
+        for node in self._order:
+            if node.op is Op.SENSOR_READ:
+                regs[node.node_id] = self._round(self.bus.read(node.sensor_id))
+                continue
+            if node.op is Op.SENSOR_READ_ADDR:
+                addr = regs[node.operands[0]]
+                regs[node.node_id] = self._round(self.bus.read_addr(node.sensor_id, addr))
+                continue
+            if node.op is Op.ACTUATOR_WRITE:
+                self.bus.write(node.sensor_id, regs[node.operands[0]])
+                regs[node.node_id] = 0.0
+                continue
+            args = [regs[o] for o in node.operands]
+            with np.errstate(over="ignore", invalid="ignore"):
+                if node.op is Op.FADD:
+                    value = float(f(f(args[0]) + f(args[1])))
+                elif node.op is Op.FSUB:
+                    value = float(f(f(args[0]) - f(args[1])))
+                elif node.op is Op.FMUL:
+                    value = float(f(f(args[0]) * f(args[1])))
+                elif node.op is Op.FDIV:
+                    if args[1] == 0.0:
+                        raise ExecutionError(f"division by zero in node {node.node_id}")
+                    value = float(f(f(args[0]) / f(args[1])))
+                elif node.op is Op.FSQRT:
+                    if args[0] < 0.0:
+                        raise ExecutionError(f"sqrt of negative in node {node.node_id}")
+                    value = float(f(np.sqrt(f(args[0]))))
+                elif node.op is Op.FNEG:
+                    value = float(f(-f(args[0])))
+                elif node.op is Op.FMIN:
+                    value = float(f(min(args[0], args[1])))
+                elif node.op is Op.FMAX:
+                    value = float(f(max(args[0], args[1])))
+                elif node.op is Op.CMP_LT:
+                    value = 1.0 if args[0] < args[1] else 0.0
+                elif node.op is Op.CMP_LE:
+                    value = 1.0 if args[0] <= args[1] else 0.0
+                elif node.op is Op.SELECT:
+                    value = args[1] if args[0] != 0.0 else args[2]
+                else:  # pragma: no cover - exhaustive over Op
+                    raise ExecutionError(f"unhandled op {node.op}")
+            if not math.isfinite(value):
+                raise ExecutionError(
+                    f"non-finite value in node {node.node_id} at iteration {self.iterations}"
+                )
+            regs[node.node_id] = value
+        for phi in self.graph.phis():
+            regs[phi.node_id] = regs[phi.back_edge]
+        self.iterations += 1
+
+    def run(self, n_iterations: int) -> None:
+        """Evaluate ``n_iterations`` loop iterations."""
+        if n_iterations < 0:
+            raise ExecutionError("n_iterations must be non-negative")
+        for _ in range(n_iterations):
+            self.run_iteration()
+
+    def register_of(self, name: str) -> float:
+        """Value of a named PHI (or any named node)."""
+        for phi in self.graph.phis():
+            if phi.name == name:
+                return self.registers[phi.node_id]
+        for node in self.graph.nodes.values():
+            if node.name == name and node.node_id in self.registers:
+                return self.registers[node.node_id]
+        raise ExecutionError(f"no node named {name!r} with a value")

@@ -1,0 +1,101 @@
+"""SensorAccess bus: the CGRA's window to the FPGA framework.
+
+"To connect the CGRA to the simulator, a SensorAccess module was
+implemented to act as memory.  This allows the simulation model to both
+read input signal data and set the output timing for the next Gauss
+pulse."
+
+:class:`SensorBus` maps integer sensor/actuator ids to Python callables;
+the HIL framework registers the period-length detector, the two ring
+buffers and the Gauss-pulse actuator here, and the cycle-accurate
+executor performs all its IO through this single port (which is also the
+serialisation point the scheduler models).
+
+Well-known ids used by the shipped beam model are module constants so
+the C source, the framework wiring and the tests agree by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import CgraError
+
+__all__ = [
+    "SensorBus",
+    "SENSOR_PERIOD",
+    "SENSOR_REF_BUFFER",
+    "SENSOR_GAP_BUFFER",
+    "ACTUATOR_DELTA_T",
+    "ACTUATOR_MONITOR",
+]
+
+#: Averaged revolution period of the reference signal, in seconds.
+SENSOR_PERIOD = 0
+#: Reference-signal ring buffer, addressed in (fractional) samples
+#: relative to the last positive zero crossing.
+SENSOR_REF_BUFFER = 1
+#: Gap-signal ring buffer, addressed the same way.
+SENSOR_GAP_BUFFER = 2
+#: Δt output: arrival-time offset of bunch *k* — the framework adds the
+#: bunch index to this base id, one actuator per simulated bunch.
+ACTUATOR_DELTA_T = 16
+#: Monitoring output (phase difference or mirrored signal).
+ACTUATOR_MONITOR = 15
+
+
+class SensorBus:
+    """Id-addressed sensor/actuator registry.
+
+    Reads are callables ``() -> float`` or ``(addr: float) -> float``
+    (for addressed reads); writes are ``(value: float) -> None``.
+    Unknown ids raise :class:`~repro.errors.CgraError` — an unmapped id in
+    hardware would read undefined data, the model makes it loud.
+    """
+
+    def __init__(self) -> None:
+        self._readers: dict[int, Callable[[], float]] = {}
+        self._addr_readers: dict[int, Callable[[float], float]] = {}
+        self._writers: dict[int, Callable[[float], None]] = {}
+        #: Count of operations per id (IO-traffic statistics for E6/E7).
+        self.read_counts: dict[int, int] = {}
+        self.write_counts: dict[int, int] = {}
+
+    def register_reader(self, sensor_id: int, fn: Callable[[], float]) -> None:
+        """Register an address-less sensor."""
+        self._readers[int(sensor_id)] = fn
+
+    def register_addr_reader(self, sensor_id: int, fn: Callable[[float], float]) -> None:
+        """Register an addressed sensor (ring-buffer port)."""
+        self._addr_readers[int(sensor_id)] = fn
+
+    def register_writer(self, actuator_id: int, fn: Callable[[float], None]) -> None:
+        """Register an actuator."""
+        self._writers[int(actuator_id)] = fn
+
+    def read(self, sensor_id: int) -> float:
+        """Perform an address-less read."""
+        try:
+            fn = self._readers[sensor_id]
+        except KeyError:
+            raise CgraError(f"no sensor registered for id {sensor_id}") from None
+        self.read_counts[sensor_id] = self.read_counts.get(sensor_id, 0) + 1
+        return float(fn())
+
+    def read_addr(self, sensor_id: int, addr: float) -> float:
+        """Perform an addressed read."""
+        try:
+            fn = self._addr_readers[sensor_id]
+        except KeyError:
+            raise CgraError(f"no addressed sensor registered for id {sensor_id}") from None
+        self.read_counts[sensor_id] = self.read_counts.get(sensor_id, 0) + 1
+        return float(fn(float(addr)))
+
+    def write(self, actuator_id: int, value: float) -> None:
+        """Perform an actuator write."""
+        try:
+            fn = self._writers[actuator_id]
+        except KeyError:
+            raise CgraError(f"no actuator registered for id {actuator_id}") from None
+        self.write_counts[actuator_id] = self.write_counts.get(actuator_id, 0) + 1
+        fn(float(value))

@@ -1,0 +1,13 @@
+"""Beam-phase closed-loop control.
+
+The LLRF system's beam phase control loop "measures the longitudinal
+position of the bunches and actively changes the phase of the gap voltage
+in the cavities" (paper Section I).  This package implements the
+controller used in the evaluation: FIR filter with f_pass = 1.4 kHz,
+gain = −5 and recursion factor = 0.99 (the optimum of Klingbeil et al.
+2007), updating once per revolution.
+"""
+
+from repro.control.beam_phase_loop import BeamPhaseControlLoop, ControlLoopConfig
+
+__all__ = ["BeamPhaseControlLoop", "ControlLoopConfig"]

@@ -1,0 +1,112 @@
+"""The beam-phase control loop.
+
+Wiring (sign conventions, fixed here once for the whole repository):
+
+* the DSP phase detector reports the bunch position as
+  ``φ_meas = −360°·h·f_R·Δt`` — with this polarity an applied gap phase
+  jump of +8° moves the *equilibrium* reading to +8°, which is how
+  Fig. 5 plots it;
+* the filter output ``u`` (degrees) is *added* to the gap phase.  The
+  filter's first-difference stage leads the synchrotron oscillation by
+  ≈ +90°, so with the paper's negative gain the loop feeds back
+  ``−dφ/dt`` — velocity feedback, i.e. damping.
+
+The loop may saturate its correction (hardware phase shifters have
+limited range); saturation events are counted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.signal.fir import PhaseControlFilter
+
+__all__ = ["ControlLoopConfig", "BeamPhaseControlLoop"]
+
+
+@dataclass(frozen=True)
+class ControlLoopConfig:
+    """Parameters of the beam-phase control loop.
+
+    Defaults are the paper's: "f_pass = 1.4 kHz, gain = −5 and recursion
+    factor = 0.99, which are the optimal parameters according to [8]".
+    """
+
+    f_pass: float = 1.4e3
+    gain: float = -5.0
+    recursion_factor: float = 0.99
+    #: Calibration of the paper's dimensionless DSP gain register onto the
+    #: unity-normalised :class:`~repro.signal.fir.PhaseControlFilter`: the
+    #: effective filter gain is ``gain · gain_scale``.  0.02 is chosen so
+    #: the closed-loop transient matches Fig. 5 — the first post-jump peak
+    #: reaches ≈ 2× the jump amplitude and the oscillation settles well
+    #: within the 50 ms inter-jump window (see EXPERIMENTS.md, E5).
+    gain_scale: float = 0.02
+    #: Control updates per second (once per revolution in the bench).
+    sample_rate: float = 800e3
+    #: Run the loop every N-th revolution (1 = every revolution).
+    update_divider: int = 1
+    #: Correction saturation in degrees (|u| clip); None disables.
+    saturation_deg: float | None = 60.0
+    #: Master enable — disabled loops output 0 (open-loop studies).
+    enabled: bool = True
+
+    def __post_init__(self) -> None:
+        if self.update_divider < 1:
+            raise ConfigurationError("update_divider must be >= 1")
+        if self.gain_scale <= 0.0:
+            raise ConfigurationError("gain_scale must be positive")
+        if self.saturation_deg is not None and self.saturation_deg <= 0.0:
+            raise ConfigurationError("saturation_deg must be positive or None")
+
+
+class BeamPhaseControlLoop:
+    """Stateful controller: measured phase (deg) in → gap correction (deg) out."""
+
+    def __init__(self, config: ControlLoopConfig) -> None:
+        self.config = config
+        self._filter = PhaseControlFilter(
+            f_pass=config.f_pass,
+            gain=config.gain * config.gain_scale,
+            recursion_factor=config.recursion_factor,
+            sample_rate=config.sample_rate / config.update_divider,
+        )
+        self._tick = 0
+        self._last_output = 0.0
+        #: Number of updates that hit the saturation limit.
+        self.saturation_count = 0
+
+    @property
+    def last_output_deg(self) -> float:
+        """Most recent correction, in degrees."""
+        return self._last_output
+
+    def reset(self) -> None:
+        """Clear the filter and output state."""
+        self._filter.reset()
+        self._tick = 0
+        self._last_output = 0.0
+        self.saturation_count = 0
+
+    def update(self, measured_phase_deg: float) -> float:
+        """Feed one phase measurement; returns the current correction.
+
+        Honors ``update_divider`` (measurements between updates are
+        skipped, holding the previous output, as a decimating DSP would)
+        and ``enabled``.
+        """
+        if not self.config.enabled:
+            self._last_output = 0.0
+            return 0.0
+        run_now = (self._tick % self.config.update_divider) == 0
+        self._tick += 1
+        if not run_now:
+            return self._last_output
+        u = self._filter.step(float(measured_phase_deg))
+        limit = self.config.saturation_deg
+        if limit is not None and abs(u) > limit:
+            u = limit if u > 0 else -limit
+            self.saturation_count += 1
+        self._last_output = u
+        return u

@@ -1,0 +1,61 @@
+"""Exception hierarchy for :mod:`repro`.
+
+Every error raised by the package derives from :class:`ReproError`, so
+downstream users can catch the package's failures with a single handler
+while still discriminating the subsystem that failed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by :mod:`repro`."""
+
+
+class ConfigurationError(ReproError):
+    """A parameter object is inconsistent or out of its physical range."""
+
+
+class PhysicsError(ReproError):
+    """A beam-dynamics computation left its domain of validity.
+
+    Examples: requesting γ < 1, an unstable RF bucket where stability was
+    required, or a velocity at or above the speed of light.
+    """
+
+
+class SignalError(ReproError):
+    """A signal-chain component was driven outside its contract.
+
+    Examples: reading an unwritten ring-buffer address, a DDS frequency
+    above Nyquist of its sample clock, or an ADC input with no samples.
+    """
+
+
+class CgraError(ReproError):
+    """Base class of CGRA subsystem failures."""
+
+
+class FrontendError(CgraError):
+    """The mini-C frontend rejected a model source (lex/parse/lowering)."""
+
+
+class ScheduleError(CgraError):
+    """The scheduler could not map the dataflow graph onto the fabric."""
+
+
+class ExecutionError(CgraError):
+    """Cycle-accurate execution of scheduled contexts failed."""
+
+
+class RealTimeViolation(ReproError):
+    """A hard deadline in the cycle domain was missed.
+
+    Raised (or recorded, depending on policy) when the schedule length in
+    CGRA ticks exceeds the revolution period — the paper's core real-time
+    criterion.
+    """
+
+
+class HilError(ReproError):
+    """Hardware-in-the-loop framework wiring or run-time error."""

@@ -1,0 +1,77 @@
+"""E1 — Fig. 1: sample forces that influence a bunch.
+
+Fig. 1 illustrates the stationary-bucket mechanics: the sinusoidal gap
+voltage over one RF period, the reference particle in the rising zero
+crossing, and the forces on early/late particles (an early particle sees
+a lower voltage and is slowed down, a late one a higher voltage and is
+accelerated).  :func:`fig1_forces_data` regenerates the underlying
+series and the per-particle energy kicks from the actual model
+(Eq. 3), so the figure is produced by the production code path rather
+than a hand-drawn sketch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.physics.ion import IonSpecies
+from repro.physics.rf import RFSystem
+from repro.physics.ring import SynchrotronRing
+from repro.physics.tracking import delta_gamma_update
+
+__all__ = ["Fig1Data", "fig1_forces_data"]
+
+
+@dataclass
+class Fig1Data:
+    """Series behind Fig. 1."""
+
+    #: Time axis across one RF period, centred on the zero crossing (s).
+    time: np.ndarray
+    #: Gap voltage along the time axis (V).
+    voltage: np.ndarray
+    #: Sample particle arrival offsets: (early, reference, late) (s).
+    particle_delta_t: np.ndarray
+    #: Voltage each sample particle experiences (V).
+    particle_voltage: np.ndarray
+    #: Energy kick each particle receives, as Δγ change per turn (Eq. 3).
+    particle_delta_gamma_kick: np.ndarray
+
+
+def fig1_forces_data(
+    ring: SynchrotronRing,
+    ion: IonSpecies,
+    rf: RFSystem,
+    f_rev: float,
+    offset_fraction: float = 0.08,
+    n_points: int = 512,
+) -> Fig1Data:
+    """Regenerate Fig. 1's content for the given machine setup.
+
+    ``offset_fraction`` places the early/late sample particles at
+    ±(fraction of an RF period) around the reference crossing.
+    """
+    if not 0.0 < offset_fraction < 0.25:
+        raise ConfigurationError("offset_fraction must be in (0, 0.25)")
+    if n_points < 16:
+        raise ConfigurationError("n_points too small for a meaningful curve")
+    t_rf = 1.0 / (rf.harmonic * f_rev)
+    time = np.linspace(-0.5 * t_rf, 0.5 * t_rf, n_points)
+    voltage = rf.gap_voltage_at(time, f_rev)
+
+    offsets = np.array([-offset_fraction * t_rf, 0.0, offset_fraction * t_rf])
+    p_voltage = rf.gap_voltage_at(offsets, f_rev)
+    v_ref = rf.gap_voltage_at(0.0, f_rev)
+    kicks = np.array(
+        [delta_gamma_update(0.0, float(v), v_ref, ion) for v in p_voltage]
+    )
+    return Fig1Data(
+        time=time,
+        voltage=voltage,
+        particle_delta_t=offsets,
+        particle_voltage=p_voltage,
+        particle_delta_gamma_kick=kicks,
+    )

@@ -1,0 +1,61 @@
+"""E8 — model-change turnaround: CGRA seconds vs. FPGA synthesis hours.
+
+"The usage of a CGRA to carry out the simulation has proven extremely
+useful as the turn-around time after model changes is only in the range
+of seconds (compared to a full FPGA synthesis that can easily take
+hours)."
+
+:func:`reconfiguration_table` measures our actual tool-flow wall clock
+(parse → lower → schedule → context generation) for each model variant
+and sets it against the direct-FPGA cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.fpga_direct import DirectFpgaFlow
+from repro.cgra.fabric import CgraConfig
+from repro.cgra.models import compile_beam_model
+
+__all__ = ["ReconfigRow", "reconfiguration_table"]
+
+
+@dataclass(frozen=True)
+class ReconfigRow:
+    """Turnaround of one model variant through both flows."""
+
+    n_bunches: int
+    pipelined: bool
+    cgra_seconds: float
+    fpga_seconds: float
+
+    @property
+    def speedup(self) -> float:
+        """How many times faster the CGRA flow iterates."""
+        return self.fpga_seconds / self.cgra_seconds
+
+
+def reconfiguration_table(
+    configurations: list[tuple[int, bool]] | None = None,
+    config: CgraConfig | None = None,
+    design_kluts: float = 180.0,
+    fpga: DirectFpgaFlow | None = None,
+) -> list[ReconfigRow]:
+    """Measure CGRA turnaround and compare with modelled FPGA synthesis."""
+    configurations = configurations or [(8, False), (8, True), (4, True), (1, True)]
+    config = config if config is not None else CgraConfig()
+    fpga = fpga if fpga is not None else DirectFpgaFlow()
+    fpga_seconds = fpga.synthesis_seconds(design_kluts)
+    rows: list[ReconfigRow] = []
+    for n_bunches, pipelined in configurations:
+        model = compile_beam_model(n_bunches=n_bunches, pipelined=pipelined, config=config)
+        rows.append(
+            ReconfigRow(
+                n_bunches=n_bunches,
+                pipelined=pipelined,
+                cgra_seconds=model.compile_seconds,
+                fpga_seconds=fpga_seconds,
+            )
+        )
+    return rows

@@ -1,0 +1,286 @@
+"""Command-line experiment runner.
+
+Regenerates any paper artefact from the shell and writes its data series
+as CSV (plus a human-readable summary), so the figures can be re-plotted
+without touching Python:
+
+.. code-block:: bash
+
+    python -m repro.experiments.runner --list
+    python -m repro.experiments.runner fig5a --out results/ --quick
+    python -m repro.experiments.runner all --out results/
+
+``--quick`` shrinks durations/ensembles for smoke runs; the defaults
+match EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["main", "EXPERIMENTS", "run_experiment"]
+
+
+def _write_csv(path: Path, header: str, columns: list[np.ndarray]) -> None:
+    data = np.column_stack([np.asarray(c, dtype=float) for c in columns])
+    np.savetxt(path, data, delimiter=",", header=header, comments="")
+
+
+def _fig1(out: Path, quick: bool) -> list[str]:
+    from repro.experiments.fig1 import fig1_forces_data
+    from repro.physics import SIS18, KNOWN_IONS, RFSystem
+
+    data = fig1_forces_data(SIS18, KNOWN_IONS["14N7+"], RFSystem(harmonic=4, voltage=5e3), 800e3)
+    _write_csv(out / "fig1_voltage.csv", "time_s,voltage_v", [data.time, data.voltage])
+    _write_csv(
+        out / "fig1_particles.csv",
+        "delta_t_s,voltage_v,delta_gamma_kick",
+        [data.particle_delta_t, data.particle_voltage, data.particle_delta_gamma_kick],
+    )
+    return [f"gap voltage curve: {len(data.time)} points",
+            f"kicks (early/ref/late): {data.particle_delta_gamma_kick}"]
+
+
+def _fig2(out: Path, quick: bool) -> list[str]:
+    from repro.experiments.fig2 import fig2_signal_snapshot
+
+    d = fig2_signal_snapshot()
+    _write_csv(
+        out / "fig2_signals.csv",
+        "time_s,reference_v,gap_v,beam_v",
+        [d.time, d.reference, d.gap, d.beam],
+    )
+    return [f"{len(d.time)} samples over {d.time[-1] * 1e6:.2f} us (h = 2)"]
+
+
+def _fig5a(out: Path, quick: bool) -> list[str]:
+    from repro.experiments.fig5 import fig5_metrics, fig5_run_bench
+
+    duration = 0.12 if quick else 0.30
+    res = fig5_run_bench(duration=duration)
+    smoothed = res.phase_deg_smoothed(5)
+    _write_csv(
+        out / "fig5a_phase.csv",
+        "time_s,phase_deg,phase_deg_smoothed,jump_deg,correction_deg",
+        [res.time, res.phase_deg, smoothed, res.jump_deg, res.correction_deg],
+    )
+    m = fig5_metrics(res.time, smoothed, 8.0, 0.005)
+    return [
+        f"f_s = {m.synchrotron_frequency:.1f} Hz (paper 1280)",
+        f"first pp = {m.first_peak_to_peak:.2f} deg (paper ~16)",
+        f"settled shift = {m.settled_shift:.2f} deg (paper 8)",
+    ]
+
+
+def _fig5b(out: Path, quick: bool) -> list[str]:
+    from repro.experiments.fig5 import fig5_metrics, fig5_run_machine
+
+    duration = 0.12 if quick else 0.30
+    n_particles = 1200 if quick else 5000
+    res = fig5_run_machine(duration=duration, n_particles=n_particles)
+    _write_csv(
+        out / "fig5b_phase.csv",
+        "time_s,phase_deg,sigma_delta_t_s,jump_deg,correction_deg",
+        [res.time, res.phase_deg, res.sigma_delta_t, res.jump_deg, res.correction_deg],
+    )
+    m = fig5_metrics(res.time, res.phase_deg, 10.0, 0.005)
+    return [
+        f"f_s = {m.synchrotron_frequency:.1f} Hz (paper 1200)",
+        f"first pp = {m.first_peak_to_peak:.2f} deg (paper ~20)",
+        f"settled shift = {m.settled_shift:.2f} deg (paper 10)",
+    ]
+
+
+def _schedule(out: Path, quick: bool) -> list[str]:
+    from repro.experiments.schedule_table import schedule_length_table
+
+    rows = schedule_length_table()
+    _write_csv(
+        out / "schedule_lengths.csv",
+        "n_bunches,pipelined,ticks,max_f_rev_hz,paper_ticks",
+        [
+            [r.n_bunches for r in rows],
+            [1.0 if r.pipelined else 0.0 for r in rows],
+            [r.schedule_ticks for r in rows],
+            [r.max_f_rev_hz for r in rows],
+            [r.paper_ticks for r in rows],
+        ],
+    )
+    return [
+        f"{r.n_bunches} bunches {'pipelined' if r.pipelined else 'plain'}: "
+        f"{r.schedule_ticks} ticks (paper {r.paper_ticks})"
+        for r in rows
+    ]
+
+
+def _jitter(out: Path, quick: bool) -> list[str]:
+    from repro.experiments.jitter_study import jitter_comparison
+
+    rows = jitter_comparison(n_samples=50_000 if quick else 200_000)
+    _write_csv(
+        out / "jitter.csv",
+        "is_cgra,f_rev_hz,p50_s,p999_s,miss_rate,false_phase_rms_deg",
+        [
+            [1.0 if "CGRA" in r.implementation else 0.0 for r in rows],
+            [r.f_rev_hz for r in rows],
+            [r.latency.p50 for r in rows],
+            [r.latency.p999 for r in rows],
+            [r.deadline_miss_rate for r in rows],
+            [r.false_phase_rms_deg for r in rows],
+        ],
+    )
+    return [f"{r.implementation} @ {r.f_rev_hz / 1e3:.0f} kHz: "
+            f"false phase rms {r.false_phase_rms_deg:.2f} deg" for r in rows]
+
+
+def _reconfig(out: Path, quick: bool) -> list[str]:
+    from repro.experiments.reconfig import reconfiguration_table
+
+    rows = reconfiguration_table()
+    _write_csv(
+        out / "reconfig.csv",
+        "n_bunches,pipelined,cgra_seconds,fpga_seconds",
+        [
+            [r.n_bunches for r in rows],
+            [1.0 if r.pipelined else 0.0 for r in rows],
+            [r.cgra_seconds for r in rows],
+            [r.fpga_seconds for r in rows],
+        ],
+    )
+    return [f"{r.n_bunches} bunches: CGRA {r.cgra_seconds * 1e3:.1f} ms "
+            f"vs FPGA {r.fpga_seconds / 3600:.2f} h" for r in rows]
+
+
+def _rampup(out: Path, quick: bool) -> list[str]:
+    from repro.experiments.rampup import RampUpScenario, rampup_run
+    from repro.physics import SIS18, KNOWN_IONS
+
+    scenario = RampUpScenario(
+        ring=SIS18, ion=KNOWN_IONS["14N7+"],
+        duration=0.05 if quick else 0.15,
+    )
+    res = rampup_run(scenario)
+    _write_csv(
+        out / "rampup.csv",
+        "time_s,f_rev_hz,gamma_ref,gamma_programme,delta_t_s,phi_s_deg,bunch_phase_deg",
+        [res.time, res.f_rev, res.gamma_ref, res.gamma_programme,
+         res.delta_t, res.synchronous_phase_deg, res.bunch_phase_deg],
+    )
+    return [f"final gamma error {res.final_gamma_error:.2e}, "
+            f"max |bunch phase| {res.max_abs_bunch_phase_deg:.1f} deg, "
+            f"deadline met {res.deadline.met}"]
+
+
+def _landau(out: Path, quick: bool) -> list[str]:
+    from repro.experiments.landau import landau_damping_comparison
+
+    rows = landau_damping_comparison(n_particles=1200 if quick else 4000)
+    _write_csv(
+        out / "landau.csv",
+        "control_enabled,damping_rate_per_s,time_constant_s,bunch_length_growth",
+        [
+            [1.0 if r.control_enabled else 0.0 for r in rows],
+            [r.damping_rate for r in rows],
+            [r.time_constant for r in rows],
+            [r.bunch_length_growth for r in rows],
+        ],
+    )
+    return [f"loop {'on' if r.control_enabled else 'off'}: "
+            f"{r.damping_rate:.1f}/s" for r in rows]
+
+
+def _dual(out: Path, quick: bool) -> list[str]:
+    from repro.experiments.dual_harmonic_study import dual_harmonic_landau_study
+    from repro.physics import SIS18, KNOWN_IONS
+
+    rows = dual_harmonic_landau_study(
+        SIS18, KNOWN_IONS["14N7+"],
+        n_particles=1000 if quick else 2500,
+        n_turns=24000 if quick else 48000,
+    )
+    _write_csv(
+        out / "dual_harmonic.csv",
+        "ratio,f_s_linear_hz,f_s_small_hz,f_s_large_hz,amplitude_retention",
+        [
+            [r.ratio for r in rows],
+            [r.f_s_linear for r in rows],
+            [r.f_s_small for r in rows],
+            [r.f_s_large for r in rows],
+            [r.amplitude_retention for r in rows],
+        ],
+    )
+    return [f"r={r.ratio}: spread {r.frequency_spread * 100:.1f} %, "
+            f"retention {r.amplitude_retention * 100:.1f} %" for r in rows]
+
+
+#: Experiment id → (description, runner).
+EXPERIMENTS: dict[str, tuple[str, Callable[[Path, bool], list[str]]]] = {
+    "fig1": ("Fig. 1 — forces on a bunch", _fig1),
+    "fig2": ("Fig. 2 — bench signals (h = 2)", _fig2),
+    "fig5a": ("Fig. 5a — simulator phase oscillation", _fig5a),
+    "fig5b": ("Fig. 5b — machine-experiment emulation", _fig5b),
+    "schedule": ("Section IV-B — schedule lengths", _schedule),
+    "jitter": ("E7 — software vs. CGRA jitter", _jitter),
+    "reconfig": ("E8 — reconfiguration turnaround", _reconfig),
+    "rampup": ("E9 — acceleration ramp", _rampup),
+    "landau": ("E10 — Landau damping vs. loop", _landau),
+    "dual": ("E12 — dual-harmonic study", _dual),
+}
+
+
+def run_experiment(name: str, out_dir: Path, quick: bool = False) -> list[str]:
+    """Run one experiment by id; returns its summary lines."""
+    if name not in EXPERIMENTS:
+        raise ConfigurationError(
+            f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}"
+        )
+    out_dir.mkdir(parents=True, exist_ok=True)
+    _, fn = EXPERIMENTS[name]
+    return fn(out_dir, quick)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.runner",
+        description="Regenerate 'Cavity in the Loop' figures/tables as CSV.",
+    )
+    parser.add_argument("experiment", nargs="?",
+                        help="experiment id, or 'all' (see --list)")
+    parser.add_argument("--list", action="store_true", help="list experiments")
+    parser.add_argument("--out", default="results", help="output directory")
+    parser.add_argument("--quick", action="store_true",
+                        help="shrink durations/ensembles for a smoke run")
+    args = parser.parse_args(argv)
+
+    if args.list or args.experiment is None:
+        for name, (description, _) in EXPERIMENTS.items():
+            print(f"{name:10s} {description}")
+        return 0
+
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    out_dir = Path(args.out)
+    for name in names:
+        t0 = time.perf_counter()
+        try:
+            summary = run_experiment(name, out_dir, quick=args.quick)
+        except ConfigurationError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        elapsed = time.perf_counter() - t0
+        print(f"[{name}] done in {elapsed:.1f}s -> {out_dir}/")
+        for line in summary:
+            print(f"  {line}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

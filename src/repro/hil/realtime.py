@@ -1,0 +1,99 @@
+"""Hard real-time deadline accounting in the cycle domain.
+
+The bench's real-time criterion (paper Section IV-B): "the calculation
+must be completed within one period length of the reference sine wave,
+which can be faster than one microsecond".  :class:`DeadlineMonitor`
+checks that criterion for every revolution of a run and accumulates
+slack statistics; by default a miss raises
+:class:`~repro.errors.RealTimeViolation`, because a HIL bench that
+silently overruns its deadline produces wrong physics, not just late
+answers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError, RealTimeViolation
+
+__all__ = ["JitterStats", "DeadlineMonitor"]
+
+
+@dataclass(frozen=True)
+class JitterStats:
+    """Slack statistics over a run (in CGRA ticks)."""
+
+    n_iterations: int
+    min_slack: float
+    mean_slack: float
+    misses: int
+
+    @property
+    def met(self) -> bool:
+        """True when every iteration met its deadline."""
+        return self.misses == 0
+
+
+class DeadlineMonitor:
+    """Per-iteration deadline bookkeeping.
+
+    Parameters
+    ----------
+    schedule_length_ticks:
+        Ticks one iteration occupies (from the CGRA schedule).
+    cgra_clock_hz:
+        Overlay clock.
+    policy:
+        ``"raise"`` (default) raises on the first miss; ``"count"``
+        records misses and keeps going (used by capacity sweeps that
+        probe beyond the real-time limit on purpose).
+    """
+
+    def __init__(
+        self,
+        schedule_length_ticks: int,
+        cgra_clock_hz: float = 111e6,
+        policy: str = "raise",
+    ) -> None:
+        if schedule_length_ticks <= 0:
+            raise ConfigurationError("schedule_length_ticks must be positive")
+        if cgra_clock_hz <= 0:
+            raise ConfigurationError("cgra_clock_hz must be positive")
+        if policy not in ("raise", "count"):
+            raise ConfigurationError(f"policy must be 'raise' or 'count', got {policy!r}")
+        self.schedule_length_ticks = int(schedule_length_ticks)
+        self.cgra_clock_hz = float(cgra_clock_hz)
+        self.policy = policy
+        self._slacks: list[float] = []
+        self._misses = 0
+
+    def check_revolution(self, revolution_period_s: float) -> float:
+        """Account one revolution; returns the slack in ticks."""
+        if revolution_period_s <= 0:
+            raise ConfigurationError("revolution period must be positive")
+        budget = revolution_period_s * self.cgra_clock_hz
+        slack = budget - self.schedule_length_ticks
+        self._slacks.append(slack)
+        if slack < 0:
+            self._misses += 1
+            if self.policy == "raise":
+                raise RealTimeViolation(
+                    f"iteration needs {self.schedule_length_ticks} ticks but the "
+                    f"revolution budget is {budget:.1f} ticks "
+                    f"(f_rev={1.0 / revolution_period_s:.3e} Hz)"
+                )
+        return slack
+
+    def stats(self) -> JitterStats:
+        """Summary over all checked revolutions."""
+        if not self._slacks:
+            raise ConfigurationError("no revolutions checked yet")
+        arr = np.asarray(self._slacks)
+        return JitterStats(
+            n_iterations=arr.size,
+            min_slack=float(arr.min()),
+            mean_slack=float(arr.mean()),
+            misses=self._misses,
+        )

@@ -1,0 +1,436 @@
+"""The complete cavity-in-the-loop bench (paper Fig. 4).
+
+:class:`CavityInTheLoop` assembles the whole experiment: synchronised
+DDS signals (reference at f_R, gap at h·f_R), the AWG phase-jump drive,
+the beam simulator (CGRA model or its bit-identical Python fast path),
+the DSP phase detector and the beam-phase control loop closing the loop
+on the gap phase.
+
+Two engines share identical physics and calibration:
+
+* ``engine="cgra"`` — every revolution runs one cycle-accurate iteration
+  of the compiled CGRA contexts against analytic (optionally
+  ADC-quantised) sensor handlers.  This is the reference implementation
+  and validates the real hardware path, at interpreter speed.
+* ``engine="python"`` — the same model equations inlined in Python
+  floats, ~100× faster; used for second-scale Fig.-5 runs.  A dedicated
+  test pins both engines against each other turn by turn.
+
+Real-time accounting: the CGRA model is compiled either way, its
+schedule length is checked against the revolution period once per run
+(the budget is time-invariant for a fixed f_R), and the per-revolution
+:class:`~repro.hil.realtime.DeadlineMonitor` records slack.  Wall-clock
+Python time is *not* the real-time claim — see DESIGN.md §5.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cgra.executor import CgraExecutor
+from repro.cgra.fabric import CgraConfig
+from repro.cgra.models import CompiledModel, compile_beam_model
+from repro.cgra.sensor import (
+    ACTUATOR_DELTA_T,
+    SENSOR_GAP_BUFFER,
+    SENSOR_PERIOD,
+    SENSOR_REF_BUFFER,
+    SensorBus,
+)
+from repro.constants import SPEED_OF_LIGHT, TWO_PI, deg_to_rad
+from repro.control import BeamPhaseControlLoop, ControlLoopConfig
+from repro.errors import ConfigurationError, HilError
+from repro.hil.realtime import DeadlineMonitor, JitterStats
+from repro.physics.ion import IonSpecies
+from repro.physics.rf import RFSystem, voltage_for_synchrotron_frequency
+from repro.physics.ring import SynchrotronRing
+from repro.signal.adc import ADC
+from repro.signal.awg import PhaseJumpPattern
+from repro.signal.filters import moving_average
+
+__all__ = ["HilConfig", "HilRunResult", "CavityInTheLoop"]
+
+
+@dataclass(frozen=True)
+class HilConfig:
+    """Configuration of a cavity-in-the-loop run.
+
+    Defaults reproduce the paper's evaluation scenario: SIS18 parameters
+    are supplied by the caller (see :mod:`repro.experiments.mde` for the
+    exact MDE configuration: ¹⁴N⁷⁺, f_ref = 800 kHz, h = 4, f_s ≈
+    1.28 kHz, 8° jumps every 0.05 s).
+    """
+
+    ring: SynchrotronRing
+    ion: IonSpecies
+    harmonic: int = 4
+    revolution_frequency: float = 800e3
+    #: Target small-amplitude synchrotron frequency; the gap-voltage
+    #: amplitude is derived from it ("the input voltage amplitude was
+    #: adjusted to achieve a similar synchrotron frequency of 1.28 kHz").
+    synchrotron_frequency: float = 1.28e3
+    #: Phase jump amplitude in degrees (8° bench / 10° machine).
+    jump_deg: float = 8.0
+    #: Jump toggle period in seconds ("every twentieth of a second").
+    jump_toggle_period: float = 0.05
+    #: First toggle instant.
+    jump_start_time: float = 0.005
+    control: ControlLoopConfig | None = None
+    n_bunches: int = 1
+    engine: str = "python"
+    precision: str = "single"
+    pipelined: bool = True
+    cgra_config: CgraConfig = field(default_factory=CgraConfig)
+    #: Model the 14-bit ADC quantisation of the sensed voltages.
+    quantize_adc: bool = True
+    #: DDS amplitude at the ADC input, volts (2 Vpp limit ⇒ ≤ 1.0).
+    adc_amplitude: float = 0.9
+    #: Record every N-th revolution.
+    record_every: int = 1
+    #: Dual-harmonic amplitude ratio r = V̂₂/V̂₁ (counter-phase second
+    #: harmonic at 2h·f_R, paper ref. [9]'s cavity system).  0 = single
+    #: harmonic.  Must stay below 0.5 so the bucket keeps a defined
+    #: small-amplitude synchrotron frequency to calibrate against; the
+    #: fundamental amplitude is raised by 1/(1−2r) to keep f_s on target.
+    dual_harmonic_ratio: float = 0.0
+    #: Per-bunch initial arrival offsets in seconds (injection errors);
+    #: None = all bunches start on their zero crossings.  Length must
+    #: equal ``n_bunches``.
+    initial_delta_t: tuple[float, ...] | None = None
+    #: What the DSP feeds the control loop when several bunches are
+    #: simulated: the first bunch ("bunch0") or the average dipole phase
+    #: across all bunches ("mean") — the multi-bunch LLRF behaviour.
+    control_source: str = "bunch0"
+
+    def __post_init__(self) -> None:
+        if self.engine not in ("python", "cgra"):
+            raise ConfigurationError(f"engine must be 'python' or 'cgra', got {self.engine!r}")
+        if self.harmonic < 1:
+            raise ConfigurationError("harmonic must be >= 1")
+        if self.n_bunches < 1 or self.n_bunches > self.harmonic:
+            raise ConfigurationError("n_bunches must be in [1, harmonic]")
+        if self.revolution_frequency <= 0:
+            raise ConfigurationError("revolution_frequency must be positive")
+        if self.synchrotron_frequency <= 0:
+            raise ConfigurationError("synchrotron_frequency must be positive")
+        if not 0 < self.adc_amplitude <= 1.0:
+            raise ConfigurationError("adc_amplitude must be in (0, 1] volts")
+        if self.record_every < 1:
+            raise ConfigurationError("record_every must be >= 1")
+        if self.jump_toggle_period <= 0:
+            raise ConfigurationError("jump_toggle_period must be positive")
+        if not 0.0 <= self.dual_harmonic_ratio < 0.5:
+            raise ConfigurationError(
+                "dual_harmonic_ratio must be in [0, 0.5); the flat bucket "
+                "(0.5) has no small-amplitude f_s to calibrate against"
+            )
+        if self.initial_delta_t is not None and len(self.initial_delta_t) != self.n_bunches:
+            raise ConfigurationError(
+                f"initial_delta_t needs {self.n_bunches} entries, "
+                f"got {len(self.initial_delta_t)}"
+            )
+        if self.control_source not in ("bunch0", "mean"):
+            raise ConfigurationError(
+                f"control_source must be 'bunch0' or 'mean', got {self.control_source!r}"
+            )
+
+
+@dataclass
+class HilRunResult:
+    """Recorded traces of one bench run (decimated by ``record_every``)."""
+
+    #: Machine time of each record, seconds.
+    time: np.ndarray
+    #: DSP phase difference beam-vs-reference, degrees at h·f_R.
+    phase_deg: np.ndarray
+    #: Control-loop correction applied to the gap phase, degrees.
+    correction_deg: np.ndarray
+    #: Commanded jump drive at each record, degrees.
+    jump_deg: np.ndarray
+    #: Arrival-time offset of bunch 0, seconds.
+    delta_t: np.ndarray
+    #: Arrival-time offsets of every bunch, shape (n_records, n_bunches).
+    delta_t_all: np.ndarray
+    #: Reference Lorentz factor trace.
+    gamma_ref: np.ndarray
+    #: Real-time slack statistics of the run.
+    deadline: JitterStats
+    #: Schedule length of the compiled model, CGRA ticks.
+    schedule_length: int
+    #: Engine that produced the run.
+    engine: str
+
+    def phase_deg_smoothed(self, width: int = 5) -> np.ndarray:
+        """Fig. 5a's display filter: width-5 moving average."""
+        return moving_average(self.phase_deg, width)
+
+    def phase_deg_bunch(self, bunch: int, harmonic: int, f_rev: float) -> np.ndarray:
+        """DSP phase trace of one specific bunch (degrees at h·f_R)."""
+        return -360.0 * harmonic * f_rev * self.delta_t_all[:, bunch]
+
+
+class CavityInTheLoop:
+    """The closed-loop HIL bench.
+
+    Build it from a :class:`HilConfig`, then :meth:`run` a time span.
+    The gap-voltage amplitude, the per-revolution model parameters and
+    the control loop are derived exactly as in the evaluation section of
+    the paper.
+    """
+
+    def __init__(self, config: HilConfig) -> None:
+        self.config = config
+        ring, ion = config.ring, config.ion
+        self.f_rev = config.revolution_frequency
+        self.gamma0 = ring.gamma_from_revolution_frequency(self.f_rev)
+        probe = RFSystem(harmonic=config.harmonic, voltage=1.0)
+        single_equivalent = voltage_for_synchrotron_frequency(
+            ring, ion, probe, self.gamma0, config.synchrotron_frequency
+        )
+        # Dual-harmonic: the effective centre slope is (1 - 2r)·V̂₁ω, so
+        # the fundamental is raised to keep the calibrated f_s.
+        self._dh_ratio = config.dual_harmonic_ratio
+        self.gap_voltage_amplitude = single_equivalent / (1.0 - 2.0 * self._dh_ratio)
+        self.rf = probe.with_voltage(self.gap_voltage_amplitude)
+        self.jump = PhaseJumpPattern(
+            jump_deg=config.jump_deg,
+            toggle_period=config.jump_toggle_period,
+            start_time=config.jump_start_time,
+        )
+        control_cfg = config.control or ControlLoopConfig(sample_rate=self.f_rev)
+        if abs(control_cfg.sample_rate - self.f_rev) > 1e-6 * self.f_rev:
+            raise ConfigurationError(
+                "control sample_rate must equal the revolution frequency "
+                f"({self.f_rev}), got {control_cfg.sample_rate}"
+            )
+        self.control = BeamPhaseControlLoop(control_cfg)
+
+        #: ADC volts ↔ gap volts calibration (the bench scales kV-scale
+        #: gap voltages into the 2 Vpp ADC range).  The dual-harmonic sum
+        #: peaks at up to (1 + r)·V̂₁, so the ADC-side signal is shrunk by
+        #: (1 + r) to stay inside the rails and the scale grows to match.
+        self._dh_headroom = 1.0 + self._dh_ratio
+        self.gap_scale = (
+            self.gap_voltage_amplitude * self._dh_headroom / config.adc_amplitude
+        )
+        self.ref_scale = config.harmonic * self.gap_voltage_amplitude * (
+            1.0 - 2.0 * self._dh_ratio
+        ) / config.adc_amplitude
+        self._adc = ADC(bits=14, vpp=2.0, sample_rate=250e6)
+        # Scalar fast path of ADC.quantize (the per-revolution loop calls
+        # this twice per turn; the NumPy round trip dominates otherwise).
+        self._adc_lsb = self._adc.lsb
+        self._adc_code_min = self._adc.code_min
+        self._adc_code_max = self._adc.code_max
+
+        self.model: CompiledModel = compile_beam_model(
+            n_bunches=config.n_bunches,
+            pipelined=config.pipelined,
+            config=config.cgra_config,
+        )
+        self.deadline = DeadlineMonitor(
+            self.model.schedule_length,
+            cgra_clock_hz=config.cgra_config.clock_mhz * 1e6,
+        )
+
+        # Mutable run state:
+        self._gap_phase_rad = 0.0
+        self._time = 0.0
+        self._turn = 0
+        self._delta_t = np.zeros(config.n_bunches)
+        self._executor: CgraExecutor | None = None
+        initial = (
+            np.asarray(config.initial_delta_t, dtype=float)
+            if config.initial_delta_t is not None
+            else np.zeros(config.n_bunches)
+        )
+        if config.engine == "cgra":
+            self._executor = self._build_executor()
+            for i, value in enumerate(initial):
+                if value != 0.0:
+                    self._executor.set_register(f"dt[{i}]", float(value))
+        else:
+            self._py_gamma_r = self.gamma0
+            self._py_dgamma = np.zeros(config.n_bunches)
+            self._py_dt = initial.copy()
+            # Pipelined semantics: stage 2 consumes the voltages sensed in
+            # the *previous* iteration (the pipeline_barrier() registers).
+            self._py_prev_v_r = 0.0
+            self._py_prev_v_a = np.zeros(config.n_bunches)
+        self._delta_t[:] = initial
+
+    # -- engine plumbing -------------------------------------------------
+
+    def _maybe_quantize(self, adc_volts: float) -> float:
+        if not self.config.quantize_adc:
+            return adc_volts
+        code = round(adc_volts / self._adc_lsb)
+        if code < self._adc_code_min:
+            code = self._adc_code_min
+        elif code > self._adc_code_max:
+            code = self._adc_code_max
+        return code * self._adc_lsb
+
+    def _ref_adc_voltage(self, addr_samples: float) -> float:
+        """Reference-buffer read: undisturbed sine at f_R, ADC volts."""
+        t = addr_samples / 250e6
+        v = self.config.adc_amplitude * math.sin(TWO_PI * self.f_rev * t)
+        return self._maybe_quantize(v)
+
+    def _gap_adc_voltage(self, addr_samples: float) -> float:
+        """Gap-buffer read: (dual-)harmonic signal with the commanded phase."""
+        t = addr_samples / 250e6
+        base = TWO_PI * self.config.harmonic * self.f_rev * t + self._gap_phase_rad
+        if self._dh_ratio:
+            v = (self.config.adc_amplitude / self._dh_headroom) * (
+                math.sin(base) - self._dh_ratio * math.sin(2.0 * base)
+            )
+        else:
+            v = self.config.adc_amplitude * math.sin(base)
+        return self._maybe_quantize(v)
+
+    def _build_executor(self) -> CgraExecutor:
+        bus = SensorBus()
+        t_rev = 1.0 / self.f_rev
+        bus.register_reader(SENSOR_PERIOD, lambda: t_rev)
+        bus.register_addr_reader(SENSOR_REF_BUFFER, self._ref_adc_voltage)
+        bus.register_addr_reader(SENSOR_GAP_BUFFER, self._gap_adc_voltage)
+        for i in range(self.config.n_bunches):
+            def writer(value: float, i: int = i) -> None:
+                self._delta_t[i] = value
+            bus.register_writer(ACTUATOR_DELTA_T + i, writer)
+        params = self.model.default_params(
+            gamma_r0=self.gamma0,
+            q_over_mc2=self.config.ion.gamma_gain_per_volt(),
+            orbit_length=self.config.ring.circumference,
+            alpha_c=self.config.ring.alpha_c,
+            v_scale=self.gap_scale,
+            v_scale_ref=self.ref_scale,
+            f_sample=250e6,
+            harmonic=self.config.harmonic,
+        )
+        return CgraExecutor(self.model.schedule, bus, params, precision=self.config.precision)
+
+    def _python_step(self) -> None:
+        """One revolution of the model equations, mirroring the C model.
+
+        The Δt outputs are latched *before* the update (stage-1 IO), so
+        the visible output matches the CGRA's by construction.
+        """
+        cfg = self.config
+        self._delta_t[:] = self._py_dt
+        t_rev = 1.0 / self.f_rev
+        gamma_r = self._py_gamma_r
+        inv_g2 = 1.0 / (gamma_r * gamma_r)
+        beta_r = math.sqrt(1.0 - inv_g2)
+        t_ref = cfg.ring.circumference / (beta_r * SPEED_OF_LIGHT)
+        d_t = t_ref - t_rev
+        v_r = self._ref_adc_voltage(d_t * 250e6) * self.ref_scale
+        spacing = t_rev / cfg.harmonic
+        qmc2 = cfg.ion.gamma_gain_per_volt()
+        v_a = np.empty(cfg.n_bunches)
+        for i in range(cfg.n_bunches):
+            addr = (d_t + spacing * i + self._py_dt[i]) * 250e6
+            v_a[i] = self._gap_adc_voltage(addr) * self.gap_scale
+        if cfg.pipelined:
+            # Swap in the previous iteration's voltages (pipeline registers).
+            v_r, self._py_prev_v_r = self._py_prev_v_r, v_r
+            v_a, self._py_prev_v_a = self._py_prev_v_a, v_a
+        gamma_r = gamma_r + qmc2 * v_r
+        inv_g2n = 1.0 / (gamma_r * gamma_r)
+        eta = cfg.ring.alpha_c - inv_g2n
+        beta_r2 = 1.0 - inv_g2n
+        k_dt = cfg.ring.circumference * eta / (beta_r2 * SPEED_OF_LIGHT * gamma_r)
+        for i in range(cfg.n_bunches):
+            self._py_dgamma[i] += qmc2 * (v_a[i] - v_r)
+            gamma_a = gamma_r + self._py_dgamma[i]
+            beta_a = math.sqrt(1.0 - 1.0 / (gamma_a * gamma_a))
+            self._py_dt[i] += k_dt * self._py_dgamma[i] / beta_a
+        self._py_gamma_r = gamma_r
+
+    # -- the loop ---------------------------------------------------------
+
+    def measured_phase_deg(self) -> float:
+        """DSP phase detector reading (degrees at h·f_R).
+
+        ``control_source`` selects bunch 0 or the average dipole phase of
+        all simulated bunches.  Polarity: a +x° gap phase jump settles at
+        a +x° reading (the Fig. 5 convention) — see
+        :mod:`repro.control.beam_phase_loop` for the sign derivation.
+        """
+        if self.config.control_source == "mean":
+            dt = float(self._delta_t.mean())
+        else:
+            dt = float(self._delta_t[0])
+        return -360.0 * self.config.harmonic * self.f_rev * dt
+
+    def step_revolution(self) -> None:
+        """Advance the closed loop by one revolution."""
+        # 1. gap phase for this revolution: AWG drive + control correction.
+        jump_rad = float(self.jump.phase_rad_at(self._time))
+        self._gap_phase_rad = jump_rad + deg_to_rad(self.control.last_output_deg)
+        # 2. beam model iteration (emits Δt of this revolution).
+        if self._executor is not None:
+            self._executor.run_iteration()
+        else:
+            self._python_step()
+        # 3. DSP measurement + control update.
+        self.control.update(self.measured_phase_deg())
+        self._turn += 1
+        self._time += 1.0 / self.f_rev
+
+    def run(self, duration: float) -> HilRunResult:
+        """Run the bench for ``duration`` seconds of machine time."""
+        if duration <= 0:
+            raise HilError("duration must be positive")
+        n_turns = int(round(duration * self.f_rev))
+        # The revolution period is constant in this scenario: check the
+        # real-time budget once per revolution via the monitor (cheap).
+        rec_every = self.config.record_every
+        n_rec = n_turns // rec_every + 1
+        time = np.empty(n_rec)
+        phase = np.empty(n_rec)
+        corr = np.empty(n_rec)
+        jump = np.empty(n_rec)
+        dts = np.empty(n_rec)
+        dts_all = np.empty((n_rec, self.config.n_bunches))
+        gam = np.empty(n_rec)
+        idx = 0
+
+        def record() -> None:
+            nonlocal idx
+            time[idx] = self._time
+            phase[idx] = self.measured_phase_deg()
+            corr[idx] = self.control.last_output_deg
+            jump[idx] = float(self.jump.phase_deg_at(self._time))
+            dts[idx] = float(self._delta_t[0])
+            dts_all[idx] = self._delta_t
+            gam[idx] = (
+                self._executor.register_of("gamma_r")
+                if self._executor is not None
+                else self._py_gamma_r
+            )
+            idx += 1
+
+        record()
+        t_rev = 1.0 / self.f_rev
+        for n in range(n_turns):
+            self.deadline.check_revolution(t_rev)
+            self.step_revolution()
+            if (n + 1) % rec_every == 0:
+                record()
+        return HilRunResult(
+            time=time[:idx],
+            phase_deg=phase[:idx],
+            correction_deg=corr[:idx],
+            jump_deg=jump[:idx],
+            delta_t=dts[:idx],
+            delta_t_all=dts_all[:idx],
+            gamma_ref=gam[:idx],
+            deadline=self.deadline.stats(),
+            schedule_length=self.model.schedule_length,
+            engine=self.config.engine,
+        )

@@ -1,0 +1,148 @@
+"""SpartanMC-style parameter interface and DRAM recorder.
+
+"The SpartanMC softcore processor is a custom 18-bit processor optimised
+for FPGA architectures and serves as a parameter interface.  It can
+control basic parameters of the simulation, adjust the scaling of output
+voltages and change which monitoring signal is produced.  Furthermore,
+it allows to record the simulation into the DRAM memory of the FPGA
+board, which can be read out from a computer via the serial port."
+
+:class:`ParameterInterface` models the 18-bit register file (values are
+stored as 18-bit two's-complement words; float parameters go through a
+per-register fixed-point scale — writing a parameter and reading it back
+shows exactly the quantisation the softcore path imposes).
+:class:`DramRecorder` models the bounded capture memory with a
+serial-port-style streaming read-out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError, HilError
+
+__all__ = ["ParameterInterface", "DramRecorder"]
+
+_WORD_BITS = 18
+_WORD_MIN = -(2 ** (_WORD_BITS - 1))
+_WORD_MAX = 2 ** (_WORD_BITS - 1) - 1
+
+
+@dataclass(frozen=True)
+class _Register:
+    """One named 18-bit register with a fixed-point scale."""
+
+    name: str
+    scale: float  # engineering value = raw * scale
+
+
+class ParameterInterface:
+    """18-bit register file for runtime simulation parameters."""
+
+    def __init__(self) -> None:
+        self._registers: dict[str, _Register] = {}
+        self._raw: dict[str, int] = {}
+
+    def define(self, name: str, scale: float = 1.0, initial: float = 0.0) -> None:
+        """Declare a parameter register.
+
+        ``scale`` is the engineering value of one LSB (fixed-point step).
+        """
+        if name in self._registers:
+            raise ConfigurationError(f"register {name!r} already defined")
+        if scale <= 0.0:
+            raise ConfigurationError("scale must be positive")
+        self._registers[name] = _Register(name=name, scale=scale)
+        self._raw[name] = 0
+        self.write(name, initial)
+
+    def names(self) -> list[str]:
+        """All defined register names."""
+        return sorted(self._registers)
+
+    def write(self, name: str, value: float) -> None:
+        """Write an engineering value; quantised and clipped to 18 bits."""
+        reg = self._registers.get(name)
+        if reg is None:
+            raise HilError(f"no register {name!r}")
+        raw = int(round(value / reg.scale))
+        self._raw[name] = max(_WORD_MIN, min(_WORD_MAX, raw))
+
+    def read(self, name: str) -> float:
+        """Read back the engineering value (after quantisation)."""
+        reg = self._registers.get(name)
+        if reg is None:
+            raise HilError(f"no register {name!r}")
+        return self._raw[name] * reg.scale
+
+    def read_raw(self, name: str) -> int:
+        """Raw 18-bit register content."""
+        if name not in self._raw:
+            raise HilError(f"no register {name!r}")
+        return self._raw[name]
+
+
+class DramRecorder:
+    """Bounded capture memory with streaming read-out.
+
+    Rows are fixed-width float records (e.g. one per revolution).  When
+    the capacity is reached, recording stops (the hardware records a
+    window, it does not wrap) and :attr:`overflowed` is set.
+    """
+
+    def __init__(self, n_columns: int, capacity_rows: int = 1 << 20) -> None:
+        if n_columns < 1:
+            raise ConfigurationError("need at least one column")
+        if capacity_rows < 1:
+            raise ConfigurationError("capacity must be positive")
+        self.n_columns = int(n_columns)
+        self.capacity_rows = int(capacity_rows)
+        self._data = np.empty((0, n_columns))
+        self._chunks: list[np.ndarray] = []
+        self._rows = 0
+        #: True once a record was dropped because memory was full.
+        self.overflowed = False
+        self.recording = True
+
+    @property
+    def rows(self) -> int:
+        """Number of stored records."""
+        return self._rows
+
+    def record(self, *values: float) -> None:
+        """Append one record if recording is on and memory remains."""
+        if not self.recording:
+            return
+        if len(values) != self.n_columns:
+            raise HilError(
+                f"record has {len(values)} values, recorder expects {self.n_columns}"
+            )
+        if self._rows >= self.capacity_rows:
+            self.overflowed = True
+            return
+        self._chunks.append(np.asarray(values, dtype=float))
+        self._rows += 1
+
+    def stop(self) -> None:
+        """Stop recording (parameter-interface command)."""
+        self.recording = False
+
+    def start(self) -> None:
+        """Resume recording."""
+        self.recording = True
+
+    def as_array(self) -> np.ndarray:
+        """All records as an (n, columns) array."""
+        if not self._chunks:
+            return np.empty((0, self.n_columns))
+        return np.vstack(self._chunks)
+
+    def readout_serial(self, chunk_rows: int = 256):
+        """Generator yielding successive row blocks, like a serial dump."""
+        if chunk_rows < 1:
+            raise ConfigurationError("chunk_rows must be positive")
+        data = self.as_array()
+        for i in range(0, data.shape[0], chunk_rows):
+            yield data[i : i + chunk_rows]

@@ -1,0 +1,95 @@
+"""Longitudinal beam-dynamics substrate.
+
+Implements the physics of Section IV of the paper: relativistic
+kinematics (Eq. 1), the synchrotron ring and phase-slip relations
+(Eqs. 4–5), RF bucket theory, and the recursive two-particle tracking map
+(Eqs. 2, 3 and 6), plus the multi-macro-particle extension discussed in
+the paper's outlook (Section VI).
+"""
+
+from repro.physics.relativity import (
+    beta_from_gamma,
+    gamma_from_beta,
+    beta_gamma_product,
+    gamma_from_kinetic_energy,
+    kinetic_energy_from_gamma,
+    momentum_ev_per_c,
+    velocity,
+)
+from repro.physics.ion import IonSpecies, ion_from_string, KNOWN_IONS
+from repro.physics.ring import SynchrotronRing, SIS18
+from repro.physics.rf import RFSystem, synchrotron_frequency, bucket_is_stable
+from repro.physics.tracking import (
+    TrackingState,
+    MacroParticleTracker,
+    reference_gamma_update,
+    delta_gamma_update,
+    delta_t_update,
+)
+from repro.physics.multiparticle import MultiParticleTracker, BunchMoments
+from repro.physics.distributions import (
+    gaussian_bunch,
+    parabolic_bunch,
+    matched_rms_delta_gamma,
+)
+from repro.physics.phasespace import (
+    hamiltonian,
+    separatrix_delta_gamma,
+    bucket_half_height,
+    bucket_area,
+    small_amplitude_trajectory,
+)
+from repro.physics.oscillation import (
+    estimate_oscillation_frequency,
+    fit_damping_envelope,
+    dipole_moment_trace,
+    quadrupole_moment_trace,
+)
+from repro.physics.dual_harmonic import (
+    DualHarmonicRF,
+    dual_harmonic_synchrotron_frequency,
+    synchrotron_frequency_vs_amplitude,
+)
+from repro.physics.collective import BeamLoadingCavity, SpaceChargeModel
+
+__all__ = [
+    "beta_from_gamma",
+    "gamma_from_beta",
+    "beta_gamma_product",
+    "gamma_from_kinetic_energy",
+    "kinetic_energy_from_gamma",
+    "momentum_ev_per_c",
+    "velocity",
+    "IonSpecies",
+    "ion_from_string",
+    "KNOWN_IONS",
+    "SynchrotronRing",
+    "SIS18",
+    "RFSystem",
+    "synchrotron_frequency",
+    "bucket_is_stable",
+    "TrackingState",
+    "MacroParticleTracker",
+    "reference_gamma_update",
+    "delta_gamma_update",
+    "delta_t_update",
+    "MultiParticleTracker",
+    "BunchMoments",
+    "gaussian_bunch",
+    "parabolic_bunch",
+    "matched_rms_delta_gamma",
+    "hamiltonian",
+    "separatrix_delta_gamma",
+    "bucket_half_height",
+    "bucket_area",
+    "small_amplitude_trajectory",
+    "estimate_oscillation_frequency",
+    "fit_damping_envelope",
+    "dipole_moment_trace",
+    "quadrupole_moment_trace",
+    "DualHarmonicRF",
+    "dual_harmonic_synchrotron_frequency",
+    "synchrotron_frequency_vs_amplitude",
+    "BeamLoadingCavity",
+    "SpaceChargeModel",
+]

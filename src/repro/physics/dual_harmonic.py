@@ -1,0 +1,198 @@
+"""Dual-harmonic RF system (bunch-lengthening mode).
+
+SIS18's LLRF operates a *dual-harmonic* cavity system — the beam-phase
+control paper the authors build on is literally titled "A Digital
+Beam-Phase Control System for a Heavy-Ion Synchrotron With a
+Dual-Harmonic Cavity System" (paper reference [9]).  A second cavity at
+twice the RF frequency, in counter-phase with amplitude ratio r = V₂/V₁,
+produces the gap voltage
+
+.. math::
+
+    V(\\Delta t) = \\hat V_1\\,[\\sin(\\omega_{RF}\\Delta t)
+                   - r\\,\\sin(2\\,\\omega_{RF}\\Delta t + \\varphi_2')]
+
+whose slope at the bunch centre is ∝ (1 − 2r): at r = 0.5 the bucket
+bottom is *flat* (bunch-lengthening mode), the small-amplitude
+synchrotron frequency collapses, and the synchrotron-frequency spread
+across the bunch — hence Landau damping — grows strongly.
+
+Everything downstream of :class:`DualHarmonicRF` works unchanged: the
+trackers only call ``gap_voltage_at``, and the HIL bench's beam model
+reads the gap *ring buffer*, so driving the bench with a dual-harmonic
+signal requires no CGRA model change at all — a genuinely free extension
+of the paper's architecture (exercised by E12).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.constants import TWO_PI
+from repro.errors import ConfigurationError, PhysicsError
+from repro.physics.ion import IonSpecies
+from repro.physics.relativity import beta_from_gamma
+from repro.physics.ring import SynchrotronRing
+
+__all__ = [
+    "DualHarmonicRF",
+    "dual_harmonic_synchrotron_frequency",
+    "synchrotron_frequency_vs_amplitude",
+]
+
+
+@dataclass(frozen=True)
+class DualHarmonicRF:
+    """Two-cavity RF system: fundamental at h·f_R plus 2h·f_R component.
+
+    Parameters
+    ----------
+    harmonic:
+        Fundamental harmonic number h.
+    voltage:
+        Peak fundamental amplitude V̂₁ in volts.
+    ratio:
+        Amplitude ratio r = V̂₂/V̂₁ ∈ [0, 1).  0 reduces to the single-
+        harmonic system; 0.5 is the flat-bucket (bunch lengthening)
+        operating point.
+    phase_offset:
+        Common phase offset (control-loop/jump actuation), radians on
+        the fundamental scale — both components shift together, as when
+        the reference of the DDS group moves.
+    synchronous_phase:
+        Synchronous phase φ_s of the fundamental (0 = stationary).
+    second_phase:
+        Extra phase of the second harmonic relative to counter-phase; 0
+        is the standard bunch-lengthening configuration.
+    """
+
+    harmonic: int
+    voltage: float
+    ratio: float = 0.5
+    phase_offset: float = 0.0
+    synchronous_phase: float = 0.0
+    second_phase: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.harmonic < 1:
+            raise ConfigurationError("harmonic must be >= 1")
+        if self.voltage < 0.0:
+            raise ConfigurationError("voltage must be non-negative")
+        if not 0.0 <= self.ratio < 1.0:
+            raise ConfigurationError(f"ratio must be in [0, 1), got {self.ratio}")
+
+    def rf_frequency(self, f_rev: float) -> float:
+        """Fundamental RF frequency h·f_R."""
+        return self.harmonic * f_rev
+
+    def gap_voltage_at(self, delta_t, f_rev: float):
+        """Total gap voltage at arrival offset ``delta_t`` (scalar/array)."""
+        omega = TWO_PI * self.harmonic * f_rev
+        base = omega * np.asarray(delta_t, dtype=float) + self.phase_offset + self.synchronous_phase
+        v = self.voltage * (
+            np.sin(base) - self.ratio * np.sin(2.0 * base + self.second_phase)
+        )
+        return float(v) if np.isscalar(delta_t) else v
+
+    def voltage_slope_at_centre(self, f_rev: float) -> float:
+        """dV/dΔt at Δt = 0 (V/s); ∝ (1 − 2r) in the stationary case."""
+        omega = TWO_PI * self.harmonic * f_rev
+        p = self.phase_offset + self.synchronous_phase
+        return self.voltage * omega * (
+            math.cos(p) - 2.0 * self.ratio * math.cos(2.0 * p + self.second_phase)
+        )
+
+    def with_phase_offset(self, phase_offset: float) -> "DualHarmonicRF":
+        """Copy with a new common phase offset (control actuation)."""
+        return replace(self, phase_offset=phase_offset)
+
+    def with_voltage(self, voltage: float) -> "DualHarmonicRF":
+        """Copy with a new fundamental amplitude."""
+        return replace(self, voltage=voltage)
+
+    @property
+    def is_flat(self) -> bool:
+        """True at the exact bunch-lengthening point (zero centre slope)."""
+        return (
+            self.synchronous_phase == 0.0
+            and self.second_phase == 0.0
+            and abs(self.ratio - 0.5) < 1e-12
+        )
+
+
+def dual_harmonic_synchrotron_frequency(
+    ring: SynchrotronRing,
+    ion: IonSpecies,
+    rf: DualHarmonicRF,
+    gamma: float,
+) -> float:
+    """Small-amplitude synchrotron frequency of the dual-harmonic bucket.
+
+    The single-harmonic formula with the effective slope (1 − 2r)·V̂₁ω:
+    f_s(r) = f_s(0)·√(1 − 2r).  Exactly zero at the flat point — callers
+    studying the flat bucket need the amplitude-dependent frequency
+    (:func:`synchrotron_frequency_vs_amplitude`).
+    """
+    slope = rf.voltage_slope_at_centre(ring.revolution_frequency(gamma))
+    if slope <= 0.0:
+        if rf.is_flat:
+            return 0.0
+        raise PhysicsError(
+            "negative centre slope: bucket is unstable at this ratio/phase"
+        )
+    beta = beta_from_gamma(gamma)
+    eta = ring.phase_slip(gamma)
+    if eta >= 0.0:
+        raise PhysicsError("dual-harmonic helper assumes operation below transition")
+    f_rev = ring.revolution_frequency(gamma)
+    k_t = ion.charge_state * slope / ion.rest_energy_ev  # dΔγ/dn per second of Δt
+    a = ring.circumference * eta / (beta**3 * 299_792_458.0 * gamma)
+    return math.sqrt(-a * k_t) * f_rev / TWO_PI
+
+
+def synchrotron_frequency_vs_amplitude(
+    ring: SynchrotronRing,
+    ion: IonSpecies,
+    rf: DualHarmonicRF,
+    gamma: float,
+    amplitudes,
+    f_rev: float | None = None,
+    max_turns: int = 60000,
+) -> np.ndarray:
+    """Synchrotron frequency as a function of oscillation amplitude.
+
+    Tracks one particle per requested Δt amplitude through the actual
+    (nonlinear, dual-harmonic) map and measures its oscillation period
+    from the zero crossings of Δt.  The spread of this curve across the
+    bunch is the Landau-damping reservoir that the bunch-lengthening
+    mode is used to enlarge.
+    """
+    from repro.physics.tracking import MacroParticleTracker
+
+    if f_rev is None:
+        f_rev = ring.revolution_frequency(gamma)
+    amplitudes = np.atleast_1d(np.asarray(amplitudes, dtype=float))
+    if np.any(amplitudes <= 0.0):
+        raise PhysicsError("amplitudes must be positive")
+    out = np.empty(amplitudes.shape)
+    tracker = MacroParticleTracker(ring, ion, rf)  # duck-typed RF system
+    for i, amp in enumerate(amplitudes):
+        state = tracker.initial_state(f_rev, delta_t=float(amp))
+        crossings = []
+        prev = state.delta_t
+        for turn in range(max_turns):
+            tracker.step(state, f_rev)
+            if prev < 0.0 <= state.delta_t:
+                crossings.append(turn)
+                if len(crossings) >= 4:
+                    break
+            prev = state.delta_t
+        if len(crossings) < 2:
+            out[i] = float("nan")
+        else:
+            periods = np.diff(crossings)
+            out[i] = f_rev / float(periods.mean())
+    return out

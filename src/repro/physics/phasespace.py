@@ -1,0 +1,170 @@
+"""Longitudinal phase-space geometry: Hamiltonian, separatrix, bucket.
+
+The tracking map of :mod:`repro.physics.tracking` is the discrete-time
+form of the synchrotron Hamiltonian
+
+.. math::
+
+    H(\\Delta t, \\Delta\\gamma) = \\tfrac12 a\\,\\Delta\\gamma^2
+        + \\frac{k_t}{\\omega_{RF}^2}\\,
+          \\big(\\cos(\\omega_{RF}\\Delta t) - 1\\big) \\cdot (-1)
+
+(stationary case, per-turn units), whose level sets are the particle
+trajectories.  These utilities are used for matched-distribution
+validation, for the separatrix overlay in examples, and for property
+tests ("tracked particles conserve H to first order").
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.constants import SPEED_OF_LIGHT, TWO_PI
+from repro.errors import PhysicsError
+from repro.physics.ion import IonSpecies
+from repro.physics.relativity import beta_from_gamma
+from repro.physics.rf import RFSystem, bucket_is_stable
+from repro.physics.ring import SynchrotronRing
+
+__all__ = [
+    "map_coefficients",
+    "hamiltonian",
+    "separatrix_delta_gamma",
+    "bucket_half_height",
+    "bucket_half_length",
+    "bucket_area",
+    "small_amplitude_trajectory",
+]
+
+
+def map_coefficients(
+    ring: SynchrotronRing,
+    ion: IonSpecies,
+    rf: RFSystem,
+    gamma: float,
+) -> tuple[float, float, float]:
+    """Return ``(a, k_t, omega_rf)`` of the linearised per-turn map.
+
+    ``a`` — Δt change per turn per unit Δγ (Eq. 6 coefficient, seconds);
+    ``k_t`` — Δγ change per second of Δt per turn (voltage slope, 1/s);
+    ``omega_rf`` — angular RF frequency (rad/s).
+    """
+    beta = beta_from_gamma(gamma)
+    eta = ring.phase_slip(gamma)
+    f_rev = ring.revolution_frequency(gamma)
+    omega_rf = TWO_PI * rf.harmonic * f_rev
+    k_t = ion.charge_state * rf.voltage * omega_rf * math.cos(rf.synchronous_phase) / ion.rest_energy_ev
+    a = ring.circumference * eta / (beta**3 * SPEED_OF_LIGHT * gamma)
+    return a, k_t, omega_rf
+
+
+def hamiltonian(
+    delta_t,
+    delta_gamma,
+    ring: SynchrotronRing,
+    ion: IonSpecies,
+    rf: RFSystem,
+    gamma: float,
+):
+    """Per-turn Hamiltonian value for phase-space points (stationary case).
+
+    Normalised so that H = 0 at the bucket centre and H = H_sx > 0 on the
+    separatrix.  Accepts scalar or array coordinates.
+    """
+    a, k_t, omega_rf = map_coefficients(ring, ion, rf, gamma)
+    if not bucket_is_stable(ring.phase_slip(gamma), rf.synchronous_phase):
+        raise PhysicsError("hamiltonian() currently supports stable stationary buckets")
+    dt = np.asarray(delta_t, dtype=float)
+    dg = np.asarray(delta_gamma, dtype=float)
+    # Canonical form: H0 = a/2·Δγ² + (k_t/ω²)(cos(ωΔt) − 1); below
+    # transition a < 0 makes H0 negative-definite around the centre, so
+    # flip the orientation to report wells pointing upward (H ≥ 0, zero
+    # at the bucket centre).
+    h0 = 0.5 * a * dg * dg + (k_t / omega_rf**2) * (np.cos(omega_rf * dt) - 1.0)
+    h = -h0 if a < 0 else h0
+    return float(h) if (np.isscalar(delta_t) and np.isscalar(delta_gamma)) else h
+
+
+def bucket_half_length(rf: RFSystem, f_rev: float) -> float:
+    """Half-length of the stationary bucket in seconds: T_RF/2."""
+    return 0.5 / (rf.harmonic * f_rev)
+
+
+def bucket_half_height(
+    ring: SynchrotronRing,
+    ion: IonSpecies,
+    rf: RFSystem,
+    gamma: float,
+) -> float:
+    """Maximum |Δγ| inside the stationary bucket.
+
+    From H(0, Δγ_max) = H(T_RF/2, 0): Δγ_max = sqrt(4 k_t / (|a| ω_RF²))·
+    sqrt(...) — evaluated directly from the Hamiltonian coefficients.
+    """
+    a, k_t, omega_rf = map_coefficients(ring, ion, rf, gamma)
+    if a * k_t >= 0.0:
+        raise PhysicsError("unstable bucket: a and k_t must have opposite signs")
+    return math.sqrt(4.0 * abs(k_t) / (abs(a) * omega_rf * omega_rf))
+
+
+def separatrix_delta_gamma(
+    delta_t,
+    ring: SynchrotronRing,
+    ion: IonSpecies,
+    rf: RFSystem,
+    gamma: float,
+):
+    """|Δγ| of the separatrix at arrival-time offset Δt (stationary case).
+
+    Δγ_sx(Δt) = Δγ_max · |cos(ω_RF Δt / 2)|.
+    """
+    _, _, omega_rf = map_coefficients(ring, ion, rf, gamma)
+    dg_max = bucket_half_height(ring, ion, rf, gamma)
+    dt = np.asarray(delta_t, dtype=float)
+    val = dg_max * np.abs(np.cos(0.5 * omega_rf * dt))
+    return float(val) if np.isscalar(delta_t) else val
+
+
+def bucket_area(
+    ring: SynchrotronRing,
+    ion: IonSpecies,
+    rf: RFSystem,
+    gamma: float,
+    n_points: int = 2001,
+) -> float:
+    """Phase-space area enclosed by the stationary separatrix (s·Δγ units).
+
+    Integrates 2·Δγ_sx(Δt) over one bucket length numerically; the
+    analytic value is 16·Δγ_max/(2·ω_RF) — used as a cross-check in tests.
+    """
+    f_rev = ring.revolution_frequency(gamma)
+    half = bucket_half_length(rf, f_rev)
+    dts = np.linspace(-half, half, n_points)
+    heights = separatrix_delta_gamma(dts, ring, ion, rf, gamma)
+    return float(2.0 * np.trapezoid(heights, dts))
+
+
+def small_amplitude_trajectory(
+    ring: SynchrotronRing,
+    ion: IonSpecies,
+    rf: RFSystem,
+    gamma: float,
+    delta_t_amplitude: float,
+    n_points: int = 256,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Closed small-amplitude trajectory (ellipse) through (Δt_amp, 0).
+
+    Returns ``(delta_t, delta_gamma)`` arrays tracing the matched ellipse;
+    useful for phase-space plots and matched-distribution tests.
+    """
+    a, k_t, _ = map_coefficients(ring, ion, rf, gamma)
+    if a * k_t >= 0.0:
+        raise PhysicsError("unstable bucket: no closed trajectories")
+    ratio = math.sqrt(-k_t / a)
+    phases = np.linspace(0.0, TWO_PI, n_points, endpoint=False)
+    return (
+        delta_t_amplitude * np.cos(phases),
+        delta_t_amplitude * ratio * np.sin(phases),
+    )

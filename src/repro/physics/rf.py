@@ -1,0 +1,159 @@
+"""RF system: gap voltage, synchronous phase, bucket stability and the
+small-amplitude synchrotron frequency.
+
+The cavity applies a sinusoidal voltage across the ceramic gap.  In the
+stationary case the bunch centre sits in the positive-slope zero crossing
+(paper Section I): a particle arriving *late* (Δt > 0) sees a higher
+voltage and is accelerated relative to the reference particle, an early
+particle is decelerated — Fig. 1 of the paper.
+
+The small-amplitude synchrotron frequency used to calibrate the
+experiment (the paper adjusts the input amplitude until f_s ≈ 1.28 kHz)
+follows from linearising the tracking map (Eqs. 2, 3, 6):
+
+.. math::
+
+    f_s = f_R \\sqrt{\\frac{-\\,h\\,\\eta\\,\\cos\\varphi_s\\; Q \\hat V}
+                          {2\\pi\\,\\beta^2\\,\\gamma\\,m c^2}}
+
+with the argument positive below transition (η < 0, cos φ_s > 0).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.constants import SPEED_OF_LIGHT, TWO_PI
+from repro.errors import ConfigurationError, PhysicsError
+from repro.physics.ion import IonSpecies
+from repro.physics.relativity import beta_from_gamma
+from repro.physics.ring import SynchrotronRing
+
+__all__ = [
+    "RFSystem",
+    "synchrotron_frequency",
+    "voltage_for_synchrotron_frequency",
+    "bucket_is_stable",
+]
+
+
+@dataclass(frozen=True)
+class RFSystem:
+    """One RF cavity system of a synchrotron.
+
+    Parameters
+    ----------
+    harmonic:
+        Harmonic number h; the RF frequency is f_RF = h · f_R and h bunches
+        can circulate simultaneously (paper Section I).
+    voltage:
+        Peak gap voltage V̂ in volts (several kV at GSI).
+    phase_offset:
+        Additional phase of the gap voltage in radians, relative to the
+        reference signal's positive zero crossing.  The beam-phase control
+        loop actuates exactly this quantity.
+    synchronous_phase:
+        Synchronous phase φ_s in radians. 0 for the stationary case.
+    """
+
+    harmonic: int
+    voltage: float
+    phase_offset: float = 0.0
+    synchronous_phase: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.harmonic < 1:
+            raise ConfigurationError(f"harmonic must be >= 1, got {self.harmonic}")
+        if self.voltage < 0.0:
+            raise ConfigurationError(f"voltage must be non-negative, got {self.voltage}")
+
+    def rf_frequency(self, f_rev: float) -> float:
+        """RF frequency f_RF = h · f_R."""
+        return self.harmonic * f_rev
+
+    def gap_voltage_at(self, delta_t, f_rev: float):
+        """Gap voltage seen by a particle arriving ``delta_t`` after the
+        reference particle's zero crossing (stationary convention).
+
+        V(Δt) = V̂ · sin(2π h f_R Δt + φ_offset + φ_s).  Accepts scalar or
+        array ``delta_t``.
+        """
+        omega_rf = TWO_PI * self.harmonic * f_rev
+        phase = omega_rf * np.asarray(delta_t, dtype=float) + self.phase_offset + self.synchronous_phase
+        v = self.voltage * np.sin(phase)
+        return float(v) if np.isscalar(delta_t) else v
+
+    def with_phase_offset(self, phase_offset: float) -> "RFSystem":
+        """Return a copy with a new phase offset (control-loop actuation)."""
+        return replace(self, phase_offset=phase_offset)
+
+    def with_voltage(self, voltage: float) -> "RFSystem":
+        """Return a copy with a new peak voltage (amplitude ramp)."""
+        return replace(self, voltage=voltage)
+
+
+def bucket_is_stable(eta: float, synchronous_phase: float) -> bool:
+    """Longitudinal stability criterion η · cos φ_s < 0.
+
+    Below transition (η < 0) the rising-slope zero crossing (cos φ_s > 0)
+    is stable; above transition the falling slope is.
+    """
+    return eta * math.cos(synchronous_phase) < 0.0
+
+
+def synchrotron_frequency(
+    ring: SynchrotronRing,
+    ion: IonSpecies,
+    rf: RFSystem,
+    gamma: float,
+) -> float:
+    """Small-amplitude synchrotron frequency f_s in Hz.
+
+    Derived from the linearised per-turn map: with
+    ``k = Q·V̂·ω_RF·cosφ_s / (m c²)`` (change of Δγ per second of Δt) and
+    ``a = l_R·η / (β³ c γ)`` (change of Δt per unit Δγ per turn, Eq. 6),
+    the discrete map approximates a harmonic oscillator with per-turn
+    angular frequency √(−a·k) when a·k < 0.
+
+    Raises :class:`~repro.errors.PhysicsError` when the bucket is unstable
+    at the given parameters.
+    """
+    beta = beta_from_gamma(gamma)
+    eta = ring.phase_slip(gamma)
+    if not bucket_is_stable(eta, rf.synchronous_phase):
+        raise PhysicsError(
+            f"unstable bucket: eta={eta:.4g}, phi_s={rf.synchronous_phase:.4g}"
+        )
+    f_rev = ring.revolution_frequency(gamma)
+    omega_rf = TWO_PI * rf.harmonic * f_rev
+    # Δγ gain per second of arrival-time error:
+    k = ion.charge_state * rf.voltage * omega_rf * math.cos(rf.synchronous_phase) / ion.rest_energy_ev
+    # Δt change per turn per unit Δγ (Eq. 6 coefficient):
+    a = ring.circumference * eta / (beta**3 * SPEED_OF_LIGHT * gamma)
+    # Per-turn phase advance of the linearised oscillator (a·k is
+    # dimensionless: a is seconds/turn per unit Δγ, k is Δγ per second):
+    omega_turn = math.sqrt(-a * k)
+    return omega_turn * f_rev / TWO_PI
+
+
+def voltage_for_synchrotron_frequency(
+    ring: SynchrotronRing,
+    ion: IonSpecies,
+    rf: RFSystem,
+    gamma: float,
+    f_s_target: float,
+) -> float:
+    """Peak gap voltage that yields a desired synchrotron frequency.
+
+    The paper's evaluation states "the input voltage amplitude was
+    adjusted to achieve a similar synchrotron frequency of 1.28 kHz" —
+    this function performs that adjustment analytically (f_s ∝ √V̂).
+    """
+    if f_s_target <= 0.0:
+        raise PhysicsError("target synchrotron frequency must be positive")
+    probe = rf.with_voltage(1.0)
+    f_s_unit = synchrotron_frequency(ring, ion, probe, gamma)
+    return (f_s_target / f_s_unit) ** 2

@@ -1,0 +1,133 @@
+"""Analogue-to-digital converter model (FMC151 ADC channel).
+
+The paper's FMC151 daughter card provides a two-channel **14-bit** ADC
+running at **250 MHz** with input amplitudes limited to **2 V peak-to-
+peak**.  This model reproduces the conversion bit-exactly: mid-tread
+uniform quantisation over ±1 V, hard clipping at the rails, and optional
+additive noise plus aperture jitter for non-ideal studies.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import SignalError
+from repro.signal.waveform import Waveform
+
+__all__ = ["ADC"]
+
+
+class ADC:
+    """Bit-accurate ADC channel.
+
+    Parameters
+    ----------
+    bits:
+        Resolution (14 for the FMC151 ADC).
+    vpp:
+        Full-scale peak-to-peak input range in volts (2.0 in the bench).
+    sample_rate:
+        Sample clock in Hz (250 MHz in the bench).
+    noise_rms:
+        RMS of additive Gaussian input-referred noise in volts (0 = ideal).
+    aperture_jitter_rms:
+        RMS sampling-instant jitter in seconds (0 = ideal).  Only used by
+        :meth:`sample_function`, where the true signal can be re-evaluated
+        at the jittered instants.
+    rng:
+        Random generator for the noise models; required when either noise
+        parameter is non-zero.
+    """
+
+    def __init__(
+        self,
+        bits: int = 14,
+        vpp: float = 2.0,
+        sample_rate: float = 250e6,
+        noise_rms: float = 0.0,
+        aperture_jitter_rms: float = 0.0,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if bits < 1 or bits > 32:
+            raise SignalError(f"bits must be in [1, 32], got {bits}")
+        if vpp <= 0.0:
+            raise SignalError("vpp must be positive")
+        if sample_rate <= 0.0:
+            raise SignalError("sample_rate must be positive")
+        if noise_rms < 0.0 or aperture_jitter_rms < 0.0:
+            raise SignalError("noise parameters must be non-negative")
+        if (noise_rms > 0.0 or aperture_jitter_rms > 0.0) and rng is None:
+            raise SignalError("rng is required when noise or jitter is enabled")
+        self.bits = int(bits)
+        self.vpp = float(vpp)
+        self.sample_rate = float(sample_rate)
+        self.noise_rms = float(noise_rms)
+        self.aperture_jitter_rms = float(aperture_jitter_rms)
+        self._rng = rng
+
+    @property
+    def full_scale(self) -> float:
+        """Positive rail in volts (vpp/2)."""
+        return 0.5 * self.vpp
+
+    @property
+    def lsb(self) -> float:
+        """Voltage step of one code."""
+        return self.vpp / (2**self.bits)
+
+    @property
+    def code_min(self) -> int:
+        """Most negative output code (two's complement)."""
+        return -(2 ** (self.bits - 1))
+
+    @property
+    def code_max(self) -> int:
+        """Most positive output code."""
+        return 2 ** (self.bits - 1) - 1
+
+    def convert(self, volts) -> np.ndarray:
+        """Convert voltages to integer codes (mid-tread, clipped at rails)."""
+        v = np.asarray(volts, dtype=float)
+        if self.noise_rms > 0.0:
+            v = v + self._rng.normal(0.0, self.noise_rms, v.shape)
+        codes = np.round(v / self.lsb).astype(np.int64)
+        return np.clip(codes, self.code_min, self.code_max)
+
+    def codes_to_volts(self, codes) -> np.ndarray:
+        """Reconstruct voltages from codes (the value the FPGA works with)."""
+        return np.asarray(codes, dtype=float) * self.lsb
+
+    def quantize(self, volts) -> np.ndarray:
+        """Convert to codes and back: the quantised voltage seen inside
+        the FPGA.  This is the transfer function applied at every model
+        input of the HIL bench."""
+        return self.codes_to_volts(self.convert(volts))
+
+    def sample_waveform(self, waveform: Waveform) -> Waveform:
+        """Quantise an already-sampled waveform at this ADC's resolution.
+
+        The waveform must be at the ADC sample rate (the bench clocks the
+        DDS outputs and the ADC from the same 250 MHz system clock).
+        """
+        if abs(waveform.sample_rate - self.sample_rate) > 1e-6 * self.sample_rate:
+            raise SignalError(
+                f"waveform rate {waveform.sample_rate} != ADC rate {self.sample_rate}"
+            )
+        return Waveform(self.quantize(waveform.samples), self.sample_rate, waveform.t0)
+
+    def sample_function(self, fn: Callable[[np.ndarray], np.ndarray], t0: float, n_samples: int) -> Waveform:
+        """Sample an analytic signal ``fn(t)``: aperture jitter applies here.
+
+        Returns the quantised waveform on the nominal time grid (codes are
+        taken at jittered instants, reproducing jitter-induced amplitude
+        noise on fast signals).
+        """
+        if n_samples < 0:
+            raise SignalError("n_samples must be non-negative")
+        t = t0 + np.arange(n_samples) / self.sample_rate
+        t_eff = t
+        if self.aperture_jitter_rms > 0.0:
+            t_eff = t + self._rng.normal(0.0, self.aperture_jitter_rms, n_samples)
+        return Waveform(self.quantize(np.asarray(fn(t_eff), dtype=float)), self.sample_rate, t0)

@@ -1,0 +1,92 @@
+"""Arbitrary-waveform-generator phase drive and transport-delay models.
+
+In the paper's test bench the phase jump of the gap signal "is created as
+an analogue signal via an arbitrary waveform generator (AWG) and
+converted into an optical stream via a Calibration Electronics (CEL)
+module", then fed to the gap DDS.  "The phase jump was toggled every
+twentieth of a second" with 8° jumps (the machine experiment used 10°).
+
+:class:`PhaseJumpPattern` reproduces that drive as a deterministic
+function of time; :class:`TransportDelay` models the CEL/cabling dead
+time, which the paper identifies as the cause of the constant phase
+offsets visible in Fig. 5.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.constants import deg_to_rad
+from repro.errors import SignalError
+
+__all__ = ["PhaseJumpPattern", "TransportDelay"]
+
+
+class PhaseJumpPattern:
+    """Square-wave phase drive toggling between 0 and ``jump_deg``.
+
+    Parameters
+    ----------
+    jump_deg:
+        Jump amplitude in degrees of *gap-signal* phase (8° in the paper's
+        bench run, 10° in the machine experiment).
+    toggle_period:
+        Time between toggles in seconds (0.05 s = "every twentieth of a
+        second").
+    start_time:
+        Time of the first toggle; before it the drive is 0.
+    """
+
+    def __init__(self, jump_deg: float, toggle_period: float = 0.05, start_time: float = 0.0) -> None:
+        if toggle_period <= 0.0:
+            raise SignalError("toggle_period must be positive")
+        self.jump_deg = float(jump_deg)
+        self.toggle_period = float(toggle_period)
+        self.start_time = float(start_time)
+
+    def phase_deg_at(self, t) -> np.ndarray | float:
+        """Drive value in degrees at time(s) ``t``."""
+        t_arr = np.asarray(t, dtype=float)
+        k = np.floor((t_arr - self.start_time) / self.toggle_period).astype(np.int64) + 1
+        value = np.where(t_arr < self.start_time, 0.0, np.where(k % 2 == 1, self.jump_deg, 0.0))
+        return float(value) if np.isscalar(t) else value
+
+    def phase_rad_at(self, t) -> np.ndarray | float:
+        """Drive value in radians at time(s) ``t``."""
+        v = self.phase_deg_at(t)
+        return deg_to_rad(v)
+
+    def __call__(self, t):
+        """Alias for :meth:`phase_rad_at` so the pattern plugs directly
+        into :class:`repro.signal.dds.GroupDDS`'s ``gap_phase_drive``."""
+        return self.phase_rad_at(t)
+
+    def toggle_times(self, t_stop: float) -> np.ndarray:
+        """All toggle instants in [start_time, t_stop)."""
+        if t_stop <= self.start_time:
+            return np.empty(0)
+        n = int(math.ceil((t_stop - self.start_time) / self.toggle_period))
+        times = self.start_time + np.arange(n) * self.toggle_period
+        return times[times < t_stop]
+
+
+class TransportDelay:
+    """Pure dead time of a signal path (CEL optical link, cabling).
+
+    The paper attributes the constant phase-difference offset between
+    Fig. 5a and 5b to differing dead times; wrapping a phase drive in a
+    :class:`TransportDelay` reproduces that offset.
+    """
+
+    def __init__(self, inner, delay: float) -> None:
+        if delay < 0.0:
+            raise SignalError("delay must be non-negative")
+        self._inner = inner
+        self.delay = float(delay)
+
+    def __call__(self, t):
+        t_arr = np.asarray(t, dtype=float)
+        v = self._inner(t_arr - self.delay)
+        return float(v) if np.isscalar(t) else v

@@ -1,0 +1,135 @@
+"""Bunch-shape monitor DSP: pulse detection and width measurement.
+
+The counterpart of the parametric pulse generator: given a pickup
+waveform, find the bunch pulses and estimate, per pulse, the centre time
+(centroid), the RMS width and the peak — the observables a bunch-shape
+monitor in a real LLRF rack extracts.  Feeding the quadrupole-mode
+studies (E10/E13): a σ_Δt oscillation in the model shows up as a width
+oscillation here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SignalError
+from repro.signal.waveform import Waveform
+
+__all__ = ["PulseMeasurement", "detect_pulses"]
+
+_VAR_RATIO_CACHE: dict[float, float] = {}
+
+
+def _truncation_variance_ratio(k: float) -> float:
+    """var_measured/σ² for a unit Gaussian measured above threshold k
+    with the threshold baseline subtracted (exact, cached numeric
+    integral — a pure function of the threshold fraction)."""
+    cached = _VAR_RATIO_CACHE.get(k)
+    if cached is not None:
+        return cached
+    x_max = np.sqrt(-2.0 * np.log(k))
+    x = np.linspace(-x_max, x_max, 4001)
+    w = np.exp(-0.5 * x * x) - k
+    ratio = float(np.sum(w * x * x) / np.sum(w))
+    _VAR_RATIO_CACHE[k] = ratio
+    return ratio
+
+
+@dataclass(frozen=True)
+class PulseMeasurement:
+    """One detected pulse's shape parameters."""
+
+    #: Centroid time of the pulse, seconds.
+    centre: float
+    #: RMS width (second central moment), seconds — equals σ for a
+    #: Gaussian pulse.
+    rms_width: float
+    #: Peak sample value.
+    peak: float
+    #: Integral (charge proxy): Σ samples / sample_rate.
+    area: float
+
+
+def detect_pulses(
+    waveform: Waveform,
+    threshold_fraction: float = 0.2,
+    min_separation: float | None = None,
+) -> list[PulseMeasurement]:
+    """Find pulses above a relative threshold and measure their moments.
+
+    Parameters
+    ----------
+    waveform:
+        The pickup signal (non-negative pulses on a ~zero baseline).
+    threshold_fraction:
+        Detection threshold as a fraction of the global peak.
+    min_separation:
+        Minimum centre-to-centre spacing in seconds; regions closer than
+        this merge into one pulse.  Defaults to 8 samples.
+
+    Notes
+    -----
+    Moments are computed over each contiguous above-threshold region
+    with the threshold baseline subtracted, which debiases the RMS width
+    estimate of truncated Gaussians well enough for monitor purposes
+    (≲ 5 % for 4σ windows).
+    """
+    samples = waveform.samples
+    if samples.size == 0:
+        return []
+    if not 0.0 < threshold_fraction < 1.0:
+        raise SignalError("threshold_fraction must be in (0, 1)")
+    peak = samples.max()
+    if peak <= 0.0:
+        return []
+    threshold = threshold_fraction * peak
+    above = samples > threshold
+    if min_separation is None:
+        min_separation = 8.0 / waveform.sample_rate
+
+    # Contiguous regions above threshold.
+    edges = np.diff(above.astype(np.int8))
+    starts = list(np.nonzero(edges == 1)[0] + 1)
+    stops = list(np.nonzero(edges == -1)[0] + 1)
+    if above[0]:
+        starts.insert(0, 0)
+    if above[-1]:
+        stops.append(samples.size)
+
+    t = waveform.time_axis()
+    results: list[PulseMeasurement] = []
+    for start, stop in zip(starts, stops):
+        # Second pass per pulse: pulses vary in height (parametric
+        # playback), so re-threshold relative to the *local* peak — the
+        # truncation debias is only correct for a threshold expressed as
+        # a fraction of the measured pulse's own amplitude.
+        local_peak = float(samples[start:stop].max())
+        local_threshold = threshold_fraction * local_peak
+        lo, hi = start, stop
+        while lo > 0 and samples[lo - 1] > local_threshold:
+            lo -= 1
+        while hi < samples.size and samples[hi] > local_threshold:
+            hi += 1
+        seg = samples[lo:hi] - local_threshold
+        seg[seg < 0.0] = 0.0
+        seg_t = t[lo:hi]
+        mass = seg.sum()
+        if mass <= 0.0:
+            continue
+        centre = float(np.sum(seg_t * seg) / mass)
+        var = float(np.sum(seg * (seg_t - centre) ** 2) / mass)
+        rms = float(np.sqrt(max(var, 0.0) / _truncation_variance_ratio(threshold_fraction)))
+        start, stop = lo, hi  # report peak/area over the refined window
+        if results and centre - results[-1].centre < min_separation:
+            continue
+        results.append(
+            PulseMeasurement(
+                centre=centre,
+                rms_width=rms,
+                peak=float(samples[start:stop].max()),
+                area=float(samples[start:stop].sum() / waveform.sample_rate),
+            )
+        )
+    return results

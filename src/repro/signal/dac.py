@@ -1,0 +1,96 @@
+"""Digital-to-analogue converter model (FMC151 DAC channel).
+
+The FMC151's two-channel **16-bit** DAC runs at **250 MHz** with output
+amplitudes limited to **2 V peak-to-peak**.  The model converts code
+streams to voltages with clipping and zero-order-hold reconstruction; a
+runtime-programmable output scaling mirrors the SpartanMC parameter
+interface's ability to "adjust the scaling of output voltages".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SignalError
+from repro.signal.waveform import Waveform
+
+__all__ = ["DAC"]
+
+
+class DAC:
+    """Bit-accurate DAC channel.
+
+    Parameters
+    ----------
+    bits:
+        Resolution (16 for the FMC151 DAC).
+    vpp:
+        Full-scale peak-to-peak output range in volts (2.0 in the bench).
+    sample_rate:
+        Sample clock in Hz (250 MHz in the bench).
+    scale:
+        Runtime output scaling applied to requested voltages before
+        conversion (set via the parameter interface).
+    """
+
+    def __init__(
+        self,
+        bits: int = 16,
+        vpp: float = 2.0,
+        sample_rate: float = 250e6,
+        scale: float = 1.0,
+    ) -> None:
+        if bits < 1 or bits > 32:
+            raise SignalError(f"bits must be in [1, 32], got {bits}")
+        if vpp <= 0.0:
+            raise SignalError("vpp must be positive")
+        if sample_rate <= 0.0:
+            raise SignalError("sample_rate must be positive")
+        self.bits = int(bits)
+        self.vpp = float(vpp)
+        self.sample_rate = float(sample_rate)
+        self.scale = float(scale)
+
+    @property
+    def lsb(self) -> float:
+        """Voltage step of one code."""
+        return self.vpp / (2**self.bits)
+
+    @property
+    def code_min(self) -> int:
+        """Most negative accepted code."""
+        return -(2 ** (self.bits - 1))
+
+    @property
+    def code_max(self) -> int:
+        """Most positive accepted code."""
+        return 2 ** (self.bits - 1) - 1
+
+    def set_scale(self, scale: float) -> None:
+        """Program the runtime output scaling (parameter interface)."""
+        self.scale = float(scale)
+
+    def volts_to_codes(self, volts) -> np.ndarray:
+        """Convert requested voltages (after scaling) to clipped codes."""
+        v = np.asarray(volts, dtype=float) * self.scale
+        codes = np.round(v / self.lsb).astype(np.int64)
+        return np.clip(codes, self.code_min, self.code_max)
+
+    def convert(self, volts) -> np.ndarray:
+        """Requested voltages → actual analogue output voltages."""
+        return self.volts_to_codes(volts) * self.lsb
+
+    def render_waveform(self, volts: np.ndarray, t0: float = 0.0) -> Waveform:
+        """Produce the analogue output waveform for a code-rate sample block."""
+        return Waveform(self.convert(volts), self.sample_rate, t0)
+
+    def reconstruct(self, volts: np.ndarray, oversample: int = 4) -> np.ndarray:
+        """Zero-order-hold reconstruction at ``oversample``× the DAC rate.
+
+        Models the staircase the analogue side of the bench sees; useful
+        for plotting and for jitter analyses of the output edge timing.
+        """
+        if oversample < 1:
+            raise SignalError("oversample must be >= 1")
+        out = self.convert(volts)
+        return np.repeat(out, oversample)

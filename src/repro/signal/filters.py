@@ -1,0 +1,36 @@
+"""Small display/analysis filters.
+
+Fig. 5a's caption notes "an averaging filter with a width of 5 samples
+has been applied" to the plotted phase-difference trace;
+:func:`moving_average` reproduces that post-processing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SignalError
+
+__all__ = ["moving_average"]
+
+
+def moving_average(x: np.ndarray, width: int = 5) -> np.ndarray:
+    """Centred moving average with edge truncation.
+
+    Each output sample is the mean of the ``width`` input samples centred
+    on it; near the edges the window shrinks symmetrically, so the output
+    has the same length as the input and no startup transient bias.
+    """
+    x = np.asarray(x, dtype=float)
+    if x.ndim != 1:
+        raise SignalError("moving_average expects a 1-D array")
+    if width < 1:
+        raise SignalError("width must be >= 1")
+    if width == 1 or x.size == 0:
+        return x.copy()
+    half = width // 2
+    csum = np.cumsum(np.concatenate(([0.0], x)))
+    idx = np.arange(x.size)
+    lo = np.maximum(idx - half, 0)
+    hi = np.minimum(idx + half + (width % 2), x.size)
+    return (csum[hi] - csum[lo]) / (hi - lo)

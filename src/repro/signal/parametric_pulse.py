@@ -1,0 +1,130 @@
+"""Parametric beam-pulse generator (paper Section VI outlook).
+
+"Also, it allows us to replace the synthetic Gauss pulse by a parametric
+version that adapts to the energy/phase distribution of the bunch."
+
+:class:`ParametricPulseGenerator` generalises
+:class:`~repro.signal.gauss_pulse.GaussPulseGenerator`: every trigger
+carries its own width and amplitude, so the played-back pickup pulse can
+track the simulated bunch's instantaneous length (σ_Δt) and intensity.
+With constant bunch charge the peak scales as 1/σ (the integral of the
+pickup pulse is the charge), which :meth:`schedule_matched` implements.
+
+Together with :mod:`repro.signal.bunch_monitor` this closes the loop on
+the quadrupole observable: a bunch-length oscillation in the model
+becomes a pulse-width oscillation in the emulated pickup signal, which a
+monitor DSP can measure — none of which the fixed-shape Gauss pulse of
+the paper's current bench can represent.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SignalError
+from repro.signal.waveform import Waveform
+
+__all__ = ["ParametricPulseGenerator"]
+
+
+@dataclass(frozen=True)
+class _Pulse:
+    time: float
+    sigma: float
+    amplitude: float
+
+
+class ParametricPulseGenerator:
+    """Plays back Gaussian pulses with per-trigger width and amplitude.
+
+    Parameters
+    ----------
+    sample_rate:
+        DAC sample rate in Hz.
+    n_sigmas:
+        Rendered half-width in units of each pulse's own sigma.
+    reference_sigma:
+        Width corresponding to unit amplitude scaling in
+        :meth:`schedule_matched` (the design bunch length).
+    reference_amplitude:
+        Peak amplitude of a pulse at the reference width.
+    """
+
+    def __init__(
+        self,
+        sample_rate: float = 250e6,
+        n_sigmas: float = 4.0,
+        reference_sigma: float = 25e-9,
+        reference_amplitude: float = 0.8,
+    ) -> None:
+        if sample_rate <= 0.0:
+            raise SignalError("sample_rate must be positive")
+        if reference_sigma <= 0.0:
+            raise SignalError("reference_sigma must be positive")
+        self.sample_rate = float(sample_rate)
+        self.n_sigmas = float(n_sigmas)
+        self.reference_sigma = float(reference_sigma)
+        self.reference_amplitude = float(reference_amplitude)
+        self._pending: list[_Pulse] = []
+        self._rendered_until = 0.0
+
+    def schedule(self, trigger_time: float, sigma: float, amplitude: float) -> None:
+        """Schedule one pulse with explicit shape parameters."""
+        if sigma <= 0.0:
+            raise SignalError("sigma must be positive")
+        if trigger_time + self.n_sigmas * sigma < self._rendered_until:
+            raise SignalError(
+                f"trigger at {trigger_time} s lies before the render cursor"
+            )
+        self._pending.append(_Pulse(float(trigger_time), float(sigma), float(amplitude)))
+
+    def schedule_matched(self, trigger_time: float, sigma: float) -> None:
+        """Schedule a constant-charge pulse: peak ∝ reference_σ/σ.
+
+        A longer bunch produces a lower, wider pickup pulse with the
+        same integral — the physically correct adaptation.
+        """
+        amplitude = self.reference_amplitude * self.reference_sigma / sigma
+        self.schedule(trigger_time, sigma, amplitude)
+
+    @property
+    def pending_triggers(self) -> list[float]:
+        """Centre times of pulses not yet fully rendered (sorted)."""
+        return sorted(p.time for p in self._pending)
+
+    def render(self, t0: float, n_samples: int) -> Waveform:
+        """Render the output block [t0, t0 + n/fs); blocks must be ordered."""
+        if n_samples < 0:
+            raise SignalError("n_samples must be non-negative")
+        if t0 < self._rendered_until - 0.5 / self.sample_rate:
+            raise SignalError(
+                f"blocks must be rendered in order: t0={t0} < cursor={self._rendered_until}"
+            )
+        out = np.zeros(n_samples)
+        t_end = t0 + n_samples / self.sample_rate
+        keep: list[_Pulse] = []
+        for pulse in self._pending:
+            half = self.n_sigmas * pulse.sigma
+            if pulse.time + half < t0:
+                continue
+            if pulse.time - half < t_end:
+                i0 = max(0, int(math.floor((pulse.time - half - t0) * self.sample_rate)))
+                i1 = min(
+                    n_samples,
+                    int(math.ceil((pulse.time + half - t0) * self.sample_rate)) + 1,
+                )
+                if i1 > i0:
+                    t = t0 + np.arange(i0, i1) / self.sample_rate
+                    shape = pulse.amplitude * np.exp(
+                        -0.5 * ((t - pulse.time) / pulse.sigma) ** 2
+                    )
+                    shape[np.abs(t - pulse.time) > half] = 0.0
+                    out[i0:i1] += shape
+            if pulse.time + half >= t_end:
+                keep.append(pulse)
+        self._pending = keep
+        self._rendered_until = t_end
+        return Waveform(out, self.sample_rate, t0)

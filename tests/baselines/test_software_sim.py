@@ -1,0 +1,61 @@
+"""Tests for the rejected software simulator baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.software_sim import SoftwareBeamSimulator
+from repro.errors import ConfigurationError
+from repro.hil.jitter import SoftwareTimingModel
+
+
+class TestOutputTimes:
+    def test_monotone_nominal_grid(self, rng):
+        sim = SoftwareBeamSimulator()
+        times = sim.output_times(800e3, 1000, rng)
+        assert times.shape == (1000,)
+        # Base grid plus positive latencies.
+        base = np.arange(1000) / 800e3
+        assert np.all(times > base)
+
+    def test_validation(self, rng):
+        sim = SoftwareBeamSimulator()
+        with pytest.raises(ConfigurationError):
+            sim.output_times(0.0, 10, rng)
+        with pytest.raises(ConfigurationError):
+            sim.output_times(800e3, 0, rng)
+
+
+class TestPhaseError:
+    def test_rms_grows_with_harmonic_frequency(self, rng):
+        sim = SoftwareBeamSimulator()
+        e1 = sim.phase_error_deg(800e3, 1, 100_000, np.random.default_rng(1))
+        e4 = sim.phase_error_deg(800e3, 4, 100_000, np.random.default_rng(1))
+        assert np.sqrt(np.mean(e4**2)) == pytest.approx(
+            4 * np.sqrt(np.mean(e1**2)), rel=1e-9
+        )
+
+    def test_false_phase_comparable_to_signal(self, rng):
+        """The feasibility killer: jitter-induced phase noise at the MDE
+        point is not small against the 8-16 deg oscillations."""
+        sim = SoftwareBeamSimulator()
+        err = sim.phase_error_deg(800e3, 4, 300_000, rng)
+        assert np.abs(err).max() > 8.0
+
+
+class TestRunStats:
+    def test_feasibility_flag(self, rng):
+        sim = SoftwareBeamSimulator(SoftwareTimingModel(tail_probability=0.0,
+                                                        gaussian_jitter=1e-9))
+        stats = sim.run_stats(100e3, n_revolutions=50_000, rng=rng)
+        assert stats.feasible  # slow machine, no tail: fine
+
+    def test_infeasible_at_mhz(self, rng):
+        sim = SoftwareBeamSimulator()
+        stats = sim.run_stats(1.0e6, n_revolutions=300_000, rng=rng)
+        assert stats.deadline_miss_rate > 0.0
+        assert not stats.feasible
+
+    def test_latency_summary_fields(self, rng):
+        stats = SoftwareBeamSimulator().run_stats(800e3, n_revolutions=10_000, rng=rng)
+        assert stats.latency.worst >= stats.latency.p999 >= stats.latency.p50
+        assert stats.revolution_period == pytest.approx(1.25e-6)

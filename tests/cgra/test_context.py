@@ -1,0 +1,71 @@
+"""Tests for context-image generation and the bitstream-insert roundtrip."""
+
+import pytest
+
+from repro.cgra.context import build_context_images, images_from_json, images_to_json
+from repro.cgra.fabric import CgraConfig, CgraFabric
+from repro.cgra.frontend import compile_c_to_dfg
+from repro.cgra.scheduler import ListScheduler
+from repro.errors import CgraError
+
+SOURCE = """
+void k() {
+    float s = 0.0;
+    while (1) {
+        float v = read_sensor(0);
+        write_actuator(16, s);
+        s = s + v * 2.0;
+    }
+}
+"""
+
+
+def schedule():
+    graph = compile_c_to_dfg(SOURCE)
+    return ListScheduler(CgraFabric(CgraConfig(rows=2, cols=2))).schedule(graph)
+
+
+class TestImages:
+    def test_one_image_per_pe(self):
+        sched = schedule()
+        images = build_context_images(sched)
+        assert set(images) == set(sched.fabric.pes)
+
+    def test_entries_match_schedule(self):
+        sched = schedule()
+        images = build_context_images(sched)
+        total_entries = sum(len(img.entries) for img in images.values())
+        assert total_entries == len(sched.ops)
+
+    def test_entries_tick_sorted(self):
+        images = build_context_images(schedule())
+        for img in images.values():
+            ticks = [e.tick for e in img.sorted_entries()]
+            assert ticks == sorted(ticks)
+
+    def test_io_ids_preserved(self):
+        images = build_context_images(schedule())
+        io_ids = {
+            e.io_id
+            for img in images.values()
+            for e in img.entries
+            if e.io_id is not None
+        }
+        assert io_ids == {0, 16}
+
+
+class TestJsonRoundtrip:
+    def test_roundtrip_identity(self):
+        images = build_context_images(schedule())
+        restored = images_from_json(images_to_json(images))
+        assert set(restored) == set(images)
+        for pe in images:
+            assert restored[pe].sorted_entries() == images[pe].sorted_entries()
+
+    def test_json_is_deterministic(self):
+        images = build_context_images(schedule())
+        assert images_to_json(images) == images_to_json(images)
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(CgraError):
+            images_from_json("{not json")

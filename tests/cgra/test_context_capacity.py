@@ -1,0 +1,59 @@
+"""Tests for finite context-memory capacity (hardware realism)."""
+
+import pytest
+
+from repro.cgra.fabric import CgraConfig, CgraFabric
+from repro.cgra.frontend import compile_c_to_dfg
+from repro.cgra.models import compile_beam_model
+from repro.cgra.scheduler import ListScheduler
+from repro.errors import ConfigurationError, ScheduleError
+
+
+class TestCapacityAccounting:
+    def test_depth_report(self):
+        model = compile_beam_model(n_bunches=8, pipelined=True)
+        depths = model.schedule.context_depths()
+        assert sum(depths.values()) == len(model.schedule.ops)
+        assert model.schedule.max_context_depth() == max(depths.values())
+
+    def test_beam_model_fits_default_memories(self):
+        for n_bunches in (1, 8):
+            model = compile_beam_model(n_bunches=n_bunches)
+            assert model.schedule.max_context_depth() <= model.config.context_slots
+
+    def test_overflow_rejected(self):
+        with pytest.raises(ScheduleError):
+            compile_beam_model(n_bunches=8, config=CgraConfig(context_slots=4))
+
+    def test_tight_limit_spreads_work(self):
+        """A feasible-but-tight limit pushes ops onto more PEs."""
+        source = """
+        void k() {
+            float a = 0.0;
+            while (1) {
+                a = a * 1.01 + 0.1;
+                a = a * 1.01 + 0.1;
+                a = a * 1.01 + 0.1;
+                a = a * 1.01 + 0.1;
+            }
+        }
+        """
+        graph = compile_c_to_dfg(source)
+        loose = ListScheduler(CgraFabric(CgraConfig(rows=3, cols=3))).schedule(graph)
+        tight = ListScheduler(
+            CgraFabric(CgraConfig(rows=3, cols=3, context_slots=2))
+        ).schedule(graph)
+        used = lambda s: sum(1 for d in s.context_depths().values() if d > 0)
+        assert used(tight) >= used(loose)
+        assert tight.max_context_depth() <= 2
+
+    def test_validate_catches_corruption(self):
+        model = compile_beam_model(n_bunches=1)
+        # Shrink the limit after the fact: validation must notice.
+        object.__setattr__(model.schedule.fabric.config, "context_slots", 1)
+        with pytest.raises(ScheduleError):
+            model.schedule.validate()
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            CgraConfig(context_slots=0)

@@ -1,0 +1,117 @@
+"""Tests for the dataflow-graph IR (SCAR)."""
+
+import pytest
+
+from repro.cgra.dfg import DataflowGraph
+from repro.cgra.ops import Op, OperatorLatencies
+from repro.errors import CgraError
+
+
+def small_graph():
+    """acc = acc + (c * p), actuator write of acc."""
+    g = DataflowGraph("t")
+    c = g.add_const(2.0)
+    p = g.add_param("P")
+    phi = g.add_phi("acc", init_value=0.0)
+    mul = g.add_op(Op.FMUL, [c.node_id, p.node_id])
+    add = g.add_op(Op.FADD, [phi.node_id, mul.node_id], name="acc")
+    g.bind_phi(phi, add)
+    g.add_actuator_write(17, add)
+    return g
+
+
+class TestConstruction:
+    def test_node_count(self):
+        assert len(small_graph()) == 6
+
+    def test_params_recorded(self):
+        assert small_graph().params == ["P"]
+
+    def test_operand_must_exist(self):
+        g = DataflowGraph()
+        with pytest.raises(CgraError):
+            g.add_op(Op.FADD, [0, 1])
+
+    def test_phi_needs_one_init(self):
+        g = DataflowGraph()
+        with pytest.raises(CgraError):
+            g.add_phi("x")
+        with pytest.raises(CgraError):
+            g.add_phi("x", init_value=1.0, init_param="P")
+
+    def test_bind_phi_type_check(self):
+        g = DataflowGraph()
+        c = g.add_const(1.0)
+        with pytest.raises(CgraError):
+            g.bind_phi(c, c)
+
+    def test_dedicated_adders_enforced(self):
+        g = DataflowGraph()
+        with pytest.raises(CgraError):
+            g.add_op(Op.CONST, [])
+        with pytest.raises(CgraError):
+            g.add_op(Op.SENSOR_READ, [])
+
+
+class TestValidation:
+    def test_valid_graph_passes(self):
+        small_graph().validate()
+
+    def test_unbound_phi_fails(self):
+        g = DataflowGraph()
+        g.add_phi("x", init_value=0.0)
+        with pytest.raises(CgraError):
+            g.validate()
+
+    def test_arity_checked(self):
+        g = small_graph()
+        # Corrupt an FADD to have one operand.
+        add = next(n for n in g.nodes.values() if n.op is Op.FADD)
+        add.operands.pop()
+        with pytest.raises(CgraError):
+            g.validate()
+
+    def test_forward_cycle_detected(self):
+        g = DataflowGraph()
+        c = g.add_const(1.0)
+        a = g.add_op(Op.FNEG, [c.node_id])
+        b = g.add_op(Op.FNEG, [a.node_id])
+        a.operands = [b.node_id]  # corrupt: a <-> b cycle
+        with pytest.raises(CgraError):
+            g.validate()
+
+
+class TestQueries:
+    def test_topological_order_respects_deps(self):
+        g = small_graph()
+        order = [n.node_id for n in g.topological_order()]
+        pos = {nid: i for i, nid in enumerate(order)}
+        for node in g.nodes.values():
+            for operand in node.operands:
+                assert pos[operand] < pos[node.node_id]
+
+    def test_consumers(self):
+        g = small_graph()
+        consumers = g.consumers()
+        add = next(n for n in g.nodes.values() if n.op is Op.FADD)
+        # The add feeds the actuator write (its PHI edge is a back edge).
+        assert len(consumers[add.node_id]) == 1
+
+    def test_phis_and_io(self):
+        g = small_graph()
+        assert len(g.phis()) == 1
+        assert len(g.io_nodes()) == 1
+
+    def test_critical_path(self):
+        g = small_graph()
+        lat = OperatorLatencies()
+        # mul -> add -> write: 3 + 3 + 2 = 8 ticks.
+        assert g.critical_path_length(lat) == lat.fmul + lat.fadd + lat.actuator_write
+
+    def test_node_lookup_error(self):
+        with pytest.raises(CgraError):
+            small_graph().node(999)
+
+    def test_dump_readable(self):
+        text = small_graph().dump()
+        assert "fmul" in text and "phi" in text and "actuator_write" in text

@@ -1,0 +1,194 @@
+"""Tests for if/else lowering by predication."""
+
+import pytest
+
+from repro.cgra.executor import CgraExecutor
+from repro.cgra.fabric import CgraConfig, CgraFabric
+from repro.cgra.frontend import compile_c_to_dfg
+from repro.cgra.ops import Op
+from repro.cgra.reference import ReferenceInterpreter
+from repro.cgra.scheduler import ListScheduler
+from repro.cgra.sensor import SensorBus
+from repro.errors import FrontendError
+
+
+def run_kernel(source, n=8, bus=None, params=None):
+    graph = compile_c_to_dfg(source)
+    schedule = ListScheduler(CgraFabric(CgraConfig(rows=2, cols=2))).schedule(graph)
+    ex = CgraExecutor(schedule, bus or SensorBus(), params or {}, precision="double")
+    ex.run(n)
+    return ex
+
+
+class TestBasicIf:
+    def test_then_branch_taken(self):
+        ex = run_kernel("""
+        void k() {
+            float x = 0.0;
+            while (1) {
+                if (x < 3.0) { x = x + 1.0; } else { x = x - 0.5; }
+            }
+        }
+        """, n=10)
+        # Saturating counter: rises to 3, dips, oscillates around 3.
+        assert 2.0 <= ex.register_of("x") <= 3.5
+
+    def test_if_without_else_keeps_value(self):
+        ex = run_kernel("""
+        void k() {
+            float x = 0.0;
+            float capped = 0.0;
+            while (1) {
+                x = x + 1.0;
+                capped = x;
+                if (5.0 < capped) { capped = 5.0; }
+            }
+        }
+        """, n=9)
+        assert ex.register_of("capped") == 5.0
+        assert ex.register_of("x") == 9.0
+
+    def test_else_if_chain(self):
+        ex = run_kernel("""
+        void k() {
+            float x = 0.0;
+            float bucket = 0.0;
+            while (1) {
+                x = x + 1.0;
+                if (x < 3.0) { bucket = 1.0; }
+                else if (x < 6.0) { bucket = 2.0; }
+                else { bucket = 3.0; }
+            }
+        }
+        """, n=7)
+        assert ex.register_of("bucket") == 3.0
+
+    def test_array_elements_merge(self):
+        ex = run_kernel("""
+        void k() {
+            float a[2] = 0.0;
+            float t = 0.0;
+            while (1) {
+                t = t + 1.0;
+                if (t < 2.5) { a[0] = a[0] + 1.0; } else { a[1] = a[1] + 1.0; }
+            }
+        }
+        """, n=6)
+        assert ex.register_of("a[0]") == 2.0
+        assert ex.register_of("a[1]") == 4.0
+
+
+class TestFolding:
+    def test_compile_time_condition_folds(self):
+        graph = compile_c_to_dfg("""
+        void k() {
+            float x = 0.0;
+            while (1) {
+                if (1 < 2) { x = x + 1.0; } else { x = x + 100.0; }
+            }
+        }
+        """)
+        assert Op.SELECT not in [n.op for n in graph.nodes.values()]
+        consts = {n.value for n in graph.nodes.values() if n.op is Op.CONST}
+        assert 100.0 not in consts  # dead branch never lowered
+
+    def test_branch_local_declarations_scoped(self):
+        with pytest.raises(FrontendError):
+            compile_c_to_dfg("""
+            void k() {
+                float x = 0.0;
+                while (1) {
+                    if (x < 1.0) { float tmp = 5.0; x = tmp; }
+                    x = x + tmp;
+                }
+            }
+            """)
+
+    def test_identical_branches_no_select(self):
+        graph = compile_c_to_dfg("""
+        void k() {
+            float x = 0.0;
+            while (1) {
+                if (x < 1.0) { x = x + 1.0; } else { x = x + 1.0; }
+            }
+        }
+        """)
+        # Both branches compute structurally distinct but equal updates;
+        # untouched variables never get SELECTs.  Count: exactly one
+        # select per divergent slot (x diverges: two separate FADD nodes).
+        selects = [n for n in graph.nodes.values() if n.op is Op.SELECT]
+        assert len(selects) <= 1
+
+
+class TestRestrictions:
+    def test_io_inside_branch_rejected(self):
+        with pytest.raises(FrontendError):
+            compile_c_to_dfg("""
+            void k() {
+                float x = 0.0;
+                while (1) {
+                    if (x < 1.0) { x = read_sensor(0); }
+                }
+            }
+            """)
+
+    def test_write_inside_branch_rejected(self):
+        with pytest.raises(FrontendError):
+            compile_c_to_dfg("""
+            void k() {
+                float x = 0.0;
+                while (1) {
+                    x = x + 1.0;
+                    if (x < 1.0) { write_actuator(16, x); }
+                }
+            }
+            """)
+
+    def test_barrier_inside_branch_rejected(self):
+        with pytest.raises(FrontendError):
+            compile_c_to_dfg("""
+            void k() {
+                float x = 0.0;
+                while (1) {
+                    if (x < 1.0) { pipeline_barrier(); }
+                    x = x + 1.0;
+                }
+            }
+            """)
+
+
+class TestDifferentialWithIf:
+    def test_matches_reference_interpreter(self):
+        source = """
+        void k() {
+            float x = 0.5;
+            float y = 0.0;
+            while (1) {
+                float v = read_sensor(0);
+                if (v < 0.0) { x = x * 0.9; y = y + v; }
+                else { x = x * 1.1 + 0.01; y = y - v * 0.5; }
+            }
+        }
+        """
+        graph = compile_c_to_dfg(source)
+        schedule = ListScheduler(CgraFabric(CgraConfig(rows=3, cols=3))).schedule(graph)
+
+        def bus():
+            import numpy as np
+
+            counter = {"n": 0}
+            b = SensorBus()
+
+            def sensor():
+                counter["n"] += 1
+                return np.sin(counter["n"] * 0.7)
+
+            b.register_reader(0, sensor)
+            return b
+
+        ex = CgraExecutor(schedule, bus(), {}, precision="single")
+        ref = ReferenceInterpreter(graph, bus(), {}, precision="single")
+        ex.run(30)
+        ref.run(30)
+        assert ex.register_of("x") == ref.register_of("x")
+        assert ex.register_of("y") == ref.register_of("y")

@@ -1,0 +1,89 @@
+"""Tests for the mini-C tokeniser and #define preprocessing."""
+
+import pytest
+
+from repro.cgra.frontend.lexer import Lexer, TokenKind, tokenize
+from repro.errors import FrontendError
+
+
+def kinds_and_texts(source):
+    return [(t.kind, t.text) for t in tokenize(source) if t.kind is not TokenKind.EOF]
+
+
+class TestBasics:
+    def test_keywords_vs_identifiers(self):
+        toks = kinds_and_texts("float x while whale")
+        assert toks[0] == (TokenKind.KEYWORD, "float")
+        assert toks[1] == (TokenKind.IDENT, "x")
+        assert toks[2] == (TokenKind.KEYWORD, "while")
+        assert toks[3] == (TokenKind.IDENT, "whale")
+
+    def test_numbers(self):
+        toks = kinds_and_texts("1 2.5 .5 1e6 2.5e-3 1.0f")
+        assert all(k is TokenKind.NUMBER for k, _ in toks)
+        assert [t for _, t in toks] == ["1", "2.5", ".5", "1e6", "2.5e-3", "1.0f"]
+
+    def test_multichar_operators(self):
+        toks = kinds_and_texts("a <= b < c == d")
+        texts = [t for _, t in toks]
+        assert "<=" in texts and "<" in texts and "==" in texts
+
+    def test_line_numbers(self):
+        toks = tokenize("a\nb\n\nc")
+        lines = {t.text: t.line for t in toks if t.kind is TokenKind.IDENT}
+        assert lines == {"a": 1, "b": 2, "c": 4}
+
+    def test_unknown_character(self):
+        with pytest.raises(FrontendError):
+            tokenize("a @ b")
+
+    def test_eof_token_present(self):
+        toks = tokenize("x")
+        assert toks[-1].kind is TokenKind.EOF
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert kinds_and_texts("a // comment here\nb") == [
+            (TokenKind.IDENT, "a"),
+            (TokenKind.IDENT, "b"),
+        ]
+
+    def test_block_comment_single_line(self):
+        assert len(kinds_and_texts("a /* hidden */ b")) == 2
+
+    def test_block_comment_multi_line(self):
+        source = "a /* spans\nmultiple\nlines */ b"
+        toks = tokenize(source)
+        idents = [t for t in toks if t.kind is TokenKind.IDENT]
+        assert [t.text for t in idents] == ["a", "b"]
+        assert idents[1].line == 3  # b sits on the comment's closing line
+
+
+class TestDefines:
+    def test_simple_substitution(self):
+        toks = kinds_and_texts("#define N 8\nfloat x[N] = 0.0;")
+        texts = [t for _, t in toks]
+        assert "8" in texts and "N" not in texts
+
+    def test_expression_substitution(self):
+        toks = kinds_and_texts("#define TWO (1 + 1)\nx = TWO;")
+        texts = [t for _, t in toks]
+        assert texts.count("1") == 2
+
+    def test_define_not_applied_inside_identifier(self):
+        toks = kinds_and_texts("#define N 8\nfloat NN = 1.0;")
+        texts = [t for _, t in toks]
+        assert "NN" in texts
+
+    def test_malformed_define(self):
+        with pytest.raises(FrontendError):
+            tokenize("#define ONLYNAME")
+
+    def test_bad_define_name(self):
+        with pytest.raises(FrontendError):
+            tokenize("#define 9X 1")
+
+    def test_other_directives_rejected(self):
+        with pytest.raises(FrontendError):
+            tokenize("#include <stdio.h>")

@@ -1,0 +1,301 @@
+"""Tests for AST → dataflow-graph lowering."""
+
+import pytest
+
+from repro.cgra.frontend import compile_c_to_dfg
+from repro.cgra.ops import Op
+from repro.errors import FrontendError
+
+
+def ops_of(graph):
+    return [n.op for n in graph.nodes.values()]
+
+
+KERNEL = """
+void k(float A) {{
+    float acc = 0.0;
+    while (1) {{
+        {body}
+    }}
+}}
+"""
+
+
+class TestConstantFolding:
+    def test_constant_arithmetic_folds(self):
+        g = compile_c_to_dfg(KERNEL.format(body="acc = acc + (2.0 * 3.0 + 1.0);"))
+        consts = [n.value for n in g.nodes.values() if n.op is Op.CONST]
+        assert consts == [7.0]
+        assert ops_of(g).count(Op.FMUL) == 0
+
+    def test_const_dedup(self):
+        g = compile_c_to_dfg(KERNEL.format(body="acc = acc * 2.0 + acc / 2.0;"))
+        consts = [n for n in g.nodes.values() if n.op is Op.CONST]
+        assert len(consts) == 1
+
+    def test_sqrt_of_constant_folds(self):
+        g = compile_c_to_dfg(KERNEL.format(body="acc = acc + sqrt(4.0);"))
+        assert Op.FSQRT not in ops_of(g)
+        assert any(n.value == 2.0 for n in g.nodes.values() if n.op is Op.CONST)
+
+    def test_division_by_zero_constant(self):
+        with pytest.raises(FrontendError):
+            compile_c_to_dfg(KERNEL.format(body="acc = acc + 1.0 / 0.0;"))
+
+    def test_sqrt_negative_constant(self):
+        with pytest.raises(FrontendError):
+            compile_c_to_dfg(KERNEL.format(body="acc = acc + sqrt(-1.0);"))
+
+    def test_ternary_on_constant_folds(self):
+        g = compile_c_to_dfg(KERNEL.format(body="acc = acc + (1 < 2 ? 5.0 : 9.0);"))
+        assert Op.SELECT not in ops_of(g)
+        assert any(n.value == 5.0 for n in g.nodes.values() if n.op is Op.CONST)
+
+
+class TestLoopCarried:
+    def test_accumulator_becomes_phi(self):
+        g = compile_c_to_dfg(KERNEL.format(body="acc = acc + 1.0;"))
+        phis = g.phis()
+        assert len(phis) == 1
+        assert phis[0].name == "acc"
+        assert phis[0].init_value == 0.0
+        back = g.node(phis[0].back_edge)
+        assert back.op is Op.FADD
+
+    def test_param_init(self):
+        source = """
+        void k(float X0) {
+            float x = X0;
+            while (1) { x = x * 0.5; }
+        }
+        """
+        g = compile_c_to_dfg(source)
+        phi = g.phis()[0]
+        assert phi.init_param == "X0"
+
+    def test_loop_invariant_var_not_phi(self):
+        source = """
+        void k(float A) {
+            float c = 2.0;
+            float x = 0.0;
+            while (1) { x = x + c; }
+        }
+        """
+        g = compile_c_to_dfg(source)
+        assert len(g.phis()) == 1  # only x
+
+    def test_arrays_become_per_element_phis(self):
+        source = """
+        void k() {
+            float a[3] = 0.0;
+            while (1) {
+                for (int i = 0; i < 3; i = i + 1) { a[i] = a[i] + 1.0; }
+            }
+        }
+        """
+        g = compile_c_to_dfg(source)
+        assert len(g.phis()) == 3
+
+    def test_loop_init_must_be_constant(self):
+        source = """
+        void k(float A) {
+            float x = A * 2.0;
+            while (1) { x = x + 1.0; }
+        }
+        """
+        with pytest.raises(FrontendError):
+            compile_c_to_dfg(source)
+
+
+class TestForUnrolling:
+    def test_unrolled_op_count(self):
+        source = """
+        void k() {
+            float s = 0.0;
+            while (1) {
+                for (int i = 0; i < 5; i = i + 1) { s = s + 1.5; }
+            }
+        }
+        """
+        g = compile_c_to_dfg(source)
+        assert ops_of(g).count(Op.FADD) == 5
+
+    def test_index_arithmetic_folds(self):
+        source = """
+        void k() {
+            float a[4] = 0.0;
+            while (1) {
+                for (int i = 0; i < 2; i = i + 1) { a[i + 2] = a[i] + 1.0; }
+            }
+        }
+        """
+        g = compile_c_to_dfg(source)
+        names = {n.name for n in g.nodes.values()}
+        assert "a[2]" in names and "a[3]" in names
+
+    def test_loop_variable_scaling(self):
+        source = """
+        void k() {
+            float s = 0.0;
+            while (1) {
+                for (int i = 0; i < 3; i = i + 1) { s = s + 0.5 * i; }
+            }
+        }
+        """
+        g = compile_c_to_dfg(source)
+        # i is compile-time: 0.5*i folds to constants 0.0, 0.5, 1.0.
+        const_vals = sorted(n.value for n in g.nodes.values() if n.op is Op.CONST)
+        assert const_vals == [0.0, 0.5, 1.0]
+
+    def test_out_of_bounds_index(self):
+        source = """
+        void k() {
+            float a[2] = 0.0;
+            while (1) {
+                for (int i = 0; i < 3; i = i + 1) { a[i] = a[i] + 1.0; }
+            }
+        }
+        """
+        with pytest.raises(FrontendError):
+            compile_c_to_dfg(source)
+
+    def test_unroll_budget(self):
+        source = """
+        void k() {
+            float s = 0.0;
+            while (1) {
+                for (int i = 0; i < 100000; i = i + 1) { s = s + 1.0; }
+            }
+        }
+        """
+        with pytest.raises(FrontendError):
+            compile_c_to_dfg(source)
+
+
+class TestIO:
+    def test_sensor_ids_folded(self):
+        g = compile_c_to_dfg(KERNEL.format(body="acc = acc + read_sensor(3);"))
+        reads = [n for n in g.nodes.values() if n.op is Op.SENSOR_READ]
+        assert len(reads) == 1 and reads[0].sensor_id == 3
+
+    def test_addressed_read(self):
+        g = compile_c_to_dfg(KERNEL.format(body="acc = acc + read_sensor2(1, acc * 2.0);"))
+        reads = [n for n in g.nodes.values() if n.op is Op.SENSOR_READ_ADDR]
+        assert len(reads) == 1
+        assert g.node(reads[0].operands[0]).op is Op.FMUL
+
+    def test_actuator_write(self):
+        g = compile_c_to_dfg(KERNEL.format(body="write_actuator(17, acc); acc = acc + 1.0;"))
+        writes = [n for n in g.nodes.values() if n.op is Op.ACTUATOR_WRITE]
+        assert len(writes) == 1 and writes[0].sensor_id == 17
+
+    def test_io_outside_loop_rejected(self):
+        source = """
+        void k() {
+            float x = read_sensor(0);
+            while (1) { x = x + 1.0; }
+        }
+        """
+        with pytest.raises(FrontendError):
+            compile_c_to_dfg(source)
+
+    def test_nonconstant_sensor_id_rejected(self):
+        with pytest.raises(FrontendError):
+            compile_c_to_dfg(KERNEL.format(body="acc = acc + read_sensor(acc);"))
+
+
+class TestPipelineBarrier:
+    SOURCE = """
+    void k() {{
+        float x = 0.0;
+        while (1) {{
+            float v = read_sensor(0) * 2.0;
+            {barrier}
+            x = x + v;
+        }}
+    }}
+    """
+
+    def test_barrier_adds_pipe_phi(self):
+        without = compile_c_to_dfg(self.SOURCE.format(barrier=""))
+        with_b = compile_c_to_dfg(self.SOURCE.format(barrier="pipeline_barrier();"))
+        assert len(with_b.phis()) == len(without.phis()) + 1
+        names = {p.name for p in with_b.phis()}
+        assert "v.pipe" in names
+
+    def test_barrier_reroutes_consumer(self):
+        g = compile_c_to_dfg(self.SOURCE.format(barrier="pipeline_barrier();"))
+        adds = [n for n in g.nodes.values() if n.op is Op.FADD]
+        assert len(adds) == 1
+        operand_ops = {g.node(o).op for o in adds[0].operands}
+        # The add consumes two PHIs: x and v.pipe — no direct edge from
+        # the multiply of the same iteration.
+        assert operand_ops == {Op.PHI}
+
+    def test_barrier_keeps_zero_time_values(self):
+        source = """
+        void k(float A) {
+            float x = 0.0;
+            while (1) {
+                float c = 3.0;
+                pipeline_barrier();
+                x = x + c * A;
+            }
+        }
+        """
+        g = compile_c_to_dfg(source)
+        # Constants/params need no pipe registers.
+        assert all(".pipe" not in p.name for p in g.phis() if p.name != "x")
+
+    def test_barrier_outside_loop_rejected(self):
+        source = """
+        void k() {
+            pipeline_barrier();
+            while (1) { float x = 1.0; }
+        }
+        """
+        with pytest.raises(FrontendError):
+            compile_c_to_dfg(source)
+
+
+class TestStructuralErrors:
+    def test_undeclared_variable(self):
+        with pytest.raises(FrontendError):
+            compile_c_to_dfg(KERNEL.format(body="acc = acc + nosuch;"))
+
+    def test_assignment_to_undeclared(self):
+        with pytest.raises(FrontendError):
+            compile_c_to_dfg(KERNEL.format(body="other = 1.0;"))
+
+    def test_two_loops_rejected(self):
+        source = "void k() { while (1) { float a = 1.0; } while (1) { float b = 2.0; } }"
+        with pytest.raises(FrontendError):
+            compile_c_to_dfg(source)
+
+    def test_no_loop_rejected(self):
+        with pytest.raises(FrontendError):
+            compile_c_to_dfg("void k() { float x = 1.0; }")
+
+    def test_unknown_intrinsic(self):
+        with pytest.raises(FrontendError):
+            compile_c_to_dfg(KERNEL.format(body="acc = acc + exp(1.0);"))
+
+    def test_redeclaration_outside_for(self):
+        source = """
+        void k() {
+            float x = 1.0;
+            float x = 2.0;
+            while (1) { float y = 0.0; }
+        }
+        """
+        with pytest.raises(FrontendError):
+            compile_c_to_dfg(source)
+
+    def test_function_selection(self):
+        source = "void f() { while (1) { float a = 1.0; } } void g() { while (1) { float b = 1.0; } }"
+        g = compile_c_to_dfg(source, function="g")
+        assert g.name == "g"
+        with pytest.raises(FrontendError):
+            compile_c_to_dfg(source)  # ambiguous
+        with pytest.raises(FrontendError):
+            compile_c_to_dfg(source, function="nope")

@@ -1,0 +1,97 @@
+"""Tests for the beam model source and its compilation (E6 backbone)."""
+
+import pytest
+
+from repro.cgra.fabric import CgraConfig
+from repro.cgra.models import beam_model_source, compile_beam_model
+from repro.cgra.ops import Op
+from repro.cgra.sensor import ACTUATOR_DELTA_T, SENSOR_GAP_BUFFER, SENSOR_PERIOD, SENSOR_REF_BUFFER
+from repro.errors import ConfigurationError
+
+
+class TestSource:
+    def test_bunch_count_in_source(self):
+        src = beam_model_source(n_bunches=4)
+        assert "#define N_BUNCHES 4" in src
+
+    def test_pipelined_flag(self):
+        assert "pipeline_barrier();" in beam_model_source(pipelined=True)
+        assert "pipeline_barrier();" not in beam_model_source(pipelined=False)
+
+    def test_invalid_bunches(self):
+        with pytest.raises(ConfigurationError):
+            beam_model_source(n_bunches=0)
+
+
+class TestCompilation:
+    def test_io_structure(self):
+        m = compile_beam_model(n_bunches=3)
+        reads = [n for n in m.graph.nodes.values() if n.op is Op.SENSOR_READ]
+        addr_reads = [n for n in m.graph.nodes.values() if n.op is Op.SENSOR_READ_ADDR]
+        writes = [n for n in m.graph.nodes.values() if n.op is Op.ACTUATOR_WRITE]
+        assert len(reads) == 1 and reads[0].sensor_id == SENSOR_PERIOD
+        # One ref-buffer read plus one gap read per bunch.
+        assert sorted(n.sensor_id for n in addr_reads) == [
+            SENSOR_REF_BUFFER, SENSOR_GAP_BUFFER, SENSOR_GAP_BUFFER, SENSOR_GAP_BUFFER,
+        ]
+        assert sorted(n.sensor_id for n in writes) == [
+            ACTUATOR_DELTA_T, ACTUATOR_DELTA_T + 1, ACTUATOR_DELTA_T + 2,
+        ]
+
+    def test_params_complete(self):
+        m = compile_beam_model(n_bunches=1)
+        assert set(m.graph.params) == {
+            "GAMMA_R0", "QMC2", "L_R", "ALPHA_C",
+            "V_SCALE", "V_SCALE_REF", "F_SAMPLE", "H_INV",
+        }
+
+    def test_default_params_helper(self):
+        m = compile_beam_model(n_bunches=1)
+        p = m.default_params(
+            gamma_r0=1.2, q_over_mc2=5e-10, orbit_length=216.72, alpha_c=0.03,
+            v_scale=5000.0, v_scale_ref=20000.0, f_sample=250e6, harmonic=4,
+        )
+        assert set(p) == set(m.graph.params)
+        assert p["H_INV"] == pytest.approx(0.25)
+
+    def test_compile_seconds_recorded(self):
+        m = compile_beam_model(n_bunches=1)
+        # The paper's "seconds, not hours" claim: our flow is sub-second.
+        assert 0.0 < m.compile_seconds < 30.0
+
+
+class TestPaperShape:
+    """The E6 claims: pipelining and fewer bunches shorten the schedule."""
+
+    @pytest.fixture(scope="class")
+    def lengths(self):
+        return {
+            (nb, pipe): compile_beam_model(n_bunches=nb, pipelined=pipe).schedule_length
+            for nb, pipe in [(8, False), (8, True), (4, True), (1, True)]
+        }
+
+    def test_pipelining_shortens_schedule(self, lengths):
+        assert lengths[(8, True)] < lengths[(8, False)]
+
+    def test_fewer_bunches_shorten_schedule(self, lengths):
+        assert lengths[(1, True)] < lengths[(4, True)] < lengths[(8, True)]
+
+    def test_one_mhz_crossover(self, lengths):
+        """Paper: 8 bunches sustain 1 MHz only WITH pipelining."""
+        clock = CgraConfig().clock_mhz * 1e6
+        assert clock / lengths[(8, False)] < 1e6
+        assert clock / lengths[(8, True)] >= 1e6
+
+    def test_max_f_rev_ordering(self):
+        models = [
+            compile_beam_model(n_bunches=nb, pipelined=pipe)
+            for nb, pipe in [(8, False), (8, True), (4, True), (1, True)]
+        ]
+        freqs = [m.max_f_rev for m in models]
+        assert freqs == sorted(freqs)
+
+    def test_monotone_in_bunches(self):
+        lengths = [
+            compile_beam_model(n_bunches=nb).schedule_length for nb in (1, 2, 4, 6, 8)
+        ]
+        assert all(a <= b for a, b in zip(lengths, lengths[1:]))

@@ -1,0 +1,151 @@
+"""Tests for the mini-C recursive-descent parser."""
+
+import pytest
+
+from repro.cgra.frontend.astnodes import (
+    ArrayDeclaration,
+    Assignment,
+    BinOp,
+    Call,
+    Declaration,
+    ExprStatement,
+    ForLoop,
+    NumberLit,
+    Ternary,
+    UnaryOp,
+    VarRef,
+    WhileLoop,
+)
+from repro.cgra.frontend.parser import parse_program
+from repro.errors import FrontendError
+
+
+def parse_single(source):
+    program = parse_program(source)
+    assert len(program.functions) == 1
+    return program.functions[0]
+
+
+class TestFunctions:
+    def test_empty_function(self):
+        fn = parse_single("void f() { }")
+        assert fn.name == "f"
+        assert fn.params == ()
+        assert fn.body == ()
+
+    def test_parameters(self):
+        fn = parse_single("void f(float a, float b) { }")
+        assert fn.params == ("a", "b")
+
+    def test_multiple_functions(self):
+        program = parse_program("void f() { } void g() { }")
+        assert [f.name for f in program.functions] == ["f", "g"]
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(FrontendError):
+            parse_program("")
+
+    def test_unterminated_block(self):
+        with pytest.raises(FrontendError):
+            parse_program("void f() { float x = 1.0;")
+
+
+class TestStatements:
+    def test_declaration(self):
+        fn = parse_single("void f() { float x = 1.5; }")
+        stmt = fn.body[0]
+        assert isinstance(stmt, Declaration)
+        assert stmt.name == "x"
+        assert isinstance(stmt.init, NumberLit)
+
+    def test_array_declaration(self):
+        fn = parse_single("void f() { float x[8] = 0.0; }")
+        stmt = fn.body[0]
+        assert isinstance(stmt, ArrayDeclaration)
+
+    def test_assignment(self):
+        fn = parse_single("void f() { float x = 0.0; x = x + 1.0; }")
+        assert isinstance(fn.body[1], Assignment)
+
+    def test_expression_statement(self):
+        fn = parse_single("void f() { write_actuator(1, 2.0); }")
+        stmt = fn.body[0]
+        assert isinstance(stmt, ExprStatement)
+        assert isinstance(stmt.expr, Call)
+
+    def test_while_one(self):
+        fn = parse_single("void f() { while (1) { float y = 0.0; } }")
+        assert isinstance(fn.body[0], WhileLoop)
+
+    def test_while_condition_must_be_one(self):
+        with pytest.raises(FrontendError):
+            parse_single("void f() { while (x < 3) { } }")
+
+    def test_for_loop_shape(self):
+        fn = parse_single(
+            "void f() { for (int i = 0; i < 8; i = i + 1) { float z = 0.0; } }"
+        )
+        loop = fn.body[0]
+        assert isinstance(loop, ForLoop)
+        assert loop.var == "i"
+        assert isinstance(loop.step, NumberLit)
+
+    def test_for_increment_must_match(self):
+        with pytest.raises(FrontendError):
+            parse_single("void f() { for (int i = 0; i < 8; j = j + 1) { } }")
+        with pytest.raises(FrontendError):
+            parse_single("void f() { for (int i = 0; j < 8; i = i + 1) { } }")
+        with pytest.raises(FrontendError):
+            parse_single("void f() { for (int i = 0; i < 8; i = i * 2) { } }")
+
+
+class TestExpressions:
+    def _expr(self, text):
+        fn = parse_single(f"void f() {{ float x = {text}; }}")
+        return fn.body[0].init
+
+    def test_precedence_mul_over_add(self):
+        e = self._expr("1.0 + 2.0 * 3.0")
+        assert isinstance(e, BinOp) and e.op == "+"
+        assert isinstance(e.right, BinOp) and e.right.op == "*"
+
+    def test_left_associativity(self):
+        e = self._expr("8.0 - 4.0 - 2.0")
+        assert e.op == "-"
+        assert isinstance(e.left, BinOp) and e.left.op == "-"
+
+    def test_parentheses(self):
+        e = self._expr("(1.0 + 2.0) * 3.0")
+        assert e.op == "*"
+        assert isinstance(e.left, BinOp) and e.left.op == "+"
+
+    def test_unary_minus(self):
+        e = self._expr("-x")
+        assert isinstance(e, UnaryOp)
+
+    def test_ternary(self):
+        e = self._expr("a < b ? 1.0 : 2.0")
+        assert isinstance(e, Ternary)
+        assert isinstance(e.cond, BinOp) and e.cond.op == "<"
+
+    def test_call_args(self):
+        e = self._expr("fmin(a, b)")
+        assert isinstance(e, Call)
+        assert len(e.args) == 2
+
+    def test_int_vs_float_literals(self):
+        assert self._expr("8").is_int
+        assert not self._expr("8.0").is_int
+        assert not self._expr("1e3").is_int
+
+    def test_missing_semicolon(self):
+        with pytest.raises(FrontendError):
+            parse_single("void f() { float x = 1.0 }")
+
+    def test_error_reports_line(self):
+        try:
+            parse_single("void f() {\n float x = 1.0;\n float y = ; }")
+        except FrontendError as exc:
+            assert "line 3" in str(exc)
+        else:
+            pytest.fail("expected FrontendError")

@@ -1,0 +1,65 @@
+"""Tests for the SensorAccess bus."""
+
+import pytest
+
+from repro.cgra.sensor import (
+    ACTUATOR_DELTA_T,
+    SENSOR_GAP_BUFFER,
+    SENSOR_PERIOD,
+    SENSOR_REF_BUFFER,
+    SensorBus,
+)
+from repro.errors import CgraError
+
+
+class TestWellKnownIds:
+    def test_ids_distinct(self):
+        ids = {SENSOR_PERIOD, SENSOR_REF_BUFFER, SENSOR_GAP_BUFFER, ACTUATOR_DELTA_T}
+        assert len(ids) == 4
+
+    def test_bunch_actuators_do_not_collide(self):
+        # Up to 8 bunches: ACTUATOR_DELTA_T..+7 must avoid the sensors.
+        sensor_ids = {SENSOR_PERIOD, SENSOR_REF_BUFFER, SENSOR_GAP_BUFFER}
+        for i in range(8):
+            assert ACTUATOR_DELTA_T + i not in sensor_ids
+
+
+class TestBus:
+    def test_read(self):
+        bus = SensorBus()
+        bus.register_reader(0, lambda: 42.0)
+        assert bus.read(0) == 42.0
+        assert bus.read_counts[0] == 1
+
+    def test_addressed_read(self):
+        bus = SensorBus()
+        bus.register_addr_reader(1, lambda a: a * 2.0)
+        assert bus.read_addr(1, 3.0) == 6.0
+
+    def test_write(self):
+        outs = []
+        bus = SensorBus()
+        bus.register_writer(16, outs.append)
+        bus.write(16, 1.5)
+        assert outs == [1.5]
+        assert bus.write_counts[16] == 1
+
+    def test_unknown_ids_raise(self):
+        bus = SensorBus()
+        with pytest.raises(CgraError):
+            bus.read(99)
+        with pytest.raises(CgraError):
+            bus.read_addr(99, 0.0)
+        with pytest.raises(CgraError):
+            bus.write(99, 0.0)
+
+    def test_plain_reader_not_usable_as_addressed(self):
+        bus = SensorBus()
+        bus.register_reader(0, lambda: 1.0)
+        with pytest.raises(CgraError):
+            bus.read_addr(0, 0.0)
+
+    def test_values_coerced_to_float(self):
+        bus = SensorBus()
+        bus.register_reader(0, lambda: 7)
+        assert isinstance(bus.read(0), float)

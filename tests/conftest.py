@@ -1,0 +1,47 @@
+"""Shared fixtures: the MDE machine setup used across the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.physics import SIS18, KNOWN_IONS, RFSystem
+from repro.physics.rf import voltage_for_synchrotron_frequency
+
+
+@pytest.fixture(scope="session")
+def ring():
+    """The SIS18 ring."""
+    return SIS18
+
+
+@pytest.fixture(scope="session")
+def ion():
+    """The MDE ion species ¹⁴N⁷⁺."""
+    return KNOWN_IONS["14N7+"]
+
+
+@pytest.fixture(scope="session")
+def f_rev():
+    """The MDE revolution frequency."""
+    return 800e3
+
+
+@pytest.fixture(scope="session")
+def gamma0(ring, f_rev):
+    """Reference Lorentz factor at the MDE revolution frequency."""
+    return ring.gamma_from_revolution_frequency(f_rev)
+
+
+@pytest.fixture(scope="session")
+def rf(ring, ion, gamma0):
+    """RF system with the amplitude tuned to f_s = 1.28 kHz (h = 4)."""
+    probe = RFSystem(harmonic=4, voltage=1.0)
+    voltage = voltage_for_synchrotron_frequency(ring, ion, probe, gamma0, 1.28e3)
+    return probe.with_voltage(voltage)
+
+
+@pytest.fixture()
+def rng():
+    """Seeded random generator for reproducible noise."""
+    return np.random.default_rng(1234)

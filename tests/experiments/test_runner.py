@@ -1,0 +1,60 @@
+"""Tests for the CLI experiment runner."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.runner import EXPERIMENTS, main, run_experiment
+
+
+class TestRunExperiment:
+    def test_unknown_name(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            run_experiment("nope", tmp_path)
+
+    def test_fig1_writes_csvs(self, tmp_path):
+        summary = run_experiment("fig1", tmp_path, quick=True)
+        assert (tmp_path / "fig1_voltage.csv").exists()
+        assert (tmp_path / "fig1_particles.csv").exists()
+        assert summary
+
+    def test_fig2_csv_parses(self, tmp_path):
+        run_experiment("fig2", tmp_path, quick=True)
+        data = np.loadtxt(tmp_path / "fig2_signals.csv", delimiter=",", skiprows=1)
+        assert data.shape[1] == 4
+        assert data.shape[0] > 100
+
+    def test_schedule_csv_content(self, tmp_path):
+        run_experiment("schedule", tmp_path, quick=True)
+        data = np.loadtxt(tmp_path / "schedule_lengths.csv", delimiter=",", skiprows=1)
+        assert data.shape == (4, 5)
+        # pipelined 8-bunch row shorter than plain 8-bunch row.
+        plain = data[(data[:, 0] == 8) & (data[:, 1] == 0)][0]
+        piped = data[(data[:, 0] == 8) & (data[:, 1] == 1)][0]
+        assert piped[2] < plain[2]
+
+    def test_creates_output_dir(self, tmp_path):
+        target = tmp_path / "nested" / "dir"
+        run_experiment("reconfig", target, quick=True)
+        assert (target / "reconfig.csv").exists()
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_no_args_lists(self, capsys):
+        assert main([]) == 0
+        assert "fig5a" in capsys.readouterr().out
+
+    def test_run_one(self, tmp_path, capsys):
+        assert main(["fig1", "--out", str(tmp_path), "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "[fig1] done" in out
+
+    def test_unknown_experiment_exit_code(self, tmp_path, capsys):
+        assert main(["bogus", "--out", str(tmp_path)]) == 2
+        assert "error" in capsys.readouterr().err

@@ -1,0 +1,47 @@
+"""Tests for deadline monitoring."""
+
+import pytest
+
+from repro.errors import ConfigurationError, RealTimeViolation
+from repro.hil.realtime import DeadlineMonitor
+
+
+class TestDeadlineMonitor:
+    def test_slack_accounting(self):
+        mon = DeadlineMonitor(schedule_length_ticks=76, cgra_clock_hz=111e6)
+        slack = mon.check_revolution(1 / 800e3)
+        assert slack == pytest.approx(111e6 / 800e3 - 76)
+
+    def test_raise_policy(self):
+        mon = DeadlineMonitor(128, policy="raise")
+        with pytest.raises(RealTimeViolation):
+            mon.check_revolution(1 / 1.0e6)  # 111 ticks < 128
+
+    def test_count_policy(self):
+        mon = DeadlineMonitor(128, policy="count")
+        mon.check_revolution(1 / 1.0e6)
+        mon.check_revolution(1 / 800e3)
+        stats = mon.stats()
+        assert stats.misses == 1
+        assert stats.n_iterations == 2
+        assert not stats.met
+
+    def test_stats_all_met(self):
+        mon = DeadlineMonitor(76)
+        for _ in range(10):
+            mon.check_revolution(1 / 800e3)
+        stats = mon.stats()
+        assert stats.met
+        assert stats.min_slack == pytest.approx(stats.mean_slack)
+
+    def test_stats_requires_data(self):
+        with pytest.raises(ConfigurationError):
+            DeadlineMonitor(76).stats()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DeadlineMonitor(0)
+        with pytest.raises(ConfigurationError):
+            DeadlineMonitor(10, policy="ignore")
+        with pytest.raises(ConfigurationError):
+            DeadlineMonitor(10).check_revolution(0.0)

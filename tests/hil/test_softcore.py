@@ -1,0 +1,105 @@
+"""Tests for the SpartanMC-style parameter interface and DRAM recorder."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, HilError
+from repro.hil.softcore import DramRecorder, ParameterInterface
+
+
+class TestParameterInterface:
+    def test_write_read_roundtrip(self):
+        p = ParameterInterface()
+        p.define("scale", scale=1 / 4096, initial=1.0)
+        assert p.read("scale") == pytest.approx(1.0, abs=1 / 4096)
+
+    def test_fixed_point_quantisation(self):
+        p = ParameterInterface()
+        p.define("x", scale=0.25)
+        p.write("x", 1.1)
+        assert p.read("x") == 1.0  # rounds to nearest 0.25
+
+    def test_18bit_clipping(self):
+        p = ParameterInterface()
+        p.define("x", scale=1.0)
+        p.write("x", 1e9)
+        assert p.read_raw("x") == 2**17 - 1
+        p.write("x", -1e9)
+        assert p.read_raw("x") == -(2**17)
+
+    def test_names(self):
+        p = ParameterInterface()
+        p.define("b")
+        p.define("a")
+        assert p.names() == ["a", "b"]
+
+    def test_unknown_register(self):
+        p = ParameterInterface()
+        with pytest.raises(HilError):
+            p.read("nope")
+        with pytest.raises(HilError):
+            p.write("nope", 1.0)
+        with pytest.raises(HilError):
+            p.read_raw("nope")
+
+    def test_duplicate_define(self):
+        p = ParameterInterface()
+        p.define("x")
+        with pytest.raises(ConfigurationError):
+            p.define("x")
+
+    def test_bad_scale(self):
+        with pytest.raises(ConfigurationError):
+            ParameterInterface().define("x", scale=0.0)
+
+
+class TestDramRecorder:
+    def test_record_and_readback(self):
+        rec = DramRecorder(n_columns=3)
+        rec.record(1.0, 2.0, 3.0)
+        rec.record(4.0, 5.0, 6.0)
+        arr = rec.as_array()
+        assert arr.shape == (2, 3)
+        np.testing.assert_array_equal(arr[1], [4.0, 5.0, 6.0])
+
+    def test_column_count_enforced(self):
+        rec = DramRecorder(n_columns=2)
+        with pytest.raises(HilError):
+            rec.record(1.0)
+
+    def test_capacity_stops_not_wraps(self):
+        rec = DramRecorder(n_columns=1, capacity_rows=3)
+        for i in range(5):
+            rec.record(float(i))
+        assert rec.rows == 3
+        assert rec.overflowed
+        np.testing.assert_array_equal(rec.as_array().ravel(), [0.0, 1.0, 2.0])
+
+    def test_stop_start(self):
+        rec = DramRecorder(n_columns=1)
+        rec.record(1.0)
+        rec.stop()
+        rec.record(2.0)
+        rec.start()
+        rec.record(3.0)
+        np.testing.assert_array_equal(rec.as_array().ravel(), [1.0, 3.0])
+
+    def test_serial_readout_chunks(self):
+        rec = DramRecorder(n_columns=1)
+        for i in range(10):
+            rec.record(float(i))
+        chunks = list(rec.readout_serial(chunk_rows=4))
+        assert [c.shape[0] for c in chunks] == [4, 4, 2]
+        np.testing.assert_array_equal(np.vstack(chunks).ravel(), np.arange(10.0))
+
+    def test_empty(self):
+        rec = DramRecorder(n_columns=2)
+        assert rec.as_array().shape == (0, 2)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DramRecorder(n_columns=0)
+        with pytest.raises(ConfigurationError):
+            DramRecorder(n_columns=1, capacity_rows=0)
+        with pytest.raises(ConfigurationError):
+            list(DramRecorder(n_columns=1).readout_serial(0))

@@ -1,0 +1,97 @@
+"""Cross-fidelity equivalence: the sample-accurate Fig. 3 framework vs.
+the revolution-level fast path (DESIGN.md §6's pinned invariant).
+
+Both paths share the tracking map, the ADC quantisation and the CGRA
+model; they differ in how the signals are delivered (250 MHz sample
+streams with real zero-crossing/period detection vs. analytic evaluation
+with an ideal period).  The bunch trajectories must agree to a small
+fraction of the oscillation amplitude.
+"""
+
+import numpy as np
+import pytest
+
+from repro.constants import deg_to_rad
+from repro.control import ControlLoopConfig
+from repro.hil.framework import FpgaFramework, FrameworkConfig
+from repro.hil.simulator import CavityInTheLoop, HilConfig
+from repro.physics import SIS18, KNOWN_IONS
+from repro.signal.dds import GroupDDS
+
+
+@pytest.fixture(scope="module")
+def traces():
+    """Run both fidelities on the identical open-loop 8°-jump scenario."""
+    config = HilConfig(
+        ring=SIS18,
+        ion=KNOWN_IONS["14N7+"],
+        engine="python",
+        record_every=1,
+        jump_deg=8.0,
+        jump_start_time=0.0,          # jump active from the first turn
+        jump_toggle_period=10.0,      # no further toggles in the window
+        control=ControlLoopConfig(sample_rate=800e3, enabled=False),
+    )
+    sim = CavityInTheLoop(config)
+    fast = sim.run(500 / 800e3)
+
+    framework = FpgaFramework(FrameworkConfig(
+        ring=SIS18,
+        ion=KNOWN_IONS["14N7+"],
+        harmonic=4,
+        gap_volts_per_adc_volt=sim.gap_voltage_amplitude / config.adc_amplitude,
+        ref_volts_per_adc_volt=4 * sim.gap_voltage_amplitude / config.adc_amplitude,
+    ))
+    group = GroupDDS(
+        800e3, 4, config.adc_amplitude, 250e6,
+        gap_phase_drive=lambda t: deg_to_rad(8.0),
+    )
+    group.reset_phase()
+    for _ in range(520):
+        ref, gap = group.generate(312)
+        framework.feed(ref.samples, gap.samples)
+    sample_accurate = framework.recorder.as_array()[:, 2]
+    return fast, sample_accurate
+
+
+def _best_alignment_error(a: np.ndarray, b: np.ndarray) -> float:
+    """Max |a-b| at the best small integer alignment (the two paths start
+    counting revolutions at slightly different instants)."""
+    best = np.inf
+    core = a[5:-5]
+    for off in range(-3, 4):
+        seg = b[5 + off : 5 + off + len(core)]
+        if len(seg) == len(core):
+            best = min(best, float(np.abs(core - seg).max()))
+    return best
+
+
+class TestCrossFidelity:
+    def test_trajectories_agree(self, traces):
+        fast, sample_accurate = traces
+        n = min(len(sample_accurate), len(fast.delta_t) - 1)
+        err = _best_alignment_error(sample_accurate[:n], fast.delta_t[1 : n + 1])
+        amplitude = np.abs(fast.delta_t).max()
+        # Within 1% of the oscillation amplitude.
+        assert err < 0.01 * amplitude
+
+    def test_both_see_the_jump_equilibrium(self, traces):
+        fast, sample_accurate = traces
+        # Equilibrium -8 deg at 3.2 MHz = -6.94 ns; both oscillate
+        # between ~0 and twice that.
+        for trace in (fast.delta_t, sample_accurate):
+            assert trace.min() == pytest.approx(-13.9e-9, rel=0.05)
+            assert trace.max() < 0.5e-9
+
+    def test_oscillation_periods_match(self, traces):
+        fast, sample_accurate = traces
+        # Compare zero crossings of the two oscillations (period ~625 turns).
+        def crossings(x):
+            centred = x - x.mean()
+            return np.nonzero((centred[:-1] < 0) & (centred[1:] >= 0))[0]
+
+        n = min(len(sample_accurate), len(fast.delta_t))
+        c_fast = crossings(fast.delta_t[:n])
+        c_hw = crossings(sample_accurate[:n])
+        assert len(c_fast) >= 1 and len(c_hw) >= 1
+        assert abs(c_fast[0] - c_hw[0]) <= 10

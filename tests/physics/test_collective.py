@@ -1,0 +1,139 @@
+"""Tests for collective effects (space charge, beam loading)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, PhysicsError
+from repro.physics.collective import BeamLoadingCavity, SpaceChargeModel
+from repro.physics.distributions import gaussian_bunch
+from repro.physics.multiparticle import MultiParticleTracker
+
+
+class TestSpaceChargeKick:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SpaceChargeModel(-1.0)
+        with pytest.raises(ConfigurationError):
+            SpaceChargeModel(1.0, reference_sigma=0.0)
+        with pytest.raises(ConfigurationError):
+            SpaceChargeModel(1.0, bins=4)
+        with pytest.raises(ConfigurationError):
+            SpaceChargeModel(1.0, smoothing=0)
+
+    def test_zero_strength_zero_kick(self, rng):
+        sc = SpaceChargeModel(0.0)
+        dt = rng.normal(0, 10e-9, 500)
+        np.testing.assert_array_equal(sc.voltages(dt, 800e3, 0), 0.0)
+
+    def test_calibrated_peak_voltage(self, rng):
+        """A reference-length Gaussian bunch produces ~strength volts."""
+        sc = SpaceChargeModel(500.0, reference_sigma=12e-9)
+        dt = rng.normal(0.0, 12e-9, 50_000)
+        v = sc.voltages(dt, 800e3, 0)
+        assert np.abs(v).max() == pytest.approx(500.0, rel=0.25)
+
+    def test_defocusing_sign(self, rng):
+        """Particles ahead of the peak (dt < 0) gain energy."""
+        sc = SpaceChargeModel(500.0, reference_sigma=12e-9)
+        dt = rng.normal(0.0, 12e-9, 50_000)
+        v = sc.voltages(dt, 800e3, 0)
+        early = v[dt < -6e-9]
+        late = v[dt > 6e-9]
+        assert early.mean() > 0.0 > late.mean()
+
+    def test_odd_symmetry(self, rng):
+        sc = SpaceChargeModel(500.0, reference_sigma=12e-9)
+        dt = rng.normal(0.0, 12e-9, 80_000)
+        v = sc.voltages(dt, 800e3, 0)
+        # Antisymmetric about the centre for a symmetric bunch.
+        assert abs(v[np.argsort(dt)][:100].mean() + v[np.argsort(dt)][-100:].mean()) \
+            < 0.2 * np.abs(v).max()
+
+    def test_tiny_ensembles_skip(self):
+        sc = SpaceChargeModel(500.0)
+        np.testing.assert_array_equal(sc.voltages(np.zeros(4), 800e3, 0), 0.0)
+
+
+class TestSpaceChargeDynamics:
+    def test_bunch_lengthens_below_transition(self, ring, ion, rf, gamma0):
+        def run(strength):
+            rng = np.random.default_rng(3)
+            dt, dg = gaussian_bunch(ring, ion, rf, gamma0, 12e-9, 2000, rng)
+            tracker = MultiParticleTracker(ring, ion, rf, dt, dg, gamma0)
+            if strength:
+                tracker.add_collective_effect(
+                    SpaceChargeModel(strength, reference_sigma=12e-9)
+                )
+            rec = tracker.track(10000, f_rev=800e3, record_every=16)
+            return float(rec.std_delta_t.mean())
+
+        assert run(1500.0) > 1.05 * run(0.0)
+
+
+class TestBeamLoading:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            BeamLoadingCavity(-1.0)
+        with pytest.raises(ConfigurationError):
+            BeamLoadingCavity(1.0, quality_factor=0.0)
+        with pytest.raises(ConfigurationError):
+            BeamLoadingCavity(1.0, harmonic=0)
+
+    def test_induced_voltage_accumulates_and_saturates(self):
+        bl = BeamLoadingCavity(20.0, quality_factor=30.0, harmonic=4)
+        dt = np.zeros(100)
+        amps = []
+        for turn in range(400):
+            bl.voltages(dt, 800e3, turn)
+            amps.append(bl.induced_voltage_amplitude())
+        # Grows then saturates at kick/(1-decay).
+        assert amps[5] > amps[0] - 1e-9
+        assert amps[-1] == pytest.approx(amps[-2], rel=0.01)
+        import math
+
+        decay = math.exp(-math.pi * 3.2e6 / (30.0 * 800e3))
+        assert amps[-1] == pytest.approx(20.0 / (1.0 - decay), rel=0.02)
+
+    def test_causality_first_turn_sees_nothing(self):
+        bl = BeamLoadingCavity(20.0)
+        v = bl.voltages(np.zeros(10), 800e3, 0)
+        np.testing.assert_array_equal(v, 0.0)
+
+    def test_wake_decelerates_the_bunch(self):
+        """The steady-state induced voltage opposes the beam (energy loss)."""
+        bl = BeamLoadingCavity(10.0, quality_factor=30.0, harmonic=4)
+        dt = np.zeros(100)
+        for turn in range(200):
+            v = bl.voltages(dt, 800e3, turn)
+        assert v.mean() < 0.0
+
+    def test_reset(self):
+        bl = BeamLoadingCavity(10.0)
+        bl.voltages(np.zeros(5), 800e3, 0)
+        bl.reset()
+        assert bl.induced_voltage_amplitude() == 0.0
+
+    def test_shifts_equilibrium_in_tracker(self, ring, ion, rf, gamma0):
+        def run(kick):
+            rng = np.random.default_rng(3)
+            dt, dg = gaussian_bunch(ring, ion, rf, gamma0, 12e-9, 1500, rng)
+            tracker = MultiParticleTracker(ring, ion, rf, dt, dg, gamma0)
+            if kick:
+                tracker.add_collective_effect(
+                    BeamLoadingCavity(kick, quality_factor=30.0, harmonic=4)
+                )
+            rec = tracker.track(10000, f_rev=800e3, record_every=16)
+            return float(rec.mean_delta_t[-20:].mean())
+
+        base = run(0.0)
+        loaded = run(25.0)
+        # The decelerating wake moves the equilibrium to a phase where
+        # the RF refills the lost energy.
+        assert abs(loaded - base) > 0.2e-9
+
+    def test_hook_validation(self, ring, ion, rf, gamma0):
+        tracker = MultiParticleTracker(
+            ring, ion, rf, np.zeros(4), np.zeros(4), gamma0
+        )
+        with pytest.raises(PhysicsError):
+            tracker.add_collective_effect(object())

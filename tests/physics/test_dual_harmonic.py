@@ -1,0 +1,131 @@
+"""Tests for the dual-harmonic RF system extension."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, PhysicsError
+from repro.physics.dual_harmonic import (
+    DualHarmonicRF,
+    dual_harmonic_synchrotron_frequency,
+    synchrotron_frequency_vs_amplitude,
+)
+from repro.physics.rf import synchrotron_frequency
+from repro.physics.tracking import MacroParticleTracker
+
+
+class TestConstruction:
+    def test_defaults(self):
+        rf = DualHarmonicRF(harmonic=4, voltage=5e3)
+        assert rf.ratio == 0.5
+        assert rf.is_flat
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DualHarmonicRF(harmonic=0, voltage=1e3)
+        with pytest.raises(ConfigurationError):
+            DualHarmonicRF(harmonic=4, voltage=1e3, ratio=1.0)
+        with pytest.raises(ConfigurationError):
+            DualHarmonicRF(harmonic=4, voltage=-1.0)
+
+    def test_copies(self):
+        rf = DualHarmonicRF(harmonic=4, voltage=5e3, ratio=0.3)
+        assert rf.with_voltage(1e3).voltage == 1e3
+        assert rf.with_phase_offset(0.2).phase_offset == 0.2
+        assert rf.with_phase_offset(0.2).ratio == 0.3
+
+
+class TestVoltage:
+    def test_zero_ratio_matches_single_harmonic(self):
+        from repro.physics.rf import RFSystem
+
+        dual = DualHarmonicRF(harmonic=4, voltage=5e3, ratio=0.0)
+        single = RFSystem(harmonic=4, voltage=5e3)
+        dts = np.linspace(-1e-7, 1e-7, 41)
+        np.testing.assert_allclose(
+            dual.gap_voltage_at(dts, 800e3), single.gap_voltage_at(dts, 800e3)
+        )
+
+    def test_zero_at_centre(self):
+        rf = DualHarmonicRF(harmonic=4, voltage=5e3, ratio=0.5)
+        assert rf.gap_voltage_at(0.0, 800e3) == pytest.approx(0.0, abs=1e-9)
+
+    def test_flat_bucket_cubic_centre(self):
+        """At r = 0.5 the voltage is cubic near the centre: V(dt)/dt → 0."""
+        rf = DualHarmonicRF(harmonic=4, voltage=5e3, ratio=0.5)
+        small, smaller = 1e-9, 0.5e-9
+        ratio = rf.gap_voltage_at(small, 800e3) / rf.gap_voltage_at(smaller, 800e3)
+        assert ratio == pytest.approx(8.0, rel=0.01)  # cubic: (2)^3
+
+    def test_slope_formula(self):
+        rf = DualHarmonicRF(harmonic=4, voltage=5e3, ratio=0.25)
+        slope = rf.voltage_slope_at_centre(800e3)
+        omega = 2 * np.pi * 4 * 800e3
+        assert slope == pytest.approx(5e3 * omega * (1 - 0.5), rel=1e-12)
+
+
+class TestSynchrotronFrequency:
+    def test_sqrt_one_minus_two_r_law(self, ring, ion, gamma0, rf):
+        base = synchrotron_frequency(ring, ion, rf, gamma0)
+        for r in (0.0, 0.2, 0.4):
+            dual = DualHarmonicRF(harmonic=4, voltage=rf.voltage, ratio=r)
+            f = dual_harmonic_synchrotron_frequency(ring, ion, dual, gamma0)
+            assert f == pytest.approx(base * np.sqrt(1 - 2 * r), rel=1e-6)
+
+    def test_flat_point_zero(self, ring, ion, gamma0, rf):
+        dual = DualHarmonicRF(harmonic=4, voltage=rf.voltage, ratio=0.5)
+        assert dual_harmonic_synchrotron_frequency(ring, ion, dual, gamma0) == 0.0
+
+    def test_overcompensated_raises(self, ring, ion, gamma0, rf):
+        dual = DualHarmonicRF(harmonic=4, voltage=rf.voltage, ratio=0.7)
+        with pytest.raises(PhysicsError):
+            dual_harmonic_synchrotron_frequency(ring, ion, dual, gamma0)
+
+
+class TestAmplitudeDependence:
+    def test_single_harmonic_softens_with_amplitude(self, ring, ion, gamma0, rf):
+        dual = DualHarmonicRF(harmonic=4, voltage=rf.voltage, ratio=0.0)
+        f = synchrotron_frequency_vs_amplitude(
+            ring, ion, dual, gamma0, [5e-9, 60e-9], f_rev=800e3
+        )
+        assert f[1] < f[0]  # pendulum softening
+
+    def test_flat_bucket_hardens_with_amplitude(self, ring, ion, gamma0, rf):
+        dual = DualHarmonicRF(harmonic=4, voltage=rf.voltage, ratio=0.5)
+        f = synchrotron_frequency_vs_amplitude(
+            ring, ion, dual, gamma0, [5e-9, 60e-9], f_rev=800e3
+        )
+        assert f[1] > 3 * f[0]  # cubic force: frequency grows with amplitude
+
+    def test_flat_bucket_spread_dwarfs_single(self, ring, ion, gamma0, rf):
+        amps = [5e-9, 50e-9]
+        flat = synchrotron_frequency_vs_amplitude(
+            ring, ion, DualHarmonicRF(harmonic=4, voltage=rf.voltage, ratio=0.5),
+            gamma0, amps, f_rev=800e3,
+        )
+        single = synchrotron_frequency_vs_amplitude(
+            ring, ion, DualHarmonicRF(harmonic=4, voltage=rf.voltage, ratio=0.0),
+            gamma0, amps, f_rev=800e3,
+        )
+        spread = lambda f: abs(f[1] - f[0]) / max(f)
+        assert spread(flat) > 5 * spread(single)
+
+    def test_validation(self, ring, ion, gamma0, rf):
+        dual = DualHarmonicRF(harmonic=4, voltage=rf.voltage)
+        with pytest.raises(PhysicsError):
+            synchrotron_frequency_vs_amplitude(ring, ion, dual, gamma0, [-1e-9])
+
+
+class TestTrackerIntegration:
+    def test_particle_contained_in_flat_bucket(self, ring, ion, gamma0, rf):
+        dual = DualHarmonicRF(harmonic=4, voltage=rf.voltage, ratio=0.5)
+        tracker = MacroParticleTracker(ring, ion, dual)
+        state = tracker.initial_state(800e3, delta_t=40e-9)
+        rec = tracker.track(state, 30000, f_rev=800e3)
+        assert np.abs(rec.delta_t).max() < 45e-9  # bounded, no escape
+
+    def test_reference_particle_untouched(self, ring, ion, gamma0, rf):
+        dual = DualHarmonicRF(harmonic=4, voltage=rf.voltage, ratio=0.5)
+        tracker = MacroParticleTracker(ring, ion, dual)
+        state = tracker.initial_state(800e3, delta_t=10e-9)
+        tracker.track(state, 500, f_rev=800e3)
+        assert state.gamma_ref == pytest.approx(gamma0, rel=1e-12)

@@ -1,0 +1,99 @@
+"""Tests for phase-space geometry: Hamiltonian, separatrix, bucket."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PhysicsError
+from repro.physics.phasespace import (
+    bucket_area,
+    bucket_half_height,
+    bucket_half_length,
+    hamiltonian,
+    map_coefficients,
+    separatrix_delta_gamma,
+    small_amplitude_trajectory,
+)
+from repro.physics.tracking import MacroParticleTracker
+
+
+class TestMapCoefficients:
+    def test_signs_below_transition(self, ring, ion, rf, gamma0):
+        a, k_t, omega_rf = map_coefficients(ring, ion, rf, gamma0)
+        assert a < 0.0  # below transition
+        assert k_t > 0.0
+        assert omega_rf == pytest.approx(2 * np.pi * 4 * 800e3, rel=1e-6)
+
+
+class TestHamiltonian:
+    def test_zero_at_centre(self, ring, ion, rf, gamma0):
+        assert hamiltonian(0.0, 0.0, ring, ion, rf, gamma0) == pytest.approx(0.0, abs=1e-18)
+
+    def test_positive_away_from_centre(self, ring, ion, rf, gamma0):
+        assert hamiltonian(10e-9, 0.0, ring, ion, rf, gamma0) > 0.0
+        assert hamiltonian(0.0, 1e-6, ring, ion, rf, gamma0) > 0.0
+
+    def test_conserved_along_tracked_orbit(self, ring, ion, rf, gamma0, f_rev):
+        """The tracker's orbit stays on (approximately) one H level set."""
+        tracker = MacroParticleTracker(ring, ion, rf)
+        st = tracker.initial_state(f_rev, delta_t=8e-9)
+        values = []
+        for _ in range(3000):
+            tracker.step(st, f_rev)
+            values.append(hamiltonian(st.delta_t, st.delta_gamma, ring, ion, rf, gamma0))
+        values = np.asarray(values)
+        assert values.std() / values.mean() < 0.02
+
+    def test_array_input(self, ring, ion, rf, gamma0):
+        h = hamiltonian(np.array([0.0, 5e-9]), np.array([0.0, 0.0]), ring, ion, rf, gamma0)
+        assert h.shape == (2,)
+
+
+class TestBucketGeometry:
+    def test_half_length(self, rf):
+        assert bucket_half_length(rf, 800e3) == pytest.approx(0.5 / (4 * 800e3))
+
+    def test_half_height_positive(self, ring, ion, rf, gamma0):
+        assert bucket_half_height(ring, ion, rf, gamma0) > 0.0
+
+    def test_half_height_scales_sqrt_voltage(self, ring, ion, rf, gamma0):
+        h1 = bucket_half_height(ring, ion, rf, gamma0)
+        h2 = bucket_half_height(ring, ion, rf.with_voltage(4 * rf.voltage), gamma0)
+        assert h2 == pytest.approx(2 * h1, rel=1e-9)
+
+    def test_separatrix_shape(self, ring, ion, rf, gamma0, f_rev):
+        half_len = bucket_half_length(rf, f_rev)
+        dg_max = bucket_half_height(ring, ion, rf, gamma0)
+        assert separatrix_delta_gamma(0.0, ring, ion, rf, gamma0) == pytest.approx(dg_max)
+        assert separatrix_delta_gamma(half_len, ring, ion, rf, gamma0) == pytest.approx(
+            0.0, abs=dg_max * 1e-9
+        )
+
+    def test_bucket_area_matches_analytic(self, ring, ion, rf, gamma0, f_rev):
+        # Analytic: area = 2 * dg_max * integral |cos(w dt/2)| = 8*dg_max/w_rf.
+        _, _, omega_rf = map_coefficients(ring, ion, rf, gamma0)
+        dg_max = bucket_half_height(ring, ion, rf, gamma0)
+        analytic = 8.0 * dg_max / omega_rf
+        assert bucket_area(ring, ion, rf, gamma0) == pytest.approx(analytic, rel=1e-4)
+
+    def test_unstable_bucket_raises(self, ring, ion, rf):
+        with pytest.raises(PhysicsError):
+            bucket_half_height(ring, ion, rf, ring.gamma_transition * 2)
+
+
+class TestSmallAmplitudeTrajectory:
+    def test_closed_ellipse(self, ring, ion, rf, gamma0):
+        dt, dg = small_amplitude_trajectory(ring, ion, rf, gamma0, 5e-9, n_points=128)
+        assert dt.shape == dg.shape == (128,)
+        assert dt.max() == pytest.approx(5e-9)
+        # All points on the same Hamiltonian level (small amplitude).
+        h = hamiltonian(dt, dg, ring, ion, rf, gamma0)
+        assert h.std() / h.mean() < 1e-3
+
+    def test_tracker_follows_the_ellipse(self, ring, ion, rf, gamma0, f_rev):
+        amp = 5e-9
+        dt_traj, dg_traj = small_amplitude_trajectory(ring, ion, rf, gamma0, amp)
+        dg_max_expected = np.abs(dg_traj).max()
+        tracker = MacroParticleTracker(ring, ion, rf)
+        st = tracker.initial_state(f_rev, delta_t=amp)
+        rec = tracker.track(st, 20000, f_rev=f_rev)
+        assert np.abs(rec.delta_gamma).max() == pytest.approx(dg_max_expected, rel=0.01)

@@ -1,0 +1,155 @@
+"""Tests for the two-particle recursive tracking map (Eqs. 2, 3, 6)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import PhysicsError
+from repro.physics.oscillation import estimate_oscillation_frequency
+from repro.physics.rf import synchrotron_frequency
+from repro.physics.tracking import (
+    MacroParticleTracker,
+    TrackingState,
+    delta_gamma_update,
+    delta_t_update,
+    reference_gamma_update,
+)
+
+
+class TestUpdateEquations:
+    def test_eq2_zero_voltage_constant_gamma(self, ion):
+        assert reference_gamma_update(1.5, 0.0, ion) == 1.5
+
+    def test_eq2_positive_voltage_accelerates(self, ion):
+        g = reference_gamma_update(1.5, 1000.0, ion)
+        assert g == pytest.approx(1.5 + 7 * 1000.0 / ion.rest_energy_ev)
+
+    def test_eq2_overdeceleration_raises(self, ion):
+        with pytest.raises(PhysicsError):
+            reference_gamma_update(1.0, -1e12, ion)
+
+    def test_eq3_voltage_difference(self, ion):
+        dg = delta_gamma_update(0.0, 150.0, 100.0, ion)
+        assert dg == pytest.approx(ion.gamma_gain_per_volt() * 50.0)
+
+    def test_eq3_accumulates(self, ion):
+        dg = delta_gamma_update(1e-6, 100.0, 100.0, ion)
+        assert dg == 1e-6  # no relative kick, value kept
+
+    def test_eq6_sign_below_transition(self, ring, ion, gamma0):
+        # Below transition (eta < 0) a higher-energy particle arrives earlier.
+        dt = delta_t_update(0.0, delta_gamma=1e-6, gamma_ref=gamma0, ring=ring)
+        assert dt < 0.0
+
+    def test_eq6_zero_dgamma_keeps_dt(self, ring, gamma0):
+        assert delta_t_update(5e-9, 0.0, gamma0, ring) == 5e-9
+
+    def test_eq6_nonphysical_gamma_raises(self, ring):
+        with pytest.raises(PhysicsError):
+            delta_t_update(0.0, delta_gamma=-0.5, gamma_ref=1.2, ring=ring)
+
+
+class TestTrackingState:
+    def test_gamma_async(self):
+        st = TrackingState(gamma_ref=1.3, delta_gamma=0.01)
+        assert st.gamma_async == pytest.approx(1.31)
+
+    def test_copy_is_independent(self):
+        st = TrackingState(gamma_ref=1.3)
+        st2 = st.copy()
+        st2.delta_t = 99.0
+        assert st.delta_t == 0.0
+
+    def test_invalid_gamma(self):
+        with pytest.raises(PhysicsError):
+            TrackingState(gamma_ref=0.9)
+
+
+class TestMacroParticleTracker:
+    def test_initial_state_from_frequency(self, ring, ion, rf, f_rev):
+        tracker = MacroParticleTracker(ring, ion, rf)
+        st = tracker.initial_state(f_rev)
+        assert st.gamma_ref == pytest.approx(ring.gamma_from_revolution_frequency(f_rev))
+        assert st.delta_gamma == 0.0 and st.delta_t == 0.0
+
+    def test_stationary_no_offset_stays_put(self, ring, ion, rf, f_rev):
+        tracker = MacroParticleTracker(ring, ion, rf)
+        st = tracker.initial_state(f_rev)
+        rec = tracker.track(st, 1000, f_rev=f_rev)
+        np.testing.assert_allclose(rec.delta_t, 0.0, atol=1e-15)
+        np.testing.assert_allclose(rec.gamma_ref, rec.gamma_ref[0])
+
+    def test_oscillation_frequency_matches_analytic(self, ring, ion, rf, f_rev, gamma0):
+        tracker = MacroParticleTracker(ring, ion, rf)
+        st = tracker.initial_state(f_rev, delta_t=5e-9)
+        rec = tracker.track(st, 40000, f_rev=f_rev)
+        f_tracked = estimate_oscillation_frequency(rec.time, rec.delta_t)
+        f_analytic = synchrotron_frequency(ring, ion, rf, gamma0)
+        assert f_tracked == pytest.approx(f_analytic, rel=0.01)
+
+    def test_amplitude_bounded_small_oscillation(self, ring, ion, rf, f_rev):
+        tracker = MacroParticleTracker(ring, ion, rf)
+        st = tracker.initial_state(f_rev, delta_t=5e-9)
+        rec = tracker.track(st, 60000, f_rev=f_rev)
+        # Symplectic-like map: amplitude must not grow beyond ~1%.
+        assert np.abs(rec.delta_t).max() < 5e-9 * 1.01
+
+    def test_oscillation_symmetric(self, ring, ion, rf, f_rev):
+        tracker = MacroParticleTracker(ring, ion, rf)
+        st = tracker.initial_state(f_rev, delta_t=5e-9)
+        rec = tracker.track(st, 40000, f_rev=f_rev)
+        assert rec.delta_t.min() == pytest.approx(-5e-9, rel=0.01)
+
+    def test_custom_gap_voltage_callable(self, ring, ion, rf, f_rev):
+        calls = []
+
+        def gap(dt, f, turn):
+            calls.append(turn)
+            return 0.0
+
+        tracker = MacroParticleTracker(ring, ion, rf, gap_voltage=gap)
+        st = tracker.initial_state(f_rev, delta_t=1e-9)
+        tracker.track(st, 10, f_rev=f_rev)
+        assert len(calls) == 10
+        # Zero gap voltage: dt drifts are zero since dgamma stays 0.
+        assert st.delta_gamma == 0.0
+
+    def test_phase_jump_shifts_equilibrium(self, ring, ion, rf, f_rev):
+        jump = math.radians(8.0)
+        tracker = MacroParticleTracker(ring, ion, rf.with_phase_offset(jump))
+        st = tracker.initial_state(f_rev)
+        rec = tracker.track(st, 40000, f_rev=f_rev)
+        # Equilibrium at sin(w_rf dt + jump) = 0: dt_eq = -jump/w_rf;
+        # starting at 0 the bunch oscillates between 0 and 2*dt_eq.
+        dt_eq = -jump / (2 * math.pi * rf.harmonic * f_rev)
+        assert rec.delta_t.min() == pytest.approx(2 * dt_eq, rel=0.02)
+        assert rec.delta_t.max() == pytest.approx(0.0, abs=abs(dt_eq) * 0.05)
+
+    def test_record_every(self, ring, ion, rf, f_rev):
+        tracker = MacroParticleTracker(ring, ion, rf)
+        st = tracker.initial_state(f_rev, delta_t=1e-9)
+        rec = tracker.track(st, 100, f_rev=f_rev, record_every=10)
+        assert len(rec.turns) == 11
+        assert rec.turns[-1] == 100
+
+    def test_phase_deg_conversion(self, ring, ion, rf, f_rev):
+        tracker = MacroParticleTracker(ring, ion, rf)
+        st = tracker.initial_state(f_rev, delta_t=1e-9)
+        rec = tracker.track(st, 10, f_rev=f_rev)
+        phases = rec.phase_deg(rf.harmonic, f_rev)
+        np.testing.assert_allclose(phases, 360.0 * 4 * f_rev * rec.delta_t)
+
+    def test_negative_turns_rejected(self, ring, ion, rf, f_rev):
+        tracker = MacroParticleTracker(ring, ion, rf)
+        st = tracker.initial_state(f_rev)
+        with pytest.raises(PhysicsError):
+            tracker.track(st, -1)
+        with pytest.raises(PhysicsError):
+            tracker.track(st, 10, record_every=0)
+
+    def test_time_axis_matches_revolutions(self, ring, ion, rf, f_rev):
+        tracker = MacroParticleTracker(ring, ion, rf)
+        st = tracker.initial_state(f_rev)
+        rec = tracker.track(st, 100, f_rev=f_rev)
+        assert rec.time[-1] == pytest.approx(100 / f_rev)

@@ -1,0 +1,73 @@
+"""Property tests for the modulo scheduler over random kernels."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cgra.fabric import CgraConfig, CgraFabric
+from repro.cgra.frontend import compile_c_to_dfg
+from repro.cgra.modulo import ModuloScheduler
+from repro.cgra.scheduler import ListScheduler
+from repro.errors import ScheduleError
+
+
+@st.composite
+def recurrence_kernels(draw):
+    """Kernels with a mix of recurrences and parallel work."""
+    n_chains = draw(st.integers(min_value=1, max_value=3))
+    depth = draw(st.integers(min_value=1, max_value=4))
+    use_io = draw(st.booleans())
+    body = []
+    decls = []
+    for c in range(n_chains):
+        decls.append(f"float x{c} = {0.5 + 0.25 * c};")
+        expr = f"x{c}"
+        for d in range(depth):
+            op = draw(st.sampled_from(["* 0.5 + 0.1", "+ 0.25", "* 1.01"]))
+            expr = f"({expr} {op})"
+        body.append(f"x{c} = {expr};")
+    if use_io:
+        body.insert(0, "float s = read_sensor(0);")
+        body.append("x0 = x0 + s * 0.001;")
+        body.append("write_actuator(16, x0);")
+    decls_text = "\n    ".join(decls)
+    body_text = "\n        ".join(body)
+    return f"""
+void kernel() {{
+    {decls_text}
+    while (1) {{
+        {body_text}
+    }}
+}}
+"""
+
+
+class TestModuloProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(source=recurrence_kernels(), rows=st.integers(min_value=2, max_value=4))
+    def test_schedule_valid_and_bounded(self, source, rows):
+        """Property: the modulo scheduler either produces a *valid*
+        schedule with II ≥ max(ResMII, RecMII), or raises ScheduleError —
+        it never returns a broken schedule."""
+        graph = compile_c_to_dfg(source)
+        fabric = CgraFabric(CgraConfig(rows=rows, cols=rows))
+        scheduler = ModuloScheduler(fabric)
+        try:
+            schedule = scheduler.schedule(graph)
+        except ScheduleError:
+            return  # allowed outcome
+        schedule.validate()
+        assert schedule.ii >= max(schedule.res_mii, schedule.rec_mii)
+        assert schedule.length >= schedule.ii or schedule.length == 0
+
+    @settings(max_examples=15, deadline=None)
+    @given(source=recurrence_kernels())
+    def test_ii_never_exceeds_list_schedule_much(self, source):
+        """The modulo II should not be grossly worse than the list
+        scheduler's makespan (they solve the same placement problem; the
+        modulo scheduler additionally overlaps iterations)."""
+        graph = compile_c_to_dfg(source)
+        fabric = CgraFabric(CgraConfig(rows=3, cols=3))
+        list_len = ListScheduler(fabric).schedule(graph).length
+        modulo = ModuloScheduler(fabric).schedule(graph)
+        # Allowance: the modulo model has no routing, the list model does,
+        # so the bound is loose but still catches pathological blowups.
+        assert modulo.ii <= 2 * list_len + 8

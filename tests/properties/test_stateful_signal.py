@@ -1,0 +1,120 @@
+"""Stateful property tests for the streaming signal components.
+
+Hypothesis drives arbitrary sequences of operations against a simple
+reference model, checking that the production implementations stay
+consistent under any interleaving of block sizes — the way the HIL
+framework actually uses them.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.errors import SignalError
+from repro.signal.dds import DDS
+from repro.signal.ringbuffer import RingBuffer
+from repro.signal.zerocrossing import PeriodLengthDetector
+
+
+class RingBufferMachine(RuleBasedStateMachine):
+    """RingBuffer vs. a plain-list reference under random writes/reads."""
+
+    def __init__(self):
+        super().__init__()
+        self.capacity = 64
+        self.buffer = RingBuffer(self.capacity)
+        self.reference: list[float] = []
+
+    @rule(n=st.integers(min_value=0, max_value=200))
+    def write_block(self, n):
+        block = np.arange(len(self.reference), len(self.reference) + n, dtype=float)
+        self.buffer.write(block)
+        self.reference.extend(block.tolist())
+
+    @rule(offset=st.integers(min_value=0, max_value=63))
+    def read_recent(self, offset):
+        """Reading any still-buffered sample returns the written value."""
+        total = len(self.reference)
+        if total == 0:
+            return
+        lo = max(0, total - self.capacity)
+        index = total - 1 - offset
+        if index < lo:
+            return
+        assert self.buffer.read(index) == self.reference[index]
+
+    @rule(frac=st.floats(min_value=0.0, max_value=0.999))
+    def read_interpolated(self, frac):
+        total = len(self.reference)
+        if total - 1 <= max(0, total - self.capacity):
+            return
+        base = total - 2
+        expected = (
+            self.reference[base] * (1 - frac) + self.reference[base + 1] * frac
+        )
+        got = self.buffer.fetch_interpolated(base + frac)
+        assert abs(got - expected) < 1e-9
+
+    @rule()
+    def read_stale_raises(self):
+        total = len(self.reference)
+        if total <= self.capacity:
+            return
+        stale = total - self.capacity - 1
+        try:
+            self.buffer.read(stale)
+            raise AssertionError("stale read did not raise")
+        except SignalError:
+            pass
+
+    @invariant()
+    def write_count_consistent(self):
+        assert self.buffer.write_count == len(self.reference)
+
+
+TestRingBufferStateful = RingBufferMachine.TestCase
+TestRingBufferStateful.settings = settings(
+    max_examples=25, stateful_step_count=40, deadline=None
+)
+
+
+class TestDDSBlockInvariance:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        splits=st.lists(st.integers(min_value=1, max_value=400), min_size=1, max_size=8),
+        freq=st.floats(min_value=1e5, max_value=5e6),
+    )
+    def test_any_block_split_is_phase_continuous(self, splits, freq):
+        """Generating in arbitrary chunks equals one monolithic call."""
+        total = sum(splits)
+        mono = DDS(freq, sample_rate=250e6).generate(total).samples
+        dds = DDS(freq, sample_rate=250e6)
+        parts = np.concatenate([dds.generate(n).samples for n in splits])
+        np.testing.assert_allclose(parts, mono, atol=1e-9)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        splits=st.lists(st.integers(min_value=50, max_value=700), min_size=3, max_size=8),
+    )
+    def test_period_detector_split_invariant(self, splits):
+        """The period detector's reading is independent of block framing."""
+        freq = 800e3
+        total = sum(splits)
+        if total < 4 * 313:
+            total += 4 * 313
+            splits = list(splits) + [4 * 313]
+        samples = DDS(freq, sample_rate=250e6).generate(total).samples
+
+        mono = PeriodLengthDetector(250e6)
+        mono.feed(samples)
+
+        chunked = PeriodLengthDetector(250e6)
+        pos = 0
+        for n in splits:
+            chunked.feed(samples[pos : pos + n])
+            pos += n
+        chunked.feed(samples[pos:])
+
+        assert mono.ready == chunked.ready
+        if mono.ready:
+            assert chunked.period_samples() == mono.period_samples()

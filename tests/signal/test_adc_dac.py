@@ -1,0 +1,129 @@
+"""Tests for the bit-accurate ADC and DAC converter models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SignalError
+from repro.signal.adc import ADC
+from repro.signal.dac import DAC
+from repro.signal.waveform import Waveform
+
+
+class TestADC:
+    def test_fmc151_defaults(self):
+        adc = ADC()
+        assert adc.bits == 14
+        assert adc.vpp == 2.0
+        assert adc.sample_rate == 250e6
+        assert adc.lsb == pytest.approx(2.0 / 2**14)
+
+    def test_quantisation_error_bounded(self):
+        adc = ADC()
+        v = np.linspace(-0.99, 0.99, 1001)
+        q = adc.quantize(v)
+        assert np.abs(q - v).max() <= adc.lsb / 2 + 1e-12
+
+    def test_clipping_at_rails(self):
+        adc = ADC()
+        q = adc.quantize(np.array([-5.0, 5.0]))
+        assert q[0] == pytest.approx(adc.code_min * adc.lsb)
+        assert q[1] == pytest.approx(adc.code_max * adc.lsb)
+
+    def test_codes_integer_range(self):
+        adc = ADC(bits=8, vpp=2.0)
+        codes = adc.convert(np.linspace(-2, 2, 100))
+        assert codes.min() >= -128 and codes.max() <= 127
+
+    def test_code_roundtrip(self):
+        adc = ADC()
+        codes = adc.convert([0.25])
+        assert adc.codes_to_volts(codes)[0] == pytest.approx(0.25, abs=adc.lsb)
+
+    def test_noise_requires_rng(self):
+        with pytest.raises(SignalError):
+            ADC(noise_rms=1e-3)
+
+    def test_noise_changes_output(self, rng):
+        adc = ADC(noise_rms=1e-2, rng=rng)
+        a = adc.quantize(np.full(100, 0.5))
+        assert np.unique(a).size > 1
+
+    def test_sample_waveform_rate_check(self):
+        adc = ADC(sample_rate=250e6)
+        wf = Waveform(np.zeros(10), sample_rate=100e6)
+        with pytest.raises(SignalError):
+            adc.sample_waveform(wf)
+
+    def test_sample_function(self):
+        adc = ADC()
+        wf = adc.sample_function(lambda t: 0.5 * np.sin(2 * np.pi * 1e6 * t), 0.0, 1000)
+        assert len(wf) == 1000
+        assert np.abs(wf.samples).max() <= 0.5 + adc.lsb
+
+    def test_aperture_jitter_on_fast_signal(self, rng):
+        adc = ADC(aperture_jitter_rms=100e-12, rng=rng)
+        f = 10e6
+        wf = adc.sample_function(lambda t: 0.9 * np.sin(2 * np.pi * f * t), 0.0, 5000)
+        ideal = 0.9 * np.sin(2 * np.pi * f * (np.arange(5000) / 250e6))
+        err = wf.samples - ideal
+        # Jitter-induced noise should be visible but small.
+        assert 1e-4 < err.std() < 0.05
+
+    def test_invalid_bits(self):
+        with pytest.raises(SignalError):
+            ADC(bits=0)
+        with pytest.raises(SignalError):
+            ADC(bits=64)
+
+    @given(st.floats(min_value=-1.0, max_value=1.0))
+    def test_quantise_idempotent(self, v):
+        adc = ADC()
+        once = adc.quantize(v)
+        twice = adc.quantize(once)
+        assert np.all(once == twice)
+
+
+class TestDAC:
+    def test_fmc151_defaults(self):
+        dac = DAC()
+        assert dac.bits == 16
+        assert dac.vpp == 2.0
+        assert dac.lsb == pytest.approx(2.0 / 2**16)
+
+    def test_convert_quantises(self):
+        dac = DAC()
+        out = dac.convert(np.array([0.1234567]))
+        assert abs(out[0] - 0.1234567) <= dac.lsb / 2
+
+    def test_clipping(self):
+        dac = DAC()
+        out = dac.convert(np.array([3.0, -3.0]))
+        assert out[0] == pytest.approx(dac.code_max * dac.lsb)
+        assert out[1] == pytest.approx(dac.code_min * dac.lsb)
+
+    def test_runtime_scale(self):
+        dac = DAC()
+        dac.set_scale(0.5)
+        out = dac.convert(np.array([0.8]))
+        assert out[0] == pytest.approx(0.4, abs=dac.lsb)
+
+    def test_render_waveform(self):
+        dac = DAC()
+        wf = dac.render_waveform(np.array([0.1, 0.2]), t0=1.0)
+        assert wf.t0 == 1.0
+        assert wf.sample_rate == 250e6
+
+    def test_zero_order_hold(self):
+        dac = DAC()
+        out = dac.reconstruct(np.array([0.5, -0.5]), oversample=3)
+        assert out.shape == (6,)
+        np.testing.assert_allclose(out[:3], out[0])
+
+    def test_reconstruct_oversample_validation(self):
+        with pytest.raises(SignalError):
+            DAC().reconstruct(np.zeros(2), oversample=0)
+
+    def test_dac_finer_than_adc(self):
+        # 16-bit DAC has 4x finer steps than the 14-bit ADC at same Vpp.
+        assert DAC().lsb == pytest.approx(ADC().lsb / 4)

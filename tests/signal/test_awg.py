@@ -1,0 +1,66 @@
+"""Tests for the AWG phase-jump pattern and transport delay."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import SignalError
+from repro.signal.awg import PhaseJumpPattern, TransportDelay
+
+
+class TestPhaseJumpPattern:
+    def test_zero_before_start(self):
+        p = PhaseJumpPattern(8.0, toggle_period=0.05, start_time=0.01)
+        assert p.phase_deg_at(0.0) == 0.0
+        assert p.phase_deg_at(0.00999) == 0.0
+
+    def test_toggles_every_period(self):
+        p = PhaseJumpPattern(8.0, toggle_period=0.05, start_time=0.0)
+        assert p.phase_deg_at(0.01) == 8.0   # first window: jumped
+        assert p.phase_deg_at(0.06) == 0.0   # second window: back
+        assert p.phase_deg_at(0.11) == 8.0   # third: jumped again
+
+    def test_paper_cadence(self):
+        # "toggled every twentieth of a second": 20 toggles per second.
+        p = PhaseJumpPattern(8.0)
+        toggles = p.toggle_times(1.0)
+        assert len(toggles) == 20
+
+    def test_radians_conversion(self):
+        p = PhaseJumpPattern(8.0, start_time=0.0)
+        assert p.phase_rad_at(0.01) == pytest.approx(math.radians(8.0))
+        assert p(0.01) == pytest.approx(math.radians(8.0))
+
+    def test_vectorised(self):
+        p = PhaseJumpPattern(8.0, toggle_period=0.05, start_time=0.0)
+        t = np.array([0.01, 0.06, 0.11])
+        np.testing.assert_allclose(p.phase_deg_at(t), [8.0, 0.0, 8.0])
+
+    def test_toggle_times_window(self):
+        p = PhaseJumpPattern(8.0, toggle_period=0.05, start_time=0.005)
+        times = p.toggle_times(0.16)
+        np.testing.assert_allclose(times, [0.005, 0.055, 0.105, 0.155])
+
+    def test_invalid_period(self):
+        with pytest.raises(SignalError):
+            PhaseJumpPattern(8.0, toggle_period=0.0)
+
+
+class TestTransportDelay:
+    def test_shifts_in_time(self):
+        p = PhaseJumpPattern(8.0, toggle_period=0.05, start_time=0.0)
+        delayed = TransportDelay(p, delay=0.02)
+        # At t=0.01 the delayed path still sees the pre-start value.
+        assert delayed(0.01) == 0.0
+        assert delayed(0.03) == pytest.approx(math.radians(8.0))
+
+    def test_zero_delay_identity(self):
+        p = PhaseJumpPattern(8.0, start_time=0.0)
+        d = TransportDelay(p, delay=0.0)
+        for t in (0.01, 0.06, 0.11):
+            assert d(t) == p(t)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SignalError):
+            TransportDelay(lambda t: t, delay=-1.0)

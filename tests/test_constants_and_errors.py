@@ -1,0 +1,74 @@
+"""Sanity tests for the constants module and the exception hierarchy."""
+
+import math
+
+import pytest
+
+import repro
+from repro import constants, errors
+
+
+class TestConstants:
+    def test_speed_of_light_exact(self):
+        assert constants.SPEED_OF_LIGHT == 299_792_458.0
+
+    def test_elementary_charge_exact(self):
+        assert constants.ELEMENTARY_CHARGE == 1.602_176_634e-19
+
+    def test_atomic_mass_energy(self):
+        # u·c²/e ≈ 931.494 MeV.
+        assert constants.ATOMIC_MASS_EV == pytest.approx(931.494e6, rel=1e-5)
+
+    def test_angle_conversions(self):
+        assert constants.deg_to_rad(180.0) == pytest.approx(math.pi)
+        assert constants.rad_to_deg(math.pi / 2) == pytest.approx(90.0)
+        assert constants.rad_to_deg(constants.deg_to_rad(37.2)) == pytest.approx(37.2)
+
+    def test_two_pi(self):
+        assert constants.TWO_PI == pytest.approx(2 * math.pi)
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize("exc", [
+        errors.ConfigurationError,
+        errors.PhysicsError,
+        errors.SignalError,
+        errors.CgraError,
+        errors.FrontendError,
+        errors.ScheduleError,
+        errors.ExecutionError,
+        errors.RealTimeViolation,
+        errors.HilError,
+    ])
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+        with pytest.raises(errors.ReproError):
+            raise exc("boom")
+
+    def test_cgra_family(self):
+        for exc in (errors.FrontendError, errors.ScheduleError, errors.ExecutionError):
+            assert issubclass(exc, errors.CgraError)
+
+    def test_repro_error_is_exception(self):
+        assert issubclass(errors.ReproError, Exception)
+
+
+class TestPackageSurface:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_subpackage_exports_resolve(self):
+        import repro.cgra
+        import repro.experiments
+        import repro.hil
+        import repro.physics
+        import repro.signal
+
+        for module in (repro.physics, repro.signal, repro.cgra, repro.hil,
+                       repro.experiments):
+            for name in module.__all__:
+                assert hasattr(module, name), f"{module.__name__}.{name}"
