@@ -7,6 +7,12 @@ reports the reproduced rows three ways: attached to
 ``benchmarks/results/<slug>.txt`` so the tables survive a plain
 ``pytest benchmarks/ --benchmark-only`` run.  EXPERIMENTS.md records the
 paper-vs-measured comparison produced by these benches.
+
+On top of the per-title text files, the session writes one
+``benchmarks/results/BENCH_session.json`` aggregating every reported
+benchmark's timing stats in the pytest-benchmark JSON shape
+(:func:`repro.obs.export.write_bench_json`) — the artefact CI uploads so
+the perf trajectory is machine-readable.
 """
 
 from __future__ import annotations
@@ -17,6 +23,9 @@ from pathlib import Path
 import pytest
 
 _RESULTS_DIR = Path(__file__).parent / "results"
+
+#: (title, stats-dict, rows) tuples collected over the session.
+_BENCH_ENTRIES: list[dict] = []
 
 
 def record_rows(benchmark, title: str, rows: list[str]) -> None:
@@ -30,6 +39,26 @@ def record_rows(benchmark, title: str, rows: list[str]) -> None:
     slug = re.sub(r"[^a-z0-9]+", "_", title.lower()).strip("_")[:60]
     path = _RESULTS_DIR / f"{slug}.txt"
     path.write_text(f"=== {title} ===\n" + "\n".join(rows) + "\n")
+    try:
+        stats = {
+            key: float(benchmark.stats[key])
+            for key in ("mean", "min", "max", "stddev", "rounds")
+        }
+    except Exception:
+        return  # stats not available (benchmark disabled/skipped)
+    _BENCH_ENTRIES.append(
+        {"name": title, "stats": stats, "extra_info": {"rows": rows}}
+    )
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Aggregate all reported benchmarks into BENCH_session.json."""
+    if not _BENCH_ENTRIES:
+        return
+    from repro.obs.export import write_bench_json
+
+    _RESULTS_DIR.mkdir(exist_ok=True)
+    write_bench_json(_RESULTS_DIR / "BENCH_session.json", _BENCH_ENTRIES)
 
 
 @pytest.fixture()

@@ -30,8 +30,23 @@ from repro.cgra.ops import Op
 from repro.cgra.scheduler import Schedule
 from repro.cgra.sensor import SensorBus
 from repro.errors import ExecutionError
+from repro.obs import get_registry
+from repro.obs._state import STATE as _OBS
 
 __all__ = ["CgraExecutor"]
+
+_OPS_EXECUTED = get_registry().counter(
+    "cgra_ops_executed_total", "operations executed by the CGRA executors"
+)
+_CONTEXT_SWITCHES = get_registry().counter(
+    "cgra_context_switches_total", "context switches (ticks) executed"
+)
+_TICKS_PER_ITER = get_registry().gauge(
+    "cgra_ticks_per_iteration", "schedule length of the running model"
+)
+_ITERATIONS = get_registry().counter(
+    "cgra_iterations_total", "model iterations executed"
+)
 
 
 @dataclass
@@ -209,6 +224,13 @@ class CgraExecutor:
             regs[phi.node_id] = regs[phi.back_edge]
         self.actuator_write_ticks = write_ticks
         self.iterations += 1
+        if _OBS.enabled:
+            # Aggregated per iteration, never per op: one flag check is
+            # all the disabled cycle-accurate path pays.
+            _OPS_EXECUTED.inc(len(self._program), executor="sequential")
+            _CONTEXT_SWITCHES.inc(self.schedule.length, executor="sequential")
+            _TICKS_PER_ITER.set(self.schedule.length, executor="sequential")
+            _ITERATIONS.inc(executor="sequential")
 
     def run(self, n_iterations: int) -> None:
         """Execute ``n_iterations`` revolutions."""

@@ -32,8 +32,23 @@ from repro.cgra.modulo import ModuloSchedule
 from repro.cgra.ops import Op
 from repro.cgra.sensor import SensorBus
 from repro.errors import ExecutionError
+from repro.obs import get_registry
+from repro.obs._state import STATE as _OBS
 
 __all__ = ["PipelinedExecutor"]
+
+_OPS_EXECUTED = get_registry().counter(
+    "cgra_ops_executed_total", "operations executed by the CGRA executors"
+)
+_CONTEXT_SWITCHES = get_registry().counter(
+    "cgra_context_switches_total", "context switches (ticks) executed"
+)
+_TICKS_PER_ITER = get_registry().gauge(
+    "cgra_ticks_per_iteration", "schedule length of the running model"
+)
+_ITERATIONS = get_registry().counter(
+    "cgra_iterations_total", "model iterations executed"
+)
 
 
 @dataclass(frozen=True)
@@ -183,6 +198,13 @@ class PipelinedExecutor:
                 for nid in self.schedule.ops:
                     self._values.pop((nid, stale), None)
         self.iterations = base + n_iterations
+        if _OBS.enabled:
+            # One bulk update per run() call: in steady state a new
+            # iteration initiates every II ticks.
+            _OPS_EXECUTED.inc(len(events), executor="pipelined")
+            _CONTEXT_SWITCHES.inc(n_iterations * ii, executor="pipelined")
+            _TICKS_PER_ITER.set(ii, executor="pipelined")
+            _ITERATIONS.inc(n_iterations, executor="pipelined")
 
     def value_of(self, name: str, iteration: int | None = None) -> float:
         """Value a named node produced in ``iteration`` (default: the

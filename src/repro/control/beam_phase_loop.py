@@ -18,11 +18,27 @@ limited range); saturation events are counted.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.errors import ConfigurationError
+from repro.obs import get_registry, get_tracer
+from repro.obs._state import STATE as _OBS
 from repro.signal.fir import PhaseControlFilter
 
 __all__ = ["ControlLoopConfig", "BeamPhaseControlLoop"]
+
+_PHASE_ERROR = get_registry().gauge(
+    "control_phase_error_deg", "most recent measured phase error fed to the loop"
+)
+_CORRECTION = get_registry().gauge(
+    "control_correction_deg", "most recent correction applied to the gap phase"
+)
+_SATURATION = get_registry().counter(
+    "control_saturation_total", "updates clipped at the saturation limit"
+)
+_UPDATES = get_registry().counter(
+    "control_updates_total", "control-loop filter updates executed"
+)
 
 
 @dataclass(frozen=True)
@@ -76,6 +92,16 @@ class BeamPhaseControlLoop:
         self._last_output = 0.0
         #: Number of updates that hit the saturation limit.
         self.saturation_count = 0
+        self._observers: list[Callable[[int, float, float], None]] = []
+
+    def add_observer(self, fn: Callable[[int, float, float], None]) -> None:
+        """Register a time-series hook ``fn(tick, phase_deg, correction_deg)``.
+
+        Called on every *executed* update (after decimation), regardless
+        of the global observability switch — this is the API for
+        experiment-side recording, not background telemetry.
+        """
+        self._observers.append(fn)
 
     @property
     def last_output_deg(self) -> float:
@@ -105,8 +131,21 @@ class BeamPhaseControlLoop:
             return self._last_output
         u = self._filter.step(float(measured_phase_deg))
         limit = self.config.saturation_deg
-        if limit is not None and abs(u) > limit:
+        saturated = limit is not None and abs(u) > limit
+        if saturated:
             u = limit if u > 0 else -limit
             self.saturation_count += 1
         self._last_output = u
+        if _OBS.enabled:
+            _PHASE_ERROR.set(measured_phase_deg)
+            _CORRECTION.set(u)
+            _UPDATES.inc()
+            if saturated:
+                _SATURATION.inc()
+                get_tracer().event(
+                    "control.saturated", phase_deg=measured_phase_deg, output_deg=u
+                )
+        if self._observers:
+            for fn in self._observers:
+                fn(self._tick - 1, float(measured_phase_deg), u)
         return u

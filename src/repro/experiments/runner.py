@@ -9,14 +9,23 @@ without touching Python:
     python -m repro.experiments.runner --list
     python -m repro.experiments.runner fig5a --out results/ --quick
     python -m repro.experiments.runner all --out results/
+    python -m repro.experiments.runner fig5a --quick --metrics --trace
 
 ``--quick`` shrinks durations/ensembles for smoke runs; the defaults
-match EXPERIMENTS.md.
+match EXPERIMENTS.md.  ``--metrics``/``--trace`` switch on the
+:mod:`repro.obs` telemetry and write its artefacts
+(``<name>_metrics.json``/``.csv``, ``<name>_trace.jsonl``,
+``<name>_report.json``) next to the CSVs — see docs/OBSERVABILITY.md.
+
+Progress/diagnostics go to **stderr** through :mod:`logging`
+(``--verbose`` raises the level to DEBUG); only the ``--list`` catalogue
+prints to stdout, so it stays pipeable.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 import time
 from pathlib import Path
@@ -27,6 +36,17 @@ import numpy as np
 from repro.errors import ConfigurationError
 
 __all__ = ["main", "EXPERIMENTS", "run_experiment"]
+
+logger = logging.getLogger(__name__)
+
+
+def _configure_logging(verbose: bool) -> None:
+    """Route runner output to stderr; idempotent across main() calls."""
+    handler = logging.StreamHandler(sys.stderr)
+    handler.setFormatter(logging.Formatter("%(levelname)s %(name)s: %(message)s"))
+    logger.handlers[:] = [handler]
+    logger.setLevel(logging.DEBUG if verbose else logging.INFO)
+    logger.propagate = False
 
 
 def _write_csv(path: Path, header: str, columns: list[np.ndarray]) -> None:
@@ -247,6 +267,31 @@ def run_experiment(name: str, out_dir: Path, quick: bool = False) -> list[str]:
     return fn(out_dir, quick)
 
 
+def _export_telemetry(name: str, out_dir: Path, want_trace: bool) -> None:
+    """Write the obs artefacts for one experiment and reset for the next."""
+    from repro import obs
+
+    paths = [
+        obs.export.export_metrics_json(out_dir / f"{name}_metrics.json"),
+        obs.export.export_metrics_csv(out_dir / f"{name}_metrics.csv"),
+    ]
+    if want_trace:
+        paths.append(obs.export.export_trace_jsonl(out_dir / f"{name}_trace.jsonl"))
+    reports = obs.run_reports()
+    if reports:
+        paths.append(
+            obs.export.export_run_reports_json(out_dir / f"{name}_report.json")
+        )
+        for report in reports:
+            logger.debug(
+                "run report %s: %d iterations, %d misses, slack p50=%.1f p99=%.1f",
+                report.name, report.n_iterations, report.deadline_misses,
+                report.slack_p50, report.slack_p99,
+            )
+    logger.info("telemetry -> %s", ", ".join(p.name for p in paths))
+    obs.reset()
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     parser = argparse.ArgumentParser(
@@ -259,26 +304,51 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--out", default="results", help="output directory")
     parser.add_argument("--quick", action="store_true",
                         help="shrink durations/ensembles for a smoke run")
+    parser.add_argument("--verbose", "-v", action="store_true",
+                        help="DEBUG-level progress on stderr")
+    parser.add_argument("--metrics", action="store_true",
+                        help="collect telemetry; write <name>_metrics.json/.csv "
+                             "and <name>_report.json next to the CSVs")
+    parser.add_argument("--trace", action="store_true",
+                        help="also record spans; write <name>_trace.jsonl "
+                             "(implies --metrics)")
     args = parser.parse_args(argv)
+    _configure_logging(args.verbose)
 
     if args.list or args.experiment is None:
         for name, (description, _) in EXPERIMENTS.items():
             print(f"{name:10s} {description}")
         return 0
 
+    telemetry = args.metrics or args.trace
+    if telemetry:
+        from repro import obs
+
+        obs.enable(trace=args.trace)
+        obs.reset()
+
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     out_dir = Path(args.out)
-    for name in names:
-        t0 = time.perf_counter()
-        try:
-            summary = run_experiment(name, out_dir, quick=args.quick)
-        except ConfigurationError as exc:
-            print(f"error: {exc}", file=sys.stderr)
-            return 2
-        elapsed = time.perf_counter() - t0
-        print(f"[{name}] done in {elapsed:.1f}s -> {out_dir}/")
-        for line in summary:
-            print(f"  {line}")
+    try:
+        for name in names:
+            logger.debug("starting %s (quick=%s)", name, args.quick)
+            t0 = time.perf_counter()
+            try:
+                summary = run_experiment(name, out_dir, quick=args.quick)
+            except ConfigurationError as exc:
+                logger.error("%s", exc)
+                return 2
+            elapsed = time.perf_counter() - t0
+            logger.info("[%s] done in %.1fs -> %s/", name, elapsed, out_dir)
+            for line in summary:
+                logger.info("  %s", line)
+            if telemetry:
+                _export_telemetry(name, out_dir, want_trace=args.trace)
+    finally:
+        if telemetry:
+            from repro import obs
+
+            obs.disable()
     return 0
 
 

@@ -30,6 +30,8 @@ from repro.constants import deg_to_rad
 from repro.control import BeamPhaseControlLoop, ControlLoopConfig
 from repro.errors import ConfigurationError
 from repro.hil.framework import FpgaFramework, FrameworkConfig
+from repro.obs import get_tracer, record_hil_run
+from repro.obs._state import STATE as _OBS
 from repro.physics.ion import IonSpecies
 from repro.physics.rf import RFSystem, voltage_for_synchrotron_frequency
 from repro.physics.ring import SynchrotronRing
@@ -160,8 +162,10 @@ class SampleAccurateBench:
         phase = np.empty(n_revolutions)
         delta_t = np.empty(n_revolutions)
         correction = np.empty(n_revolutions)
+        tracer = get_tracer()
         t = 0.0
         for i in range(n_revolutions):
+            span = tracer.span("closed_loop.revolution", revolution=i)
             n = self._next_block_size()
             ref, gap = self.group.generate(n)
             beam, _monitor = self.framework.feed(ref.samples, gap.samples)
@@ -179,6 +183,16 @@ class SampleAccurateBench:
             delta_t[i] = self.framework.delta_t[0] if self.framework.initialised else 0.0
             correction[i] = self.control.last_output_deg
             t += n / self.config.sample_rate
+            span.end()
+        if _OBS.enabled:
+            record_hil_run(
+                name="sample_accurate_bench",
+                stats=self.framework.deadline.stats(allow_empty=True),
+                schedule_length=self.framework.model.schedule_length,
+                engine="sample-accurate",
+                n_revolutions=n_revolutions,
+                control_saturations=self.control.saturation_count,
+            )
         return SampleAccurateRun(
             time=time, phase_deg=phase, delta_t=delta_t, correction_deg=correction
         )

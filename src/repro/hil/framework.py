@@ -44,6 +44,8 @@ from repro.cgra.sensor import (
 from repro.errors import ConfigurationError, HilError
 from repro.hil.realtime import DeadlineMonitor
 from repro.hil.softcore import DramRecorder, ParameterInterface
+from repro.obs import get_registry, get_tracer
+from repro.obs._state import STATE as _OBS
 from repro.physics.ion import IonSpecies
 from repro.physics.ring import SynchrotronRing
 from repro.signal.adc import ADC
@@ -54,6 +56,19 @@ from repro.signal.waveform import Waveform
 from repro.signal.zerocrossing import PeriodLengthDetector
 
 __all__ = ["FrameworkConfig", "FpgaFramework"]
+
+_REV_PERIOD = get_registry().gauge(
+    "hil_revolution_period_seconds", "most recent measured revolution period"
+)
+_RB_FILL = get_registry().gauge(
+    "signal_ringbuffer_fill", "ring-buffer fill fraction [0, 1]"
+)
+_FRAMEWORK_ITERATIONS = get_registry().counter(
+    "hil_iterations_total", "HIL model iterations run"
+)
+_SAMPLES_FED = get_registry().counter(
+    "hil_samples_fed_total", "ADC sample pairs fed through the framework"
+)
 
 
 @dataclass(frozen=True)
@@ -238,6 +253,9 @@ class FpgaFramework:
         self.buffer_gap.write(gap_q)
         self.period_detector.feed(ref_q)
         self._samples_fed += n
+        if _OBS.enabled:
+            _SAMPLES_FED.inc(n)
+            _RB_FILL.set(self.buffer_ref.fill_fraction)
 
         if self.period_detector.ready:
             if self._executor is None:
@@ -260,8 +278,14 @@ class FpgaFramework:
         self._iteration_base_index = (
             self.period_detector.last_crossing_index - period_samples
         )
-        self.deadline.check_revolution(period_s)
-        self.executor.run_iteration()
+        with get_tracer().span(
+            "hil.iteration", iteration=self.executor.iterations, period_s=period_s
+        ):
+            self.deadline.check_revolution(period_s)
+            self.executor.run_iteration()
+        if _OBS.enabled:
+            _REV_PERIOD.set(period_s)
+            _FRAMEWORK_ITERATIONS.inc(engine="framework")
         self._iteration_base_index = None
         if self.params.read("record_enable") >= 1.0:
             self.recorder.record(

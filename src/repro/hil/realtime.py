@@ -8,6 +8,12 @@ slack statistics; by default a miss raises
 :class:`~repro.errors.RealTimeViolation`, because a HIL bench that
 silently overruns its deadline produces wrong physics, not just late
 answers.
+
+Telemetry: every checked revolution feeds the ``hil_slack_ticks``
+histogram and, on a miss, ``hil_deadline_misses_total`` in the global
+:mod:`repro.obs` registry (no-ops while observability is disabled);
+:meth:`DeadlineMonitor.stats` reports exact p50/p99 slack percentiles
+from the full per-iteration record.
 """
 
 from __future__ import annotations
@@ -17,23 +23,54 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import ConfigurationError, RealTimeViolation
+from repro.obs import get_registry
+from repro.obs._state import STATE as _OBS
 
 __all__ = ["JitterStats", "DeadlineMonitor"]
+
+_SLACK_HIST = get_registry().histogram(
+    "hil_slack_ticks", "per-iteration deadline slack in CGRA ticks"
+)
+_MISSES = get_registry().counter(
+    "hil_deadline_misses_total", "iterations whose slack went negative"
+)
 
 
 @dataclass(frozen=True)
 class JitterStats:
-    """Slack statistics over a run (in CGRA ticks)."""
+    """Slack statistics over a run (in CGRA ticks).
+
+    ``p50_slack``/``p99_slack`` are exact percentiles over the full
+    per-iteration slack record (not bucket estimates).
+    """
 
     n_iterations: int
     min_slack: float
     mean_slack: float
     misses: int
+    p50_slack: float = 0.0
+    p99_slack: float = 0.0
 
     @property
     def met(self) -> bool:
-        """True when every iteration met its deadline."""
-        return self.misses == 0
+        """True when every iteration met its deadline.
+
+        An empty record (``n_iterations == 0``) reports *not* met: no
+        evidence is not a pass.
+        """
+        return self.n_iterations > 0 and self.misses == 0
+
+    @classmethod
+    def empty(cls) -> "JitterStats":
+        """Well-defined stats for a run that checked no revolutions."""
+        return cls(
+            n_iterations=0,
+            min_slack=0.0,
+            mean_slack=0.0,
+            misses=0,
+            p50_slack=0.0,
+            p99_slack=0.0,
+        )
 
 
 class DeadlineMonitor:
@@ -76,8 +113,12 @@ class DeadlineMonitor:
         budget = revolution_period_s * self.cgra_clock_hz
         slack = budget - self.schedule_length_ticks
         self._slacks.append(slack)
+        if _OBS.enabled:
+            _SLACK_HIST.observe(slack)
         if slack < 0:
             self._misses += 1
+            if _OBS.enabled:
+                _MISSES.inc()
             if self.policy == "raise":
                 raise RealTimeViolation(
                     f"iteration needs {self.schedule_length_ticks} ticks but the "
@@ -86,9 +127,25 @@ class DeadlineMonitor:
                 )
         return slack
 
-    def stats(self) -> JitterStats:
-        """Summary over all checked revolutions."""
+    @property
+    def n_checked(self) -> int:
+        """Revolutions accounted so far."""
+        return len(self._slacks)
+
+    def slacks(self) -> np.ndarray:
+        """The full per-iteration slack record (ticks), oldest first."""
+        return np.asarray(self._slacks, dtype=float)
+
+    def stats(self, allow_empty: bool = False) -> JitterStats:
+        """Summary over all checked revolutions.
+
+        With no revolutions checked this raises, unless ``allow_empty``
+        asks for the well-defined :meth:`JitterStats.empty` instead —
+        no division by zero, no nan percentiles, ``met`` is False.
+        """
         if not self._slacks:
+            if allow_empty:
+                return JitterStats.empty()
             raise ConfigurationError("no revolutions checked yet")
         arr = np.asarray(self._slacks)
         return JitterStats(
@@ -96,4 +153,6 @@ class DeadlineMonitor:
             min_slack=float(arr.min()),
             mean_slack=float(arr.mean()),
             misses=self._misses,
+            p50_slack=float(np.percentile(arr, 50)),
+            p99_slack=float(np.percentile(arr, 99)),
         )

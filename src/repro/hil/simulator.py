@@ -44,6 +44,8 @@ from repro.constants import SPEED_OF_LIGHT, TWO_PI, deg_to_rad
 from repro.control import BeamPhaseControlLoop, ControlLoopConfig
 from repro.errors import ConfigurationError, HilError
 from repro.hil.realtime import DeadlineMonitor, JitterStats
+from repro.obs import get_registry, get_tracer, record_hil_run
+from repro.obs._state import STATE as _OBS
 from repro.physics.ion import IonSpecies
 from repro.physics.rf import RFSystem, voltage_for_synchrotron_frequency
 from repro.physics.ring import SynchrotronRing
@@ -52,6 +54,11 @@ from repro.signal.awg import PhaseJumpPattern
 from repro.signal.filters import moving_average
 
 __all__ = ["HilConfig", "HilRunResult", "CavityInTheLoop"]
+
+#: Shared with the framework path (get-or-create by name).
+_HIL_ITERATIONS = get_registry().counter(
+    "hil_iterations_total", "HIL model iterations run"
+)
 
 
 @dataclass(frozen=True)
@@ -417,11 +424,31 @@ class CavityInTheLoop:
 
         record()
         t_rev = 1.0 / self.f_rev
-        for n in range(n_turns):
-            self.deadline.check_revolution(t_rev)
-            self.step_revolution()
-            if (n + 1) % rec_every == 0:
-                record()
+        with get_tracer().span(
+            "hil.run",
+            engine=self.config.engine,
+            duration_s=duration,
+            n_turns=n_turns,
+        ):
+            for n in range(n_turns):
+                self.deadline.check_revolution(t_rev)
+                self.step_revolution()
+                if (n + 1) % rec_every == 0:
+                    record()
+        # allow_empty guards the degenerate sub-revolution duration
+        # (n_turns == 0): well-defined empty stats, not a crash.
+        stats = self.deadline.stats(allow_empty=True)
+        if _OBS.enabled:
+            _HIL_ITERATIONS.inc(n_turns, engine=self.config.engine)
+            record_hil_run(
+                name="cavity_in_the_loop",
+                stats=stats,
+                schedule_length=self.model.schedule_length,
+                engine=self.config.engine,
+                duration_s=duration,
+                f_rev_hz=self.f_rev,
+                control_saturations=self.control.saturation_count,
+            )
         return HilRunResult(
             time=time[:idx],
             phase_deg=phase[:idx],
@@ -430,7 +457,7 @@ class CavityInTheLoop:
             delta_t=dts[:idx],
             delta_t_all=dts_all[:idx],
             gamma_ref=gam[:idx],
-            deadline=self.deadline.stats(),
+            deadline=stats,
             schedule_length=self.model.schedule_length,
             engine=self.config.engine,
         )

@@ -1,0 +1,181 @@
+"""Telemetry artefact writers.
+
+Four formats, all plain files next to the experiment CSVs:
+
+* :func:`export_metrics_json` — the full registry snapshot as one JSON
+  document (instrument kind, description, per-label-set series);
+* :func:`export_metrics_csv` — flat ``metric,labels,field,value`` rows
+  for spreadsheet-grade consumers;
+* :func:`export_trace_jsonl` — one JSON object per span/event record;
+* :func:`export_run_reports_json` / :func:`write_bench_json` — run
+  reports, and a pytest-benchmark-compatible ``BENCH_*.json`` so perf
+  numbers from CI land in the same shape the benchmark suite emits.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+from pathlib import Path
+from typing import Iterable, Mapping
+
+from repro.errors import ConfigurationError
+from repro.obs.registry import MetricsRegistry, get_registry
+from repro.obs.report import HilRunReport, run_reports
+from repro.obs.trace import Tracer, get_tracer
+
+__all__ = [
+    "export_metrics_json",
+    "export_metrics_csv",
+    "export_trace_jsonl",
+    "export_run_reports_json",
+    "write_bench_json",
+]
+
+
+def _sanitize(value):
+    """JSON has no inf/nan; map them to strings rather than crash."""
+    if isinstance(value, float) and (value != value or value in (float("inf"), float("-inf"))):
+        return str(value)
+    return value
+
+
+def _json_default(value):
+    try:
+        return _sanitize(float(value))
+    except (TypeError, ValueError):
+        return str(value)
+
+
+def export_metrics_json(path: str | Path, registry: MetricsRegistry | None = None) -> Path:
+    """Write the registry snapshot as JSON; returns the path."""
+    registry = registry if registry is not None else get_registry()
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(registry.snapshot(), indent=2, default=_json_default, allow_nan=False)
+    )
+    return path
+
+
+def export_metrics_csv(path: str | Path, registry: MetricsRegistry | None = None) -> Path:
+    """Write flat CSV rows: ``metric,kind,labels,field,value``."""
+    registry = registry if registry is not None else get_registry()
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    lines = ["metric,kind,labels,field,value"]
+
+    def quote(text: str) -> str:
+        return '"' + str(text).replace('"', '""') + '"'
+
+    for name, entry in registry.snapshot().items():
+        for labels, value in entry["series"].items():
+            if isinstance(value, Mapping):  # histogram series
+                for stat in ("count", "sum", "min", "max"):
+                    lines.append(
+                        f"{name},{entry['kind']},{quote(labels)},{stat},{value[stat]}"
+                    )
+                for bound, count in value["buckets"].items():
+                    lines.append(
+                        f"{name},{entry['kind']},{quote(labels)},le={bound},{count}"
+                    )
+            else:
+                lines.append(f"{name},{entry['kind']},{quote(labels)},value,{value}")
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+def export_trace_jsonl(path: str | Path, tracer: Tracer | None = None) -> Path:
+    """Write every span/event as one JSON line (chronological order).
+
+    A final ``trace.dropped`` event is appended when the tracer hit its
+    record cap, so truncation is visible in the artefact.
+    """
+    tracer = tracer if tracer is not None else get_tracer()
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    records = sorted(tracer.records, key=lambda r: r.start)
+    with path.open("w") as fh:
+        for record in records:
+            fh.write(json.dumps(record.to_dict(), default=_json_default) + "\n")
+        if tracer.dropped:
+            fh.write(
+                json.dumps(
+                    {
+                        "name": "trace.dropped",
+                        "event": True,
+                        "attrs": {"dropped_records": tracer.dropped},
+                    }
+                )
+                + "\n"
+            )
+    return path
+
+
+def export_run_reports_json(
+    path: str | Path, reports: Iterable[HilRunReport] | None = None
+) -> Path:
+    """Write HIL run reports as a JSON list."""
+    reports = list(reports) if reports is not None else run_reports()
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps([r.to_dict() for r in reports], indent=2, default=_json_default)
+    )
+    return path
+
+
+def write_bench_json(
+    path: str | Path,
+    entries: Iterable[Mapping],
+    machine_info: Mapping | None = None,
+) -> Path:
+    """Write a ``BENCH_*.json`` perf artefact.
+
+    ``entries`` are mappings with at least ``name`` and ``stats`` (a
+    mapping with a ``mean``; ``min``/``max``/``stddev``/``rounds`` are
+    filled with defaults when absent).  The output mirrors the subset of
+    the pytest-benchmark JSON schema downstream tooling reads
+    (``machine_info``, ``benchmarks[].name/stats/extra_info``), so the
+    perf trajectory stays comparable across emitters.
+    """
+    path = Path(path)
+    if not path.name.startswith("BENCH_"):
+        raise ConfigurationError(
+            f"bench artefacts must be named BENCH_*.json, got {path.name!r}"
+        )
+    benchmarks = []
+    for entry in entries:
+        if "name" not in entry or "stats" not in entry:
+            raise ConfigurationError("each bench entry needs 'name' and 'stats'")
+        stats = dict(entry["stats"])
+        if "mean" not in stats:
+            raise ConfigurationError(f"bench entry {entry['name']!r} lacks stats.mean")
+        stats.setdefault("min", stats["mean"])
+        stats.setdefault("max", stats["mean"])
+        stats.setdefault("stddev", 0.0)
+        stats.setdefault("rounds", 1)
+        benchmarks.append(
+            {
+                "name": str(entry["name"]),
+                "stats": stats,
+                "extra_info": dict(entry.get("extra_info", {})),
+            }
+        )
+    doc = {
+        "machine_info": dict(
+            machine_info
+            if machine_info is not None
+            else {
+                "python_version": platform.python_version(),
+                "platform": platform.platform(),
+                "processor": platform.processor(),
+                "executable": sys.executable,
+            }
+        ),
+        "benchmarks": benchmarks,
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(doc, indent=2, default=_json_default))
+    return path

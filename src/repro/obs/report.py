@@ -1,0 +1,154 @@
+"""Per-run HIL reports.
+
+A :class:`HilRunReport` condenses one bench run into the numbers the
+paper's real-time argument needs: iteration count, the slack
+distribution (min/mean/p50/p99 in CGRA ticks), deadline misses, signal
+chain health (ADC/DAC clip counts, ring-buffer occupancy) and CGRA
+execution totals.  :func:`record_hil_run` builds one from a finished
+run's :class:`~repro.hil.realtime.JitterStats` plus a snapshot of the
+global metric registry, and appends it to a process-wide list that the
+experiment runner exports next to the CSV artefacts.
+
+The module deliberately imports nothing from :mod:`repro.hil` (the HIL
+stack imports *us*); the stats argument is duck-typed on the
+``JitterStats`` fields.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.obs.registry import MetricsRegistry, get_registry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.hil.realtime import JitterStats
+
+__all__ = ["HilRunReport", "record_hil_run", "run_reports", "clear_run_reports"]
+
+
+@dataclass
+class HilRunReport:
+    """Summary of one HIL run (all tick quantities in CGRA ticks)."""
+
+    #: Run label (experiment id or bench class name).
+    name: str
+    #: ``"python"``, ``"cgra"`` or ``"sample-accurate"``.
+    engine: str
+    #: Compiled schedule length (the per-iteration budget consumer).
+    schedule_length: int
+    #: Model iterations executed.
+    n_iterations: int
+    #: Iterations whose slack went negative.
+    deadline_misses: int
+    slack_min: float
+    slack_mean: float
+    slack_p50: float
+    slack_p99: float
+    #: ADC samples pushed against the rails.
+    adc_clip_count: int = 0
+    #: DAC codes pushed against the rails.
+    dac_clip_count: int = 0
+    #: CGRA operations executed across the run.
+    executed_ops: int = 0
+    #: CGRA context switches (ticks) across the run.
+    context_switches: int = 0
+    #: Most recent ring-buffer fill fraction [0, 1] (0 when unused).
+    ring_buffer_fill: float = 0.0
+    #: Control-loop corrections clipped at the saturation limit.
+    control_saturation_count: int = 0
+    #: Anything experiment-specific.
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def met(self) -> bool:
+        """True when no iteration missed its deadline."""
+        return self.deadline_misses == 0
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "engine": self.engine,
+            "schedule_length_ticks": self.schedule_length,
+            "n_iterations": self.n_iterations,
+            "deadline_misses": self.deadline_misses,
+            "deadline_met": self.met,
+            "slack_ticks": {
+                "min": self.slack_min,
+                "mean": self.slack_mean,
+                "p50": self.slack_p50,
+                "p99": self.slack_p99,
+            },
+            "adc_clip_count": self.adc_clip_count,
+            "dac_clip_count": self.dac_clip_count,
+            "executed_ops": self.executed_ops,
+            "context_switches": self.context_switches,
+            "ring_buffer_fill": self.ring_buffer_fill,
+            "control_saturation_count": self.control_saturation_count,
+            "extras": self.extras,
+        }
+
+
+#: Reports recorded since the last :func:`clear_run_reports`.
+_REPORTS: list[HilRunReport] = []
+
+
+def _counter_total(registry: MetricsRegistry, name: str) -> int:
+    instrument = registry.get(name)
+    total = getattr(instrument, "total", None)
+    return int(total()) if total is not None else 0
+
+
+def _gauge_value(registry: MetricsRegistry, name: str) -> float:
+    instrument = registry.get(name)
+    value = getattr(instrument, "value", None)
+    return float(value()) if value is not None else 0.0
+
+
+def record_hil_run(
+    name: str,
+    stats: "JitterStats",
+    schedule_length: int,
+    engine: str,
+    registry: MetricsRegistry | None = None,
+    **extras,
+) -> HilRunReport:
+    """Build a report from run stats + the current registry and file it.
+
+    Counter-derived fields (clips, executed ops, …) snapshot the
+    registry *totals at call time*; the runner resets the registry
+    between experiments so each report covers exactly one run.
+    """
+    registry = registry if registry is not None else get_registry()
+    report = HilRunReport(
+        name=name,
+        engine=engine,
+        schedule_length=int(schedule_length),
+        n_iterations=stats.n_iterations,
+        deadline_misses=stats.misses,
+        slack_min=stats.min_slack,
+        slack_mean=stats.mean_slack,
+        slack_p50=stats.p50_slack,
+        slack_p99=stats.p99_slack,
+        adc_clip_count=_counter_total(registry, "signal_adc_clips_total"),
+        dac_clip_count=_counter_total(registry, "signal_dac_clips_total"),
+        executed_ops=_counter_total(registry, "cgra_ops_executed_total"),
+        context_switches=_counter_total(registry, "cgra_context_switches_total"),
+        ring_buffer_fill=_gauge_value(registry, "signal_ringbuffer_fill"),
+        control_saturation_count=_counter_total(
+            registry, "control_saturation_total"
+        ),
+        extras=dict(extras),
+    )
+    _REPORTS.append(report)
+    return report
+
+
+def run_reports() -> list[HilRunReport]:
+    """Reports recorded so far (live list copy)."""
+    return list(_REPORTS)
+
+
+def clear_run_reports() -> None:
+    """Forget all recorded reports."""
+    _REPORTS.clear()

@@ -1,0 +1,153 @@
+"""Lightweight span/event recorder.
+
+A :class:`Tracer` records named **spans** (with wall-clock start and
+duration from :func:`time.perf_counter`) and zero-duration **events**,
+both carrying arbitrary key/value attributes.  The records land in an
+in-memory list bounded by ``max_records`` (overflow increments a drop
+counter instead of growing without bound), and export as one JSON object
+per line (:func:`repro.obs.export.export_trace_jsonl`).
+
+While tracing is disabled — the default — ``span()`` returns a shared
+no-op context manager and ``event()`` returns immediately, so call sites
+can stay unconditional: the cost is one flag check.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.obs._state import STATE
+
+__all__ = ["SpanRecord", "Tracer", "get_tracer"]
+
+
+@dataclass
+class SpanRecord:
+    """One finished span or event."""
+
+    name: str
+    #: Start instant, seconds on the perf_counter clock.
+    start: float
+    #: Seconds from start to end (0.0 for events).
+    duration: float
+    #: Free-form attributes attached at the call site.
+    attrs: dict = field(default_factory=dict)
+    #: True for point events.
+    is_event: bool = False
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "start_s": self.start,
+            "duration_s": self.duration,
+            "attrs": self.attrs,
+            "event": self.is_event,
+        }
+
+
+class _NullSpan:
+    """Shared do-nothing span for the disabled path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+    def end(self) -> None:
+        return None
+
+    def set(self, **attrs) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """Live span; records itself on exit/end (idempotent)."""
+
+    __slots__ = ("_tracer", "name", "attrs", "_start", "_done")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self._start = time.perf_counter()
+        self._done = False
+
+    def set(self, **attrs) -> None:
+        """Attach attributes after the span started."""
+        self.attrs.update(attrs)
+
+    def end(self) -> None:
+        if self._done:
+            return
+        self._done = True
+        duration = time.perf_counter() - self._start
+        self._tracer._record(
+            SpanRecord(self.name, self._start, duration, self.attrs)
+        )
+
+    def __enter__(self) -> "_Span":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.end()
+
+
+class Tracer:
+    """Bounded in-memory span/event recorder.
+
+    Parameters
+    ----------
+    max_records:
+        Cap on retained records; later records are counted in
+        :attr:`dropped` instead of stored.
+    """
+
+    def __init__(self, max_records: int = 1_000_000) -> None:
+        self.max_records = int(max_records)
+        self.records: list[SpanRecord] = []
+        #: Records discarded because the buffer was full.
+        self.dropped = 0
+
+    def _record(self, record: SpanRecord) -> None:
+        if len(self.records) >= self.max_records:
+            self.dropped += 1
+            return
+        self.records.append(record)
+
+    def span(self, name: str, **attrs):
+        """Start a span; use as a context manager or call ``.end()``."""
+        if not STATE.trace:
+            return _NULL_SPAN
+        return _Span(self, name, attrs)
+
+    def event(self, name: str, **attrs) -> None:
+        """Record a zero-duration point event."""
+        if not STATE.trace:
+            return
+        self._record(
+            SpanRecord(name, time.perf_counter(), 0.0, attrs, is_event=True)
+        )
+
+    def reset(self) -> None:
+        """Drop all records and the drop counter."""
+        self.records.clear()
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+#: The process-wide tracer used by all built-in instrumentation.
+_TRACER = Tracer()
+
+
+def get_tracer() -> Tracer:
+    """The global tracer (instrumented modules record here)."""
+    return _TRACER

@@ -14,9 +14,18 @@ from typing import Callable
 import numpy as np
 
 from repro.errors import SignalError
+from repro.obs import get_registry
+from repro.obs._state import STATE as _OBS
 from repro.signal.waveform import Waveform
 
 __all__ = ["ADC"]
+
+_CLIPS = get_registry().counter(
+    "signal_adc_clips_total", "ADC samples clipped at the input rails"
+)
+_SAMPLES = get_registry().counter(
+    "signal_adc_samples_total", "samples converted by the ADC models"
+)
 
 
 class ADC:
@@ -93,6 +102,13 @@ class ADC:
         if self.noise_rms > 0.0:
             v = v + self._rng.normal(0.0, self.noise_rms, v.shape)
         codes = np.round(v / self.lsb).astype(np.int64)
+        if _OBS.enabled:
+            _SAMPLES.inc(codes.size)
+            clipped = int(
+                np.count_nonzero((codes < self.code_min) | (codes > self.code_max))
+            )
+            if clipped:
+                _CLIPS.inc(clipped)
         return np.clip(codes, self.code_min, self.code_max)
 
     def codes_to_volts(self, codes) -> np.ndarray:

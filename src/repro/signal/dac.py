@@ -12,9 +12,18 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import SignalError
+from repro.obs import get_registry
+from repro.obs._state import STATE as _OBS
 from repro.signal.waveform import Waveform
 
 __all__ = ["DAC"]
+
+_CLIPS = get_registry().counter(
+    "signal_dac_clips_total", "DAC codes clipped at the output rails"
+)
+_SAMPLES = get_registry().counter(
+    "signal_dac_samples_total", "samples converted by the DAC models"
+)
 
 
 class DAC:
@@ -74,6 +83,13 @@ class DAC:
         """Convert requested voltages (after scaling) to clipped codes."""
         v = np.asarray(volts, dtype=float) * self.scale
         codes = np.round(v / self.lsb).astype(np.int64)
+        if _OBS.enabled:
+            _SAMPLES.inc(codes.size)
+            clipped = int(
+                np.count_nonzero((codes < self.code_min) | (codes > self.code_max))
+            )
+            if clipped:
+                _CLIPS.inc(clipped)
         return np.clip(codes, self.code_min, self.code_max)
 
     def convert(self, volts) -> np.ndarray:

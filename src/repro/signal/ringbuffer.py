@@ -116,3 +116,13 @@ class RingBuffer:
     def oldest_valid_index(self) -> int:
         """Smallest global index still present in the buffer."""
         return max(0, self.write_count - self.capacity)
+
+    @property
+    def occupancy(self) -> int:
+        """Valid samples currently held (saturates at capacity)."""
+        return min(self.write_count, self.capacity)
+
+    @property
+    def fill_fraction(self) -> float:
+        """Occupancy as a fraction of capacity, in [0, 1]."""
+        return self.occupancy / self.capacity

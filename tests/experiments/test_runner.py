@@ -50,11 +50,50 @@ class TestCli:
         assert main([]) == 0
         assert "fig5a" in capsys.readouterr().out
 
-    def test_run_one(self, tmp_path, capsys):
+    def test_run_one_logs_to_stderr(self, tmp_path, capsys):
         assert main(["fig1", "--out", str(tmp_path), "--quick"]) == 0
-        out = capsys.readouterr().out
-        assert "[fig1] done" in out
+        captured = capsys.readouterr()
+        assert "[fig1] done" in captured.err
+        # Progress is logging-only: stdout stays clean for --list piping.
+        assert captured.out == ""
+
+    def test_list_stays_on_stdout(self, capsys):
+        assert main(["--list"]) == 0
+        captured = capsys.readouterr()
+        assert "fig5a" in captured.out
+        assert "fig5a" not in captured.err
+
+    def test_verbose_enables_debug(self, tmp_path, capsys):
+        assert main(["fig1", "--out", str(tmp_path), "--quick", "--verbose"]) == 0
+        assert "starting fig1" in capsys.readouterr().err
 
     def test_unknown_experiment_exit_code(self, tmp_path, capsys):
         assert main(["bogus", "--out", str(tmp_path)]) == 2
-        assert "error" in capsys.readouterr().err
+        assert "ERROR" in capsys.readouterr().err
+
+
+class TestTelemetryFlags:
+    def test_metrics_writes_snapshot_and_report(self, tmp_path, capsys):
+        assert main(["fig5a", "--out", str(tmp_path), "--quick", "--metrics"]) == 0
+        assert (tmp_path / "fig5a_metrics.json").exists()
+        assert (tmp_path / "fig5a_metrics.csv").exists()
+        assert (tmp_path / "fig5a_report.json").exists()
+        assert not (tmp_path / "fig5a_trace.jsonl").exists()
+
+    def test_trace_writes_jsonl_and_report_has_percentiles(self, tmp_path):
+        import json
+
+        assert main(["fig5a", "--out", str(tmp_path), "--quick", "--trace"]) == 0
+        assert (tmp_path / "fig5a_trace.jsonl").exists()
+        (report,) = json.loads((tmp_path / "fig5a_report.json").read_text())
+        assert report["deadline_misses"] == 0
+        assert report["slack_ticks"]["p50"] > 0
+        assert report["slack_ticks"]["p99"] > 0
+        snapshot = json.loads((tmp_path / "fig5a_metrics.json").read_text())
+        assert snapshot["hil_slack_ticks"]["series"][""]["count"] > 0
+
+    def test_telemetry_disabled_after_run(self, tmp_path):
+        from repro import obs
+
+        assert main(["fig1", "--out", str(tmp_path), "--quick", "--metrics"]) == 0
+        assert not obs.enabled()

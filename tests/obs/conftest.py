@@ -1,0 +1,28 @@
+"""Shared obs test fixtures: every test leaves telemetry off and empty."""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs_state():
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+@pytest.fixture()
+def enabled():
+    """Metrics on (no tracing)."""
+    obs.enable()
+    return obs.metrics()
+
+
+@pytest.fixture()
+def tracing():
+    """Metrics + tracing on."""
+    obs.enable(trace=True)
+    return obs.tracer()

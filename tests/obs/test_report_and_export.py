@@ -1,0 +1,129 @@
+"""Run reports, metric exporters and the closed-loop telemetry smoke test."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.errors import ConfigurationError
+from repro.experiments.mde import bench_config
+from repro.hil.realtime import JitterStats
+from repro.hil.simulator import CavityInTheLoop
+from repro.obs.export import write_bench_json
+
+
+def _stats(n=10, misses=0):
+    return JitterStats(
+        n_iterations=n, min_slack=50.0, mean_slack=60.0, misses=misses,
+        p50_slack=60.0, p99_slack=51.0,
+    )
+
+
+class TestRunReport:
+    def test_record_snapshots_registry_counters(self, enabled):
+        enabled.counter("signal_adc_clips_total").inc(3)
+        enabled.counter("cgra_ops_executed_total").inc(700, executor="sequential")
+        report = obs.record_hil_run(
+            name="t", stats=_stats(), schedule_length=76, engine="python"
+        )
+        assert report.adc_clip_count == 3
+        assert report.executed_ops == 700
+        assert report.met
+        assert obs.run_reports() == [report]
+
+    def test_report_dict_contains_percentiles(self, enabled):
+        d = obs.record_hil_run("t", _stats(), 76, "python").to_dict()
+        assert d["slack_ticks"]["p50"] == 60.0
+        assert d["slack_ticks"]["p99"] == 51.0
+        assert d["deadline_met"] is True
+
+    def test_misses_flow_through(self, enabled):
+        report = obs.record_hil_run("t", _stats(misses=2), 76, "python")
+        assert report.deadline_misses == 2 and not report.met
+
+    def test_reset_clears_reports(self, enabled):
+        obs.record_hil_run("t", _stats(), 76, "python")
+        obs.reset()
+        assert obs.run_reports() == []
+
+
+class TestExporters:
+    def test_metrics_json_parses(self, enabled, tmp_path):
+        enabled.counter("exp_total").inc(5, where="here")
+        path = obs.export.export_metrics_json(tmp_path / "m.json")
+        doc = json.loads(path.read_text())
+        assert doc["exp_total"]["series"] == {"where=here": 5.0}
+
+    def test_metrics_json_handles_inf(self, enabled, tmp_path):
+        # Histogram buckets carry an inf bound; must not crash json.
+        enabled.histogram("h").observe(1.0)
+        doc = json.loads(
+            obs.export.export_metrics_json(tmp_path / "m.json").read_text()
+        )
+        assert doc["h"]["series"][""]["count"] == 1
+
+    def test_metrics_csv_rows(self, enabled, tmp_path):
+        enabled.gauge("g").set(2.5)
+        lines = obs.export.export_metrics_csv(
+            tmp_path / "m.csv"
+        ).read_text().splitlines()
+        assert lines[0] == "metric,kind,labels,field,value"
+        assert 'g,gauge,"",value,2.5' in lines
+
+    def test_run_reports_json(self, enabled, tmp_path):
+        obs.record_hil_run("a", _stats(), 76, "python")
+        doc = json.loads(
+            obs.export.export_run_reports_json(tmp_path / "r.json").read_text()
+        )
+        assert len(doc) == 1 and doc[0]["name"] == "a"
+
+
+class TestBenchJson:
+    def test_writes_pytest_benchmark_shape(self, tmp_path):
+        path = write_bench_json(
+            tmp_path / "BENCH_perf.json",
+            [{"name": "t1", "stats": {"mean": 0.5}, "extra_info": {"k": "v"}}],
+        )
+        doc = json.loads(path.read_text())
+        assert "machine_info" in doc
+        (bench,) = doc["benchmarks"]
+        assert bench["name"] == "t1"
+        assert bench["stats"]["mean"] == 0.5
+        assert bench["stats"]["rounds"] == 1  # default filled
+        assert bench["extra_info"] == {"k": "v"}
+
+    def test_rejects_bad_names_and_entries(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            write_bench_json(tmp_path / "perf.json", [])
+        with pytest.raises(ConfigurationError):
+            write_bench_json(tmp_path / "BENCH_x.json", [{"name": "n", "stats": {}}])
+
+
+class TestClosedLoopSmoke:
+    """End-to-end: the run report agrees with JitterStats (satellite task)."""
+
+    def test_report_miss_count_matches_jitter_stats(self, enabled):
+        sim = CavityInTheLoop(bench_config())
+        result = sim.run(0.004)
+        (report,) = obs.run_reports()
+        assert report.deadline_misses == result.deadline.misses == 0
+        assert report.n_iterations == result.deadline.n_iterations
+        assert report.met == result.deadline.met
+        assert report.slack_p50 == result.deadline.p50_slack
+        assert report.slack_p99 == result.deadline.p99_slack
+        assert report.schedule_length == result.schedule_length
+
+    def test_slack_histogram_fed_per_iteration(self, enabled):
+        sim = CavityInTheLoop(bench_config())
+        result = sim.run(0.002)
+        hist = enabled.get("hil_slack_ticks")
+        assert hist.count() == result.deadline.n_iterations
+        assert hist.percentile(50) == pytest.approx(
+            result.deadline.p50_slack, rel=0.25
+        )
+
+    def test_disabled_run_records_nothing(self):
+        sim = CavityInTheLoop(bench_config())
+        sim.run(0.002)
+        assert obs.run_reports() == []
+        assert obs.metrics().get("hil_slack_ticks").count() == 0

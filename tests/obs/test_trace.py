@@ -1,0 +1,88 @@
+"""Span/event recording, the no-op default, and JSONL export."""
+
+import json
+
+from repro import obs
+from repro.obs.trace import Tracer, _NULL_SPAN
+
+
+class TestNoOpDefault:
+    def test_span_is_shared_null_object_when_disabled(self):
+        t = Tracer()
+        span = t.span("anything", key="value")
+        assert span is _NULL_SPAN
+        with span:
+            pass
+        t.event("ignored")
+        assert len(t) == 0
+
+    def test_metrics_only_mode_does_not_trace(self, enabled):
+        t = obs.tracer()
+        with t.span("nope"):
+            pass
+        assert len(t) == 0
+
+
+class TestRecording:
+    def test_span_records_duration_and_attrs(self, tracing):
+        with tracing.span("work", iteration=3) as span:
+            span.set(extra="yes")
+        (rec,) = tracing.records
+        assert rec.name == "work"
+        assert rec.duration >= 0.0
+        assert rec.attrs == {"iteration": 3, "extra": "yes"}
+        assert not rec.is_event
+
+    def test_manual_end_is_idempotent(self, tracing):
+        span = tracing.span("manual")
+        span.end()
+        span.end()
+        assert len(tracing) == 1
+
+    def test_event(self, tracing):
+        tracing.event("tick", n=1)
+        (rec,) = tracing.records
+        assert rec.is_event and rec.duration == 0.0
+
+    def test_nested_spans_both_recorded(self, tracing):
+        with tracing.span("outer"):
+            with tracing.span("inner"):
+                pass
+        names = [r.name for r in tracing.records]
+        assert names == ["inner", "outer"]  # inner finishes first
+
+    def test_record_cap_counts_drops(self):
+        obs.enable(trace=True)
+        t = Tracer(max_records=2)
+        for i in range(5):
+            t.event(f"e{i}")
+        assert len(t) == 2
+        assert t.dropped == 3
+
+    def test_reset(self, tracing):
+        tracing.event("gone")
+        tracing.reset()
+        assert len(tracing) == 0 and tracing.dropped == 0
+
+
+class TestExport:
+    def test_jsonl_roundtrip(self, tracing, tmp_path):
+        with tracing.span("s", a=1):
+            pass
+        tracing.event("e")
+        path = obs.export.export_trace_jsonl(tmp_path / "t.jsonl")
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert len(lines) == 2
+        # Chronological order: the span started before the event fired.
+        assert lines[0]["name"] == "s" and lines[0]["attrs"] == {"a": 1}
+        assert lines[1]["name"] == "e" and lines[1]["event"]
+
+    def test_jsonl_reports_drops(self, tmp_path):
+        obs.enable(trace=True)
+        t = Tracer(max_records=1)
+        t.event("kept")
+        t.event("dropped")
+        path = obs.export.export_trace_jsonl(tmp_path / "d.jsonl", tracer=t)
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert lines[-1]["name"] == "trace.dropped"
+        assert lines[-1]["attrs"]["dropped_records"] == 1
