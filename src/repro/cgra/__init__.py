@@ -12,7 +12,10 @@ Reproduces the paper's Section III-C tool flow end to end:
 4. the scheduler's output is a set of context-memory images that can be
    loaded without re-synthesis (:mod:`repro.cgra.context`);
 5. the contexts execute cycle-accurately against the SensorAccess bus
-   (:mod:`repro.cgra.executor`, :mod:`repro.cgra.sensor`).
+   (:mod:`repro.cgra.executor`, :mod:`repro.cgra.sensor`);
+6. every stage can be checked statically — schedule/context legality,
+   mini-C semantics, value ranges — without executing anything
+   (:mod:`repro.cgra.verify`, ``python -m repro.cgra.lint``).
 
 The schedule length in clock ticks, divided into the CGRA clock rate,
 gives the maximum revolution frequency the simulator can sustain — the
@@ -35,6 +38,16 @@ from repro.cgra.models import (
     beam_model_source,
     compile_beam_model,
     CompiledModel,
+)
+from repro.cgra.verify import (
+    Diagnostic,
+    DiagnosticReport,
+    Severity,
+    analyze_ranges,
+    lint_source,
+    verify_context_images,
+    verify_modulo_schedule,
+    verify_schedule,
 )
 
 __all__ = [
@@ -61,4 +74,12 @@ __all__ = [
     "beam_model_source",
     "compile_beam_model",
     "CompiledModel",
+    "Diagnostic",
+    "DiagnosticReport",
+    "Severity",
+    "analyze_ranges",
+    "lint_source",
+    "verify_context_images",
+    "verify_modulo_schedule",
+    "verify_schedule",
 ]

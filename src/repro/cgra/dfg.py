@@ -187,18 +187,51 @@ class DataflowGraph:
                     f"expected {arity[n.op]}"
                 )
             if n.op is Op.PHI and n.back_edge is None:
-                raise CgraError(f"PHI node {n.node_id} ({n.name!r}) has no back edge")
+                raise CgraError(
+                    f"PHI node {n.node_id} ({n.name!r}) has no back edge: "
+                    "its loop-carried source was never bound via bind_phi()"
+                )
             if n.op is Op.PHI and n.back_edge not in self.nodes:
                 raise CgraError(f"PHI node {n.node_id} back edge {n.back_edge} missing")
+            if n.op is Op.PHI and (n.init_value is None) == (n.init_param is None):
+                raise CgraError(
+                    f"PHI node {n.node_id} ({n.name!r}) needs exactly one of "
+                    "init_value / init_param"
+                )
             if n.is_io() and n.sensor_id is None:
                 raise CgraError(f"IO node {n.node_id} lacks a sensor id")
         # Kahn's algorithm over forward edges.
         order = list(self.topological_order())
         if len(order) != len(self.nodes):
+            cycle = self._find_forward_cycle({n.node_id for n in order})
+            members = " -> ".join(
+                f"%{nid} ({self.nodes[nid].op.value}"
+                + (f" {self.nodes[nid].name!r}" if self.nodes[nid].name else "")
+                + ")"
+                for nid in cycle
+            )
             raise CgraError(
-                f"forward dataflow graph has a cycle "
+                f"forward dataflow graph has a cycle through nodes: {members} "
                 f"({len(order)}/{len(self.nodes)} nodes sorted)"
             )
+
+    def _find_forward_cycle(self, sorted_ids: set[int]) -> list[int]:
+        """One concrete cycle among the nodes Kahn's algorithm left behind.
+
+        Walks operand edges inside the unsorted remainder until a node
+        repeats; the returned list is the cycle in dependence order,
+        closed (first id appears again conceptually via the last edge).
+        """
+        remaining = set(self.nodes) - sorted_ids
+        start = min(remaining)
+        path: list[int] = []
+        seen: dict[int, int] = {}
+        nid = start
+        while nid not in seen:
+            seen[nid] = len(path)
+            path.append(nid)
+            nid = next(o for o in self.nodes[nid].operands if o in remaining)
+        return path[seen[nid]:]
 
     def topological_order(self) -> Iterator[DFGNode]:
         """Yield nodes in a forward-dataflow topological order.
@@ -209,14 +242,12 @@ class DataflowGraph:
         indeg = {nid: len(n.operands) for nid, n in self.nodes.items()}
         ready = sorted(nid for nid, d in indeg.items() if d == 0)
         consumers = self.consumers()
-        emitted = 0
         from collections import deque
 
         queue = deque(ready)
         while queue:
             nid = queue.popleft()
             yield self.nodes[nid]
-            emitted += 1
             for c in consumers[nid]:
                 indeg[c] -= 1
                 if indeg[c] == 0:

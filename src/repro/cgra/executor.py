@@ -24,12 +24,12 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.cgra.context import ContextImage, build_context_images
+from repro.cgra.context import build_context_images
 from repro.cgra.dfg import DataflowGraph
 from repro.cgra.ops import Op
 from repro.cgra.scheduler import Schedule
 from repro.cgra.sensor import SensorBus
-from repro.errors import ExecutionError
+from repro.errors import ExecutionError, VerificationError
 from repro.obs import get_registry
 from repro.obs._state import STATE as _OBS
 
@@ -72,6 +72,11 @@ class CgraExecutor:
     precision:
         ``"single"`` (default; float32 per-operation rounding, like the
         FPGA FP cores) or ``"double"``.
+    verify:
+        When true, run the static schedule verifier
+        (:func:`repro.cgra.verify.verify_schedule`) before accepting the
+        load and raise :class:`~repro.errors.VerificationError` listing
+        every diagnostic if it finds errors.
     """
 
     def __init__(
@@ -80,9 +85,20 @@ class CgraExecutor:
         bus: SensorBus,
         params: dict[str, float] | None = None,
         precision: str = "single",
+        verify: bool = False,
     ) -> None:
         if precision not in ("single", "double"):
             raise ExecutionError(f"precision must be 'single' or 'double', got {precision!r}")
+        if verify:
+            # Imported lazily: repro.cgra.verify imports the scheduler.
+            from repro.cgra.verify import Severity, verify_schedule
+
+            report = verify_schedule(schedule)
+            if not report.ok:
+                raise VerificationError(
+                    "schedule failed static verification:\n"
+                    + report.format(min_severity=Severity.WARNING)
+                )
         self.schedule = schedule
         self.graph: DataflowGraph = schedule.graph
         self.bus = bus

@@ -36,6 +36,8 @@ class Expr:
     """Base class of expressions."""
 
     line: int
+    #: 1-based source column of the node's first token (0 = unknown).
+    col: int = field(default=0, kw_only=True)
 
 
 @dataclass(frozen=True)
@@ -101,6 +103,8 @@ class Stmt:
     """Base class of statements."""
 
     line: int
+    #: 1-based source column of the statement's first token (0 = unknown).
+    col: int = field(default=0, kw_only=True)
 
 
 @dataclass(frozen=True)
@@ -182,6 +186,7 @@ class Function:
     params: tuple[str, ...]
     body: tuple[Stmt, ...]
     line: int
+    col: int = field(default=0, kw_only=True)
 
 
 @dataclass(frozen=True)

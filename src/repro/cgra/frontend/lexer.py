@@ -49,14 +49,15 @@ _TOKEN_RE = re.compile(
 
 @dataclass(frozen=True)
 class Token:
-    """One lexical token with its source line."""
+    """One lexical token with its source line and column (1-based)."""
 
     kind: TokenKind
     text: str
     line: int
+    col: int = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return f"Token({self.kind.name}, {self.text!r}, line {self.line})"
+        return f"Token({self.kind.name}, {self.text!r}, line {self.line}:{self.col})"
 
 
 class Lexer:
@@ -82,17 +83,19 @@ class Lexer:
         source = self._blank_block_comments(self.source)
         for lineno, line in enumerate(source.splitlines(), start=1):
             stripped = line.strip()
+            col = line.index("#") + 1 if "#" in line else 1
             if stripped.startswith("#define"):
                 parts = stripped.split(None, 2)
                 if len(parts) < 3:
-                    raise FrontendError(f"line {lineno}: malformed #define: {stripped!r}")
+                    raise FrontendError(f"line {lineno}:{col}: malformed #define: {stripped!r}")
                 name = parts[1]
                 if not re.fullmatch(r"[A-Za-z_][A-Za-z0-9_]*", name):
-                    raise FrontendError(f"line {lineno}: bad #define name {name!r}")
+                    raise FrontendError(f"line {lineno}:{col}: bad #define name {name!r}")
                 self.defines[name] = self._raw_tokens(parts[2], lineno)
             elif stripped.startswith("#"):
                 raise FrontendError(
-                    f"line {lineno}: unsupported preprocessor directive {stripped.split()[0]!r}"
+                    f"line {lineno}:{col}: unsupported preprocessor directive "
+                    f"{stripped.split()[0]!r}"
                 )
             else:
                 kept.append((lineno, line))
@@ -104,7 +107,10 @@ class Lexer:
         while pos < len(text):
             m = _TOKEN_RE.match(text, pos)
             if m is None:
-                raise FrontendError(f"line {lineno}: cannot tokenise at {text[pos:pos+12]!r}")
+                raise FrontendError(
+                    f"line {lineno}:{pos + 1}: cannot tokenise at {text[pos:pos+12]!r}"
+                )
+            col = m.start() + 1
             pos = m.end()
             if m.lastgroup in ("ws", "comment"):
                 continue
@@ -116,7 +122,7 @@ class Lexer:
             text_val = m.group()
             if kind is TokenKind.IDENT and text_val in KEYWORDS:
                 kind = TokenKind.KEYWORD
-            tokens.append(Token(kind, text_val, lineno))
+            tokens.append(Token(kind, text_val, lineno, col))
         return tokens
 
     def tokenize(self) -> list[Token]:
@@ -128,12 +134,15 @@ class Lexer:
         for lineno, line in lines:
             for tok in self._raw_tokens(line, lineno):
                 if tok.kind is TokenKind.IDENT and tok.text in self.defines:
+                    # Substituted tokens report the use site, not the
+                    # #define site, so diagnostics point at the code.
                     replacement = self.defines[tok.text]
-                    out.extend(Token(t.kind, t.text, lineno) for t in replacement)
+                    out.extend(Token(t.kind, t.text, lineno, tok.col) for t in replacement)
                 else:
                     out.append(tok)
         last_line = lines[-1][0] if lines else 1
-        out.append(Token(TokenKind.EOF, "", last_line))
+        last_col = len(lines[-1][1]) + 1 if lines else 1
+        out.append(Token(TokenKind.EOF, "", last_line, last_col))
         return out
 
 

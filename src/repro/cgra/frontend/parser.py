@@ -76,7 +76,7 @@ class Parser:
     def _error(self, message: str) -> FrontendError:
         tok = self._peek()
         where = f"'{tok.text}'" if tok.kind is not TokenKind.EOF else "end of input"
-        return FrontendError(f"line {tok.line}: {message} (at {where})")
+        return FrontendError(f"line {tok.line}:{tok.col}: {message} (at {where})")
 
     def _expect(self, text: str) -> Token:
         tok = self._peek()
@@ -104,11 +104,15 @@ class Parser:
         while self._peek().kind is not TokenKind.EOF:
             functions.append(self._function())
         if not functions:
-            raise FrontendError("empty program: expected at least one function")
+            tok = self._peek()
+            raise FrontendError(
+                f"line {tok.line}:{tok.col}: empty program: expected at least one function"
+            )
         return Program(tuple(functions))
 
     def _function(self) -> Function:
-        line = self._peek().line
+        first = self._peek()
+        line, col = first.line, first.col
         self._expect("void")
         name = self._expect_kind(TokenKind.IDENT).text
         self._expect("(")
@@ -121,7 +125,7 @@ class Parser:
                     break
                 self._expect(",")
         body = self._block()
-        return Function(name=name, params=tuple(params), body=body, line=line)
+        return Function(name=name, params=tuple(params), body=body, line=line, col=col)
 
     def _block(self) -> tuple[Stmt, ...]:
         self._expect("{")
@@ -161,13 +165,14 @@ class Parser:
                     j += 1
                 if j + 1 < len(self._toks) and self._toks[j + 1].text == "=":
                     return self._assignment()
-        line = tok.line
+        line, col = tok.line, tok.col
         expr = self._expr()
         self._expect(";")
-        return ExprStatement(line=line, expr=expr)
+        return ExprStatement(line=line, col=col, expr=expr)
 
     def _declaration(self) -> Stmt:
-        line = self._peek().line
+        first = self._peek()
+        line, col = first.line, first.col
         type_name = self._advance().text
         name = self._expect_kind(TokenKind.IDENT).text
         if self._accept("["):
@@ -176,14 +181,17 @@ class Parser:
             self._expect("=")
             init = self._expr()
             self._expect(";")
-            return ArrayDeclaration(line=line, type_name=type_name, name=name, size=size, init=init)
+            return ArrayDeclaration(
+                line=line, col=col, type_name=type_name, name=name, size=size, init=init
+            )
         self._expect("=")
         init = self._expr()
         self._expect(";")
-        return Declaration(line=line, type_name=type_name, name=name, init=init)
+        return Declaration(line=line, col=col, type_name=type_name, name=name, init=init)
 
     def _assignment(self) -> Stmt:
-        line = self._peek().line
+        first = self._peek()
+        line, col = first.line, first.col
         name = self._expect_kind(TokenKind.IDENT).text
         if self._accept("["):
             index = self._expr()
@@ -191,14 +199,15 @@ class Parser:
             self._expect("=")
             value = self._expr()
             self._expect(";")
-            return ArrayAssignment(line=line, name=name, index=index, value=value)
+            return ArrayAssignment(line=line, col=col, name=name, index=index, value=value)
         self._expect("=")
         value = self._expr()
         self._expect(";")
-        return Assignment(line=line, name=name, value=value)
+        return Assignment(line=line, col=col, name=name, value=value)
 
     def _for_loop(self) -> Stmt:
-        line = self._peek().line
+        first = self._peek()
+        line, col = first.line, first.col
         self._expect("for")
         self._expect("(")
         self._accept("int")
@@ -206,15 +215,21 @@ class Parser:
         self._expect("=")
         start = self._expr()
         self._expect(";")
+        cond_tok = self._peek()
         cond_var = self._expect_kind(TokenKind.IDENT).text
         if cond_var != var:
-            raise FrontendError(f"line {line}: for-loop condition must test {var!r}")
+            raise FrontendError(
+                f"line {cond_tok.line}:{cond_tok.col}: for-loop condition must test {var!r}"
+            )
         self._expect("<")
         limit = self._expr()
         self._expect(";")
+        step_tok = self._peek()
         step_var = self._expect_kind(TokenKind.IDENT).text
         if step_var != var:
-            raise FrontendError(f"line {line}: for-loop increment must assign {var!r}")
+            raise FrontendError(
+                f"line {step_tok.line}:{step_tok.col}: for-loop increment must assign {var!r}"
+            )
         self._expect("=")
         step_expr = self._expr()
         self._expect(")")
@@ -226,11 +241,18 @@ class Parser:
             and isinstance(step_expr.left, VarRef)
             and step_expr.left.name == var
         ):
-            raise FrontendError(f"line {line}: for-loop increment must be '{var} = {var} + <const>'")
-        return ForLoop(line=line, var=var, start=start, limit=limit, step=step_expr.right, body=body)
+            raise FrontendError(
+                f"line {step_tok.line}:{step_tok.col}: "
+                f"for-loop increment must be '{var} = {var} + <const>'"
+            )
+        return ForLoop(
+            line=line, col=col, var=var, start=start, limit=limit,
+            step=step_expr.right, body=body,
+        )
 
     def _if_statement(self) -> Stmt:
-        line = self._peek().line
+        first = self._peek()
+        line, col = first.line, first.col
         self._expect("if")
         self._expect("(")
         cond = self._expr()
@@ -242,18 +264,21 @@ class Parser:
                 else_body = (self._if_statement(),)
             else:
                 else_body = self._block()
-        return IfStatement(line=line, cond=cond, then_body=then_body, else_body=else_body)
+        return IfStatement(line=line, col=col, cond=cond, then_body=then_body, else_body=else_body)
 
     def _while_loop(self) -> Stmt:
-        line = self._peek().line
+        first = self._peek()
+        line, col = first.line, first.col
         self._expect("while")
         self._expect("(")
         cond = self._expr()
         self._expect(")")
         if not (isinstance(cond, NumberLit) and cond.value == 1):
-            raise FrontendError(f"line {line}: only 'while (1)' steady-state loops are supported")
+            raise FrontendError(
+                f"line {line}:{col}: only 'while (1)' steady-state loops are supported"
+            )
         body = self._block()
-        return WhileLoop(line=line, body=body)
+        return WhileLoop(line=line, col=col, body=body)
 
     # -- expressions -----------------------------------------------------
 
@@ -263,11 +288,13 @@ class Parser:
     def _ternary(self) -> Expr:
         cond = self._compare()
         if self._accept("?"):
-            line = self._peek().line
+            tok = self._peek()
             if_true = self._expr()
             self._expect(":")
             if_false = self._expr()
-            return Ternary(line=line, cond=cond, if_true=if_true, if_false=if_false)
+            return Ternary(
+                line=tok.line, col=tok.col, cond=cond, if_true=if_true, if_false=if_false
+            )
         return cond
 
     def _compare(self) -> Expr:
@@ -276,7 +303,7 @@ class Parser:
         if tok.text in ("<", "<="):
             self._advance()
             right = self._additive()
-            return BinOp(line=tok.line, op=tok.text, left=left, right=right)
+            return BinOp(line=tok.line, col=tok.col, op=tok.text, left=left, right=right)
         return left
 
     def _additive(self) -> Expr:
@@ -284,7 +311,7 @@ class Parser:
         while self._peek().text in ("+", "-"):
             tok = self._advance()
             right = self._multiplicative()
-            left = BinOp(line=tok.line, op=tok.text, left=left, right=right)
+            left = BinOp(line=tok.line, col=tok.col, op=tok.text, left=left, right=right)
         return left
 
     def _multiplicative(self) -> Expr:
@@ -292,14 +319,14 @@ class Parser:
         while self._peek().text in ("*", "/"):
             tok = self._advance()
             right = self._unary()
-            left = BinOp(line=tok.line, op=tok.text, left=left, right=right)
+            left = BinOp(line=tok.line, col=tok.col, op=tok.text, left=left, right=right)
         return left
 
     def _unary(self) -> Expr:
         tok = self._peek()
         if tok.text == "-":
             self._advance()
-            return UnaryOp(line=tok.line, op="-", operand=self._unary())
+            return UnaryOp(line=tok.line, col=tok.col, op="-", operand=self._unary())
         return self._primary()
 
     def _primary(self) -> Expr:
@@ -308,7 +335,7 @@ class Parser:
             self._advance()
             text = tok.text.rstrip("fF")
             is_int = ("." not in text) and ("e" not in text.lower())
-            return NumberLit(line=tok.line, value=float(text), is_int=is_int)
+            return NumberLit(line=tok.line, col=tok.col, value=float(text), is_int=is_int)
         if tok.kind is TokenKind.IDENT:
             self._advance()
             if self._accept("("):
@@ -319,12 +346,12 @@ class Parser:
                         if self._accept(")"):
                             break
                         self._expect(",")
-                return Call(line=tok.line, name=tok.text, args=tuple(args))
+                return Call(line=tok.line, col=tok.col, name=tok.text, args=tuple(args))
             if self._accept("["):
                 index = self._expr()
                 self._expect("]")
-                return ArrayRef(line=tok.line, name=tok.text, index=index)
-            return VarRef(line=tok.line, name=tok.text)
+                return ArrayRef(line=tok.line, col=tok.col, name=tok.text, index=index)
+            return VarRef(line=tok.line, col=tok.col, name=tok.text)
         if tok.text == "(":
             self._advance()
             inner = self._expr()

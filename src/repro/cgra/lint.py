@@ -1,0 +1,160 @@
+"""``python -m repro.cgra.lint`` — static analysis of mini-C kernels.
+
+Runs the three :mod:`repro.cgra.verify` passes end to end without
+executing anything: semantic lint of the source, list scheduling plus
+schedule/context verification on the default fabric, and interval range
+analysis.  Either over source files::
+
+    python -m repro.cgra.lint model.c other.c
+
+or over every built-in beam-model kernel (the CI configuration)::
+
+    python -m repro.cgra.lint --all --fail-on-error
+
+Exit status is 0 when no ERROR-severity diagnostic was produced, 1
+otherwise; ``--fail-on-error`` is accepted for explicitness and
+``--fail-on-warning`` tightens the gate.  ``--json`` emits one JSON
+object per target for tooling.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.cgra.verify import (
+    DiagnosticReport,
+    Severity,
+    analyze_ranges,
+    lint_source,
+    verify_schedule,
+)
+from repro.errors import ReproError
+
+__all__ = ["main", "BEAM_PARAM_BOUNDS"]
+
+#: Physically plausible ranges for the beam model's live-in parameters
+#: (an SIS18-class heavy-ion synchrotron); used for the built-in kernels
+#: so the range pass works with finite bounds where possible.
+BEAM_PARAM_BOUNDS: dict[str, tuple[float, float]] = {
+    "GAMMA_R0": (1.0, 25.0),
+    "QMC2": (0.0, 1e-6),
+    "L_R": (10.0, 1100.0),
+    "ALPHA_C": (0.0, 1.0),
+    "V_SCALE": (0.0, 1e6),
+    "V_SCALE_REF": (0.0, 1e6),
+    "F_SAMPLE": (1e6, 1e10),
+    "H_INV": (1.0 / 64.0, 1.0),
+}
+
+
+def _analyze(
+    name: str,
+    source: str,
+    param_bounds: dict[str, tuple[float, float]] | None,
+) -> DiagnosticReport:
+    """Run lint → compile → schedule → verify → ranges on one source."""
+    from repro.cgra.fabric import CgraConfig, CgraFabric
+    from repro.cgra.frontend.lower import compile_c_to_dfg
+    from repro.cgra.scheduler import ListScheduler
+
+    report = DiagnosticReport()
+    report.extend(lint_source(source))
+    if not report.ok:
+        return report  # semantic errors: the backend would only crash
+    try:
+        graph = compile_c_to_dfg(source)
+        schedule = ListScheduler(CgraFabric(CgraConfig())).schedule(graph)
+    except ReproError as exc:
+        report.emit(Severity.ERROR, "schedule", "compile-failed", str(exc))
+        return report
+    report.extend(verify_schedule(schedule))
+    report.extend(analyze_ranges(graph, param_bounds=param_bounds))
+    return report
+
+
+def _builtin_targets() -> list[tuple[str, str, dict[str, tuple[float, float]]]]:
+    """(name, source, param_bounds) for every shipped kernel variant."""
+    from repro.cgra.models import beam_model_source
+
+    out = []
+    for n_bunches in (1, 4, 8):
+        for pipelined in (True, False):
+            name = f"beam_model[n={n_bunches},{'pipelined' if pipelined else 'plain'}]"
+            src = beam_model_source(n_bunches=n_bunches, pipelined=pipelined)
+            out.append((name, src, BEAM_PARAM_BOUNDS))
+    return out
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cgra.lint",
+        description="Static analysis (lint, schedule verify, range analysis) "
+        "of mini-C CGRA kernels.",
+    )
+    parser.add_argument("files", nargs="*", type=Path, help="mini-C source files")
+    parser.add_argument(
+        "--all", action="store_true",
+        help="analyse every built-in beam-model kernel variant",
+    )
+    parser.add_argument(
+        "--fail-on-error", action="store_true",
+        help="exit 1 when any ERROR diagnostic is produced (the default)",
+    )
+    parser.add_argument(
+        "--fail-on-warning", action="store_true",
+        help="exit 1 when any WARNING or ERROR diagnostic is produced",
+    )
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit one JSON object per target instead of text",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="suppress INFO diagnostics in the text output",
+    )
+    args = parser.parse_args(argv)
+    if not args.files and not args.all:
+        parser.error("nothing to analyse: pass source files or --all")
+
+    targets: list[tuple[str, str, dict[str, tuple[float, float]] | None]] = []
+    if args.all:
+        targets.extend(_builtin_targets())
+    for path in args.files:
+        try:
+            targets.append((str(path), path.read_text(), None))
+        except OSError as exc:
+            print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+            return 1
+
+    worst = Severity.INFO
+    failed = False
+    for name, source, bounds in targets:
+        report = _analyze(name, source, bounds)
+        errors, warnings = len(report.errors()), len(report.warnings())
+        if errors:
+            worst = Severity.ERROR
+        elif warnings and worst is not Severity.ERROR:
+            worst = Severity.WARNING
+        if args.as_json:
+            print(json.dumps({"target": name, "diagnostics": report.to_dicts()}))
+        else:
+            status = "FAIL" if errors else "ok"
+            print(f"{name}: {status} ({errors} errors, {warnings} warnings, "
+                  f"{len(report)} total)")
+            min_sev = Severity.WARNING if args.quiet else Severity.INFO
+            for d in sorted(report, key=lambda d: -int(d.severity)):
+                if d.severity >= min_sev:
+                    print(f"  {d.render()}")
+        if errors:
+            failed = True
+
+    if args.fail_on_warning and worst >= Severity.WARNING:
+        return 1
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -85,6 +85,17 @@ class ModuloSchedule:
         """With initiation every II ticks, one revolution per II."""
         return clock_hz / self.ii
 
+    def verify(self, f_rev: float | None = None):
+        """Run the static verifier; return its diagnostic report.
+
+        Non-raising counterpart of :meth:`validate` — see
+        :func:`repro.cgra.verify.verify_modulo_schedule`.
+        """
+        # Imported lazily: repro.cgra.verify imports this module.
+        from repro.cgra.verify import verify_modulo_schedule
+
+        return verify_modulo_schedule(self, f_rev=f_rev)
+
     def validate(self) -> None:
         """Check dependences and modulo reservations; raise on violation."""
         latencies = self.fabric.config.latencies

@@ -31,7 +31,7 @@ import numpy as np
 from repro.cgra.modulo import ModuloSchedule
 from repro.cgra.ops import Op
 from repro.cgra.sensor import SensorBus
-from repro.errors import ExecutionError
+from repro.errors import ExecutionError, VerificationError
 from repro.obs import get_registry
 from repro.obs._state import STATE as _OBS
 
@@ -70,9 +70,20 @@ class PipelinedExecutor:
         bus: SensorBus,
         params: dict[str, float] | None = None,
         precision: str = "single",
+        verify: bool = False,
     ) -> None:
         if precision not in ("single", "double"):
             raise ExecutionError(f"precision must be 'single' or 'double', got {precision!r}")
+        if verify:
+            # Imported lazily: repro.cgra.verify imports the scheduler.
+            from repro.cgra.verify import Severity, verify_modulo_schedule
+
+            report = verify_modulo_schedule(schedule)
+            if not report.ok:
+                raise VerificationError(
+                    "modulo schedule failed static verification:\n"
+                    + report.format(min_severity=Severity.WARNING)
+                )
         schedule.validate()
         self.schedule = schedule
         self.graph = schedule.graph

@@ -100,6 +100,19 @@ class Schedule:
         """Deepest per-PE context memory the schedule requires."""
         return max(self.context_depths().values(), default=0)
 
+    def verify(self, f_rev: float | None = None):
+        """Run the static verifier; return its diagnostic report.
+
+        Unlike :meth:`validate` (first-error-wins exception), this
+        re-derives legality from the graph and fabric alone and reports
+        *every* violation as a diagnostic — see
+        :func:`repro.cgra.verify.verify_schedule`.
+        """
+        # Imported lazily: repro.cgra.verify imports this module.
+        from repro.cgra.verify import verify_schedule
+
+        return verify_schedule(self, f_rev=f_rev)
+
     def validate(self) -> None:
         """Re-check all resource and dependence constraints.
 

@@ -1,0 +1,373 @@
+"""Pass 2: semantic linting of mini-C model sources.
+
+The frontend's lowering pass raises on the *first* semantic problem it
+meets; the linter instead walks the AST once and reports **every**
+finding as a :class:`~repro.cgra.verify.diagnostics.Diagnostic` with
+source line/column — the compiler-style experience the paper's "changes
+... available on the experimental setup in seconds" iteration loop
+needs.
+
+Checks (codes in brackets):
+
+* use of undeclared variables/arrays, assignment to undeclared names
+  [``use-before-def``], scalar/array kind confusion [``kind-mismatch``];
+* redeclaration in the same scope [``redeclaration``] and shadowing of
+  an outer binding or parameter [``shadowing``];
+* declared-but-never-read variables and parameters
+  [``unused-variable``, ``unused-parameter``];
+* unknown intrinsics [``unknown-intrinsic``] and wrong intrinsic arity
+  [``intrinsic-arity``];
+* unsupported constructs: nested/misplaced ``while`` loops
+  [``nested-loop``], a function without exactly one steady-state
+  ``while (1)`` loop [``no-steady-loop``], IO intrinsics outside the
+  loop [``io-outside-loop``] or inside ``if``/``else`` branches
+  [``io-in-conditional``] (the CGRA predicates values, not side
+  effects).
+
+The linter is purely syntactic/scoping — it does not fold constants, so
+it accepts anything the lowering pass accepts and stays silent on the
+shipped kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cgra.frontend.astnodes import (
+    ArrayAssignment,
+    ArrayDeclaration,
+    ArrayRef,
+    Assignment,
+    BinOp,
+    Call,
+    Declaration,
+    Expr,
+    ExprStatement,
+    ForLoop,
+    Function,
+    IfStatement,
+    NumberLit,
+    Program,
+    Stmt,
+    Ternary,
+    UnaryOp,
+    VarRef,
+    WhileLoop,
+)
+from repro.cgra.frontend.parser import parse_program
+from repro.cgra.verify.diagnostics import DiagnosticReport, Severity, SourceLocation
+from repro.errors import FrontendError
+
+__all__ = ["lint_source", "lint_program", "INTRINSICS", "IO_INTRINSICS"]
+
+_PASS = "lint"
+
+#: Intrinsic name → arity.
+INTRINSICS = {
+    "sqrt": 1,
+    "fmin": 2,
+    "fmax": 2,
+    "read_sensor": 1,
+    "read_sensor2": 2,
+    "write_actuator": 2,
+    "pipeline_barrier": 0,
+}
+
+#: Intrinsics that touch the SensorAccess module (side effects).
+IO_INTRINSICS = frozenset(
+    {"read_sensor", "read_sensor2", "write_actuator", "pipeline_barrier"}
+)
+
+
+@dataclass
+class _Binding:
+    """One declared name within a scope."""
+
+    name: str
+    kind: str  # "param" | "var" | "array" | "loop"
+    line: int
+    col: int
+    read: bool = False
+    written: bool = False
+
+
+@dataclass
+class _Scope:
+    bindings: dict[str, _Binding] = field(default_factory=dict)
+
+
+class _Linter:
+    def __init__(self) -> None:
+        self.report = DiagnosticReport()
+        self.scopes: list[_Scope] = []
+        self.in_loop = False
+        self.cond_depth = 0
+
+    # -- scope plumbing ------------------------------------------------
+
+    def _lookup(self, name: str) -> _Binding | None:
+        for scope in reversed(self.scopes):
+            if name in scope.bindings:
+                return scope.bindings[name]
+        return None
+
+    def _declare(self, name: str, kind: str, line: int, col: int) -> _Binding:
+        current = self.scopes[-1]
+        if name in current.bindings:
+            self.report.emit(
+                Severity.ERROR, _PASS, "redeclaration",
+                f"redeclaration of {name!r} (first declared at line "
+                f"{current.bindings[name].line})",
+                location=SourceLocation(line, col),
+            )
+        elif self._lookup(name) is not None:
+            outer = self._lookup(name)
+            what = "parameter" if outer.kind == "param" else "variable"
+            self.report.emit(
+                Severity.WARNING, _PASS, "shadowing",
+                f"{name!r} shadows the {what} declared at line {outer.line}",
+                location=SourceLocation(line, col),
+            )
+        binding = _Binding(name=name, kind=kind, line=line, col=col)
+        current.bindings[name] = binding
+        return binding
+
+    def _push(self) -> None:
+        self.scopes.append(_Scope())
+
+    def _pop(self) -> None:
+        scope = self.scopes.pop()
+        for b in scope.bindings.values():
+            if b.read or b.kind == "loop":
+                continue
+            code = "unused-parameter" if b.kind == "param" else "unused-variable"
+            what = "parameter" if b.kind == "param" else (
+                "array" if b.kind == "array" else "variable"
+            )
+            self.report.emit(
+                Severity.WARNING, _PASS, code,
+                f"{what} {b.name!r} is never read",
+                location=SourceLocation(b.line, b.col),
+            )
+
+    def _error(self, code: str, message: str, line: int, col: int) -> None:
+        self.report.emit(
+            Severity.ERROR, _PASS, code, message, location=SourceLocation(line, col)
+        )
+
+    # -- expressions ---------------------------------------------------
+
+    def _use(self, name: str, line: int, col: int, as_array: bool) -> None:
+        binding = self._lookup(name)
+        if binding is None:
+            kindword = "array" if as_array else "variable"
+            self._error(
+                "use-before-def", f"use of undeclared {kindword} {name!r}", line, col
+            )
+            return
+        binding.read = True
+        if as_array and binding.kind not in ("array",):
+            self._error("kind-mismatch", f"{name!r} is not an array", line, col)
+        if not as_array and binding.kind == "array":
+            self._error("kind-mismatch", f"{name!r} is an array; index it", line, col)
+
+    def _walk_expr(self, expr: Expr) -> None:
+        if isinstance(expr, NumberLit):
+            return
+        if isinstance(expr, VarRef):
+            self._use(expr.name, expr.line, expr.col, as_array=False)
+            return
+        if isinstance(expr, ArrayRef):
+            self._use(expr.name, expr.line, expr.col, as_array=True)
+            self._walk_expr(expr.index)
+            return
+        if isinstance(expr, UnaryOp):
+            self._walk_expr(expr.operand)
+            return
+        if isinstance(expr, BinOp):
+            self._walk_expr(expr.left)
+            self._walk_expr(expr.right)
+            return
+        if isinstance(expr, Ternary):
+            self._walk_expr(expr.cond)
+            self._walk_expr(expr.if_true)
+            self._walk_expr(expr.if_false)
+            return
+        if isinstance(expr, Call):
+            self._walk_call(expr)
+            return
+
+    def _walk_call(self, call: Call) -> None:
+        if call.name not in INTRINSICS:
+            self._error(
+                "unknown-intrinsic", f"unknown intrinsic {call.name!r}",
+                call.line, call.col,
+            )
+        else:
+            arity = INTRINSICS[call.name]
+            if len(call.args) != arity:
+                self._error(
+                    "intrinsic-arity",
+                    f"{call.name}() takes {arity} argument(s), got {len(call.args)}",
+                    call.line, call.col,
+                )
+            if call.name in IO_INTRINSICS:
+                if not self.in_loop:
+                    self._error(
+                        "io-outside-loop",
+                        f"{call.name}() is only allowed inside the while(1) loop",
+                        call.line, call.col,
+                    )
+                elif self.cond_depth > 0:
+                    self._error(
+                        "io-in-conditional",
+                        f"{call.name}() is not allowed inside if/else — the CGRA "
+                        "predicates values, not side effects; hoist the IO out "
+                        "of the conditional",
+                        call.line, call.col,
+                    )
+        for arg in call.args:
+            self._walk_expr(arg)
+
+    # -- statements ----------------------------------------------------
+
+    def _walk_stmt(self, stmt: Stmt) -> None:
+        if isinstance(stmt, Declaration):
+            self._walk_expr(stmt.init)
+            self._declare(stmt.name, "var", stmt.line, stmt.col)
+            return
+        if isinstance(stmt, ArrayDeclaration):
+            self._walk_expr(stmt.size)
+            self._walk_expr(stmt.init)
+            self._declare(stmt.name, "array", stmt.line, stmt.col)
+            return
+        if isinstance(stmt, Assignment):
+            self._walk_expr(stmt.value)
+            binding = self._lookup(stmt.name)
+            if binding is None:
+                self._error(
+                    "use-before-def",
+                    f"assignment to undeclared variable {stmt.name!r}",
+                    stmt.line, stmt.col,
+                )
+                return
+            binding.written = True
+            if binding.kind == "array":
+                self._error(
+                    "kind-mismatch", f"{stmt.name!r} is an array; index it",
+                    stmt.line, stmt.col,
+                )
+            return
+        if isinstance(stmt, ArrayAssignment):
+            self._walk_expr(stmt.index)
+            self._walk_expr(stmt.value)
+            binding = self._lookup(stmt.name)
+            if binding is None:
+                self._error(
+                    "use-before-def",
+                    f"assignment to undeclared array {stmt.name!r}",
+                    stmt.line, stmt.col,
+                )
+                return
+            binding.written = True
+            if binding.kind != "array":
+                self._error(
+                    "kind-mismatch", f"{stmt.name!r} is not an array",
+                    stmt.line, stmt.col,
+                )
+            return
+        if isinstance(stmt, ExprStatement):
+            self._walk_expr(stmt.expr)
+            return
+        if isinstance(stmt, ForLoop):
+            self._walk_expr(stmt.start)
+            self._walk_expr(stmt.limit)
+            self._walk_expr(stmt.step)
+            self._push()
+            self._declare(stmt.var, "loop", stmt.line, stmt.col)
+            for inner in stmt.body:
+                self._walk_stmt(inner)
+            self._pop()
+            return
+        if isinstance(stmt, IfStatement):
+            self._walk_expr(stmt.cond)
+            self.cond_depth += 1
+            for body in (stmt.then_body, stmt.else_body):
+                self._push()
+                for inner in body:
+                    self._walk_stmt(inner)
+                self._pop()
+            self.cond_depth -= 1
+            return
+        if isinstance(stmt, WhileLoop):
+            # Valid only as a direct child of the function body; the
+            # function walker handles that case before calling here.
+            self._error(
+                "nested-loop",
+                "while loops may only appear once, at function top level",
+                stmt.line, stmt.col,
+            )
+            for inner in stmt.body:
+                self._walk_stmt(inner)
+            return
+
+    # -- functions -----------------------------------------------------
+
+    def _walk_function(self, fn: Function) -> None:
+        self._push()
+        for i, p in enumerate(fn.params):
+            if p in fn.params[:i]:
+                self._error(
+                    "redeclaration", f"duplicate parameter {p!r}", fn.line, fn.col
+                )
+                continue
+            self._declare(p, "param", fn.line, fn.col)
+        loops = [s for s in fn.body if isinstance(s, WhileLoop)]
+        if len(loops) != 1:
+            self._error(
+                "no-steady-loop",
+                f"function {fn.name!r} must contain exactly one while(1) loop, "
+                f"found {len(loops)}",
+                fn.line, fn.col,
+            )
+        for stmt in fn.body:
+            if isinstance(stmt, WhileLoop):
+                if self.in_loop or (loops and stmt is not loops[0]):
+                    self._error(
+                        "nested-loop",
+                        "only one steady-state while(1) loop is supported",
+                        stmt.line, stmt.col,
+                    )
+                self.in_loop = True
+                for inner in stmt.body:
+                    self._walk_stmt(inner)
+                self.in_loop = False
+            else:
+                self._walk_stmt(stmt)
+        self._pop()
+
+    def run(self, program: Program) -> DiagnosticReport:
+        for fn in program.functions:
+            self._walk_function(fn)
+        return self.report
+
+
+def lint_program(program: Program) -> DiagnosticReport:
+    """Lint a parsed program; returns the full diagnostic report."""
+    return _Linter().run(program)
+
+
+def lint_source(source: str) -> DiagnosticReport:
+    """Parse and lint mini-C ``source``.
+
+    Lex/parse failures become a single ``syntax-error`` diagnostic (the
+    parser stops at the first syntax error by construction); semantic
+    findings are collected exhaustively.
+    """
+    try:
+        program = parse_program(source)
+    except FrontendError as exc:
+        report = DiagnosticReport()
+        report.emit(Severity.ERROR, _PASS, "syntax-error", str(exc))
+        return report
+    return lint_program(program)

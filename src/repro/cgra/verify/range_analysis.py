@@ -1,0 +1,389 @@
+"""Pass 3: interval (fixed-point) range analysis over the dataflow graph.
+
+Propagates closed value intervals from what the hardware pins down —
+the 14-bit ADC digitises into the ±1 V input window, so every sensor
+read lands in ``[-1, 1]`` — and from caller-supplied parameter bounds,
+through the arithmetic of the loop body.  Loop-carried PHI registers
+are solved by fixed-point iteration with widening, so self-reinforcing
+recurrences (an accumulator that only grows) converge to ``±inf``
+instead of looping forever.
+
+Findings (pass id ``"range"``):
+
+* ``div-by-zero`` / ``possible-div-by-zero`` — divisor interval is
+  exactly zero / contains zero;
+* ``sqrt-negative`` / ``possible-sqrt-negative`` — FSQRT operand
+  provably / possibly negative;
+* ``overflow`` / ``possible-overflow`` — a finite interval escapes the
+  float32 representable range (the overlay datapath is binary32);
+* ``dac-saturation`` / ``dac-may-saturate`` / ``dac-unbounded`` — the
+  value driven into the 16-bit DAC lies outside / may lie outside the
+  ±1 V output window, or cannot be bounded at all because a parameter
+  has no caller-supplied range.
+
+Severity policy: ERROR for definite violations, WARNING when the
+violation is possible with *finite* bounds, INFO when the only reason
+the property is unprovable is an unbounded input — shipped kernels have
+physically unbounded parameters, so the default report carries INFO
+records only and the lint CLI still exits 0.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cgra.dfg import DataflowGraph, DFGNode
+from repro.cgra.ops import Op
+from repro.cgra.verify.diagnostics import DiagnosticReport, Severity
+from repro.errors import CgraError
+
+__all__ = ["Interval", "analyze_ranges", "ADC_WINDOW", "DAC_WINDOW"]
+
+_PASS = "range"
+_F32_MAX = float(np.finfo(np.float32).max)
+
+#: Input window of the ADC front end (±1 V, vpp = 2.0).
+ADC_WINDOW = (-1.0, 1.0)
+#: Output window of the DAC back end (±1 V, vpp = 2.0).
+DAC_WINDOW = (-1.0, 1.0)
+
+#: Fixed-point iteration budget; widening kicks in halfway through.
+_MAX_ROUNDS = 16
+_WIDEN_AFTER = 8
+
+_INF = float("inf")
+
+
+def _prod(a: float, b: float) -> float:
+    """Endpoint product with the interval convention 0 * inf = 0."""
+    if a == 0.0 or b == 0.0:
+        return 0.0
+    return a * b
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed interval ``[lo, hi]`` over the extended reals."""
+
+    lo: float
+    hi: float
+
+    def __post_init__(self) -> None:
+        if self.lo > self.hi:
+            raise CgraError(f"malformed interval [{self.lo}, {self.hi}]")
+
+    # -- constructors --------------------------------------------------
+
+    @staticmethod
+    def point(v: float) -> "Interval":
+        """The degenerate interval ``[v, v]``."""
+        return Interval(float(v), float(v))
+
+    @staticmethod
+    def top() -> "Interval":
+        """The unbounded interval ``[-inf, inf]``."""
+        return Interval(-_INF, _INF)
+
+    # -- predicates ----------------------------------------------------
+
+    @property
+    def is_finite(self) -> bool:
+        return math.isfinite(self.lo) and math.isfinite(self.hi)
+
+    def contains(self, v: float) -> bool:
+        return self.lo <= v <= self.hi
+
+    def inside(self, lo: float, hi: float) -> bool:
+        """True when the whole interval lies within ``[lo, hi]``."""
+        return self.lo >= lo and self.hi <= hi
+
+    def outside(self, lo: float, hi: float) -> bool:
+        """True when the interval is provably disjoint from ``[lo, hi]``."""
+        return self.hi < lo or self.lo > hi
+
+    # -- lattice -------------------------------------------------------
+
+    def join(self, other: "Interval") -> "Interval":
+        """Smallest interval covering both (the lattice join)."""
+        return Interval(min(self.lo, other.lo), max(self.hi, other.hi))
+
+    def widen(self, newer: "Interval") -> "Interval":
+        """Classic interval widening: any still-moving bound jumps to ±inf."""
+        lo = self.lo if newer.lo >= self.lo else -_INF
+        hi = self.hi if newer.hi <= self.hi else _INF
+        return Interval(lo, hi)
+
+    # -- arithmetic ----------------------------------------------------
+
+    def __add__(self, other: "Interval") -> "Interval":
+        return Interval(self.lo + other.lo, self.hi + other.hi)
+
+    def __sub__(self, other: "Interval") -> "Interval":
+        return Interval(self.lo - other.hi, self.hi - other.lo)
+
+    def __mul__(self, other: "Interval") -> "Interval":
+        corners = [
+            _prod(self.lo, other.lo), _prod(self.lo, other.hi),
+            _prod(self.hi, other.lo), _prod(self.hi, other.hi),
+        ]
+        return Interval(min(corners), max(corners))
+
+    def __neg__(self) -> "Interval":
+        return Interval(-self.hi, -self.lo)
+
+    def divide(self, other: "Interval") -> "Interval":
+        """Quotient interval; ``top`` when the divisor straddles zero."""
+        if other.contains(0.0):
+            return Interval.top()
+        corners = [
+            self.lo / other.lo, self.lo / other.hi,
+            self.hi / other.lo, self.hi / other.hi,
+        ]
+        return Interval(min(corners), max(corners))
+
+    def sqrt(self) -> "Interval":
+        """Square root of the non-negative part (empty part clamps to 0)."""
+        hi = math.sqrt(self.hi) if self.hi > 0 else 0.0
+        lo = math.sqrt(self.lo) if self.lo > 0 else 0.0
+        return Interval(lo, hi)
+
+    def min_(self, other: "Interval") -> "Interval":
+        return Interval(min(self.lo, other.lo), min(self.hi, other.hi))
+
+    def max_(self, other: "Interval") -> "Interval":
+        return Interval(max(self.lo, other.lo), max(self.hi, other.hi))
+
+    def __str__(self) -> str:
+        return f"[{self.lo:g}, {self.hi:g}]"
+
+
+def _severity(*intervals: Interval) -> Severity:
+    """WARNING when all contributing intervals are finite, else INFO.
+
+    A *possible* violation derived from finite bounds is actionable
+    (tighten the model); one driven by an unbounded parameter merely
+    states missing information.
+    """
+    return (
+        Severity.WARNING if all(iv.is_finite for iv in intervals) else Severity.INFO
+    )
+
+
+def _transfer(
+    node: DFGNode,
+    args: list[Interval],
+    report: DiagnosticReport,
+    *,
+    emit: bool,
+) -> Interval:
+    """Output interval of one node; ``emit`` gates per-op diagnostics.
+
+    The fixed-point loop calls this repeatedly with ``emit=False`` and
+    only the final pass reports, so iterating never duplicates records.
+    """
+    op = node.op
+    if op in (Op.FADD,):
+        return args[0] + args[1]
+    if op is Op.FSUB:
+        return args[0] - args[1]
+    if op is Op.FMUL:
+        return args[0] * args[1]
+    if op is Op.FNEG:
+        return -args[0]
+    if op is Op.FMIN:
+        return args[0].min_(args[1])
+    if op is Op.FMAX:
+        return args[0].max_(args[1])
+    if op is Op.FDIV:
+        divisor = args[1]
+        if emit and divisor.contains(0.0):
+            if divisor.lo == divisor.hi == 0.0:
+                report.emit(
+                    Severity.ERROR, _PASS, "div-by-zero",
+                    f"division by a divisor that is always zero {divisor}",
+                    node_id=node.node_id,
+                )
+            else:
+                report.emit(
+                    _severity(divisor), _PASS, "possible-div-by-zero",
+                    f"divisor range {divisor} contains zero",
+                    node_id=node.node_id,
+                )
+        return args[0].divide(divisor)
+    if op is Op.FSQRT:
+        operand = args[0]
+        if emit and operand.lo < 0:
+            if operand.hi < 0:
+                report.emit(
+                    Severity.ERROR, _PASS, "sqrt-negative",
+                    f"sqrt of an always-negative value {operand}",
+                    node_id=node.node_id,
+                )
+            else:
+                report.emit(
+                    _severity(operand), _PASS, "possible-sqrt-negative",
+                    f"sqrt operand range {operand} extends below zero",
+                    node_id=node.node_id,
+                )
+        return operand.sqrt()
+    if op in (Op.CMP_LT, Op.CMP_LE):
+        a, b = args
+        if op is Op.CMP_LT:
+            if a.hi < b.lo:
+                return Interval.point(1.0)
+            if a.lo >= b.hi:
+                return Interval.point(0.0)
+        else:
+            if a.hi <= b.lo:
+                return Interval.point(1.0)
+            if a.lo > b.hi:
+                return Interval.point(0.0)
+        return Interval(0.0, 1.0)
+    if op is Op.SELECT:
+        cond, if_true, if_false = args
+        if not cond.contains(0.0):
+            return if_true
+        if cond.lo == cond.hi == 0.0:
+            return if_false
+        return if_true.join(if_false)
+    if op is Op.ACTUATOR_WRITE:
+        return args[0]
+    raise CgraError(f"range analysis has no transfer function for {op}")  # pragma: no cover
+
+
+def analyze_ranges(
+    graph: DataflowGraph,
+    *,
+    param_bounds: dict[str, tuple[float, float]] | None = None,
+    sensor_bounds: tuple[float, float] = ADC_WINDOW,
+) -> DiagnosticReport:
+    """Propagate value intervals through ``graph`` and report findings.
+
+    Parameters
+    ----------
+    graph:
+        A validated dataflow graph (``graph.validate()`` is re-run here;
+        failures become a single ``graph-invalid`` diagnostic).
+    param_bounds:
+        Optional ``name → (lo, hi)`` ranges for live-in parameters;
+        unlisted parameters are unbounded.
+    sensor_bounds:
+        Interval every sensor read is assumed to land in — defaults to
+        the ADC's ±1 V digitisation window.
+
+    Returns the :class:`DiagnosticReport`; the computed per-node
+    intervals are attached as ``report.intervals`` (node id →
+    :class:`Interval`) for inspection and the CLI's verbose mode.
+    """
+    report = DiagnosticReport()
+    report.intervals = {}  # type: ignore[attr-defined]
+    try:
+        graph.validate()
+    except CgraError as exc:
+        report.emit(Severity.ERROR, _PASS, "graph-invalid", str(exc))
+        return report
+
+    bounds = dict(param_bounds or {})
+    sensor_iv = Interval(float(sensor_bounds[0]), float(sensor_bounds[1]))
+
+    def leaf(node: DFGNode) -> Interval | None:
+        if node.op is Op.CONST:
+            return Interval.point(node.value)
+        if node.op is Op.PARAM:
+            if node.name in bounds:
+                lo, hi = bounds[node.name]
+                return Interval(float(lo), float(hi))
+            return Interval.top()
+        if node.op in (Op.SENSOR_READ, Op.SENSOR_READ_ADDR):
+            return sensor_iv
+        return None
+
+    def phi_init(node: DFGNode) -> Interval:
+        if node.init_value is not None:
+            return Interval.point(node.init_value)
+        if node.init_param in bounds:
+            lo, hi = bounds[node.init_param]
+            return Interval(float(lo), float(hi))
+        return Interval.top()
+
+    order = list(graph.topological_order())
+    intervals: dict[int, Interval] = {}
+    # Round 0: PHIs start at their first-iteration input; each round
+    # folds the back-edge value in and re-propagates until stable.
+    for node in order:
+        if node.op is Op.PHI:
+            intervals[node.node_id] = phi_init(node)
+
+    phis = graph.phis()
+    for round_no in range(_MAX_ROUNDS):
+        for node in order:
+            if node.op is Op.PHI:
+                continue
+            fixed = leaf(node)
+            if fixed is not None:
+                intervals[node.node_id] = fixed
+                continue
+            args = [intervals[o] for o in node.operands]
+            intervals[node.node_id] = _transfer(node, args, report, emit=False)
+        changed = False
+        for phi in phis:
+            old = intervals[phi.node_id]
+            new = old.join(phi_init(phi)).join(intervals[phi.back_edge])
+            if round_no >= _WIDEN_AFTER:
+                new = old.widen(new)
+            if new != old:
+                intervals[phi.node_id] = new
+                changed = True
+        if not changed:
+            break
+
+    # Final reporting pass over the converged intervals.
+    for node in order:
+        if node.op is Op.PHI or leaf(node) is not None:
+            continue
+        args = [intervals[o] for o in node.operands]
+        result = _transfer(node, args, report, emit=True)
+        intervals[node.node_id] = result
+        # Overflow vs the binary32 overlay datapath: only meaningful
+        # when the bound itself is finite (an inf bound already says
+        # "unbounded", which the DAC check reports once, at the sink).
+        if result.is_finite and not result.inside(-_F32_MAX, _F32_MAX):
+            definite = result.outside(-_F32_MAX, _F32_MAX)
+            report.emit(
+                Severity.ERROR if definite else Severity.WARNING,
+                _PASS,
+                "overflow" if definite else "possible-overflow",
+                f"value range {result} exceeds float32 "
+                f"(|x| <= {_F32_MAX:.4g})",
+                node_id=node.node_id,
+            )
+        if node.op is Op.ACTUATOR_WRITE:
+            lo, hi = DAC_WINDOW
+            value = intervals[node.operands[0]]
+            if value.outside(lo, hi):
+                report.emit(
+                    Severity.ERROR, _PASS, "dac-saturation",
+                    f"actuator value range {value} lies entirely outside the "
+                    f"DAC's ±1 V window",
+                    node_id=node.node_id,
+                )
+            elif not value.is_finite:
+                report.emit(
+                    Severity.INFO, _PASS, "dac-unbounded",
+                    f"actuator value range {value} cannot be bounded — supply "
+                    "param_bounds to prove it stays inside the ±1 V DAC window",
+                    node_id=node.node_id,
+                )
+            elif not value.inside(lo, hi):
+                report.emit(
+                    Severity.WARNING, _PASS, "dac-may-saturate",
+                    f"actuator value range {value} extends beyond the DAC's "
+                    "±1 V window; the output will clip",
+                    node_id=node.node_id,
+                )
+
+    report.intervals = intervals  # type: ignore[attr-defined]
+    return report

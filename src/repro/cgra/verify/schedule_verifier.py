@@ -1,0 +1,475 @@
+"""Pass 1: static legality verification of schedules and context images.
+
+The paper's workflow inserts compiled context memories "into the final
+FPGA bitstream without requiring a new synthesis" — nothing downstream
+re-checks them, so a bad context silently corrupts the beam model the
+LLRF controller is tested against.  This pass re-derives every legality
+condition of a :class:`~repro.cgra.scheduler.Schedule` /
+:class:`~repro.cgra.context.ContextImage` set *independently* from the
+:class:`~repro.cgra.dfg.DataflowGraph` and the
+:class:`~repro.cgra.fabric.CgraFabric`, without executing a kernel and
+without trusting the scheduler's own bookkeeping:
+
+* coverage — every non-zero-time node is placed exactly once, nothing
+  unknown or duplicated is placed;
+* dependences — an operation issues only after every operand has
+  finished *and* been routed to the consuming PE
+  (``finish + hops × route_hop`` ticks);
+* exclusivity — no PE executes two operations at once (IO operations
+  hold their PE for the SensorAccess issue window);
+* SensorAccess — all IO sits on the single IO PE and issues at most one
+  request per :attr:`~repro.cgra.scheduler.ListScheduler.IO_ISSUE_TICKS`;
+* capacity — per-PE entry counts fit the context memories;
+* values — constant pseudo-entries are finite and representable in the
+  overlay's single-precision operators;
+* PHI consistency — loop-carried registers have exactly one initial
+  value and a scheduled back-edge producer (for modulo schedules, the
+  distance-1 timing at the initiation interval);
+* deadline — the schedule fits one revolution period when a revolution
+  frequency is given.
+
+Violations become :class:`~repro.cgra.verify.diagnostics.Diagnostic`
+records, never exceptions: a corrupted image yields the full list of
+problems, which is what makes the negative-path tests and the CLI useful.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cgra.context import ContextImage, build_context_images
+from repro.cgra.dfg import DataflowGraph
+from repro.cgra.fabric import CgraFabric
+from repro.cgra.modulo import ModuloSchedule
+from repro.cgra.ops import Op
+from repro.cgra.scheduler import ListScheduler, Schedule
+from repro.cgra.verify.diagnostics import DiagnosticReport, Severity
+from repro.errors import CgraError
+
+__all__ = ["verify_schedule", "verify_context_images", "verify_modulo_schedule"]
+
+_PASS = "schedule"
+
+#: Largest magnitude the overlay's single-precision FP cores can hold.
+_F32_MAX = float(np.finfo(np.float32).max)
+
+
+def _occupancy(latencies, op: Op, io_issue_ticks: int) -> int:
+    if op in (Op.SENSOR_READ, Op.SENSOR_READ_ADDR, Op.ACTUATOR_WRITE):
+        return io_issue_ticks
+    return max(1, latencies.of(op))
+
+
+def _check_phis(graph: DataflowGraph, scheduled: set[int], report: DiagnosticReport) -> None:
+    """Loop-carried register consistency (shared by both verifiers)."""
+    for phi in graph.phis():
+        if phi.back_edge is None:
+            report.emit(
+                Severity.ERROR, _PASS, "phi-unbound",
+                f"PHI {phi.name!r} has no back edge — bind_phi() was never called",
+                node_id=phi.node_id,
+            )
+            continue
+        if phi.back_edge not in graph.nodes:
+            report.emit(
+                Severity.ERROR, _PASS, "phi-unbound",
+                f"PHI {phi.name!r} back edge {phi.back_edge} is not a graph node",
+                node_id=phi.node_id,
+            )
+            continue
+        if (phi.init_value is None) == (phi.init_param is None):
+            report.emit(
+                Severity.ERROR, _PASS, "phi-init",
+                f"PHI {phi.name!r} needs exactly one of init_value / init_param",
+                node_id=phi.node_id,
+            )
+        elif phi.init_param is not None and phi.init_param not in graph.params:
+            report.emit(
+                Severity.ERROR, _PASS, "phi-init",
+                f"PHI {phi.name!r} init parameter {phi.init_param!r} is not a "
+                "graph parameter",
+                node_id=phi.node_id,
+            )
+        source = graph.nodes[phi.back_edge]
+        if not source.is_zero_time() and source.node_id not in scheduled:
+            report.emit(
+                Severity.ERROR, _PASS, "phi-unbound",
+                f"PHI {phi.name!r} back-edge producer {source.node_id} is not "
+                "scheduled — the register would never latch a value",
+                node_id=phi.node_id,
+            )
+
+
+def _check_deadline(
+    length: int,
+    f_rev: float | None,
+    clock_hz: float,
+    report: DiagnosticReport,
+    what: str,
+) -> None:
+    if f_rev is None or f_rev <= 0.0:
+        return
+    budget = clock_hz / f_rev
+    slack = budget - length
+    if slack < 0.0:
+        report.emit(
+            Severity.ERROR, _PASS, "deadline",
+            f"{what} of {length} ticks misses the {budget:.1f}-tick revolution "
+            f"budget at f_rev={f_rev:.4g} Hz (slack {slack:.1f} ticks)",
+        )
+
+
+def verify_context_images(
+    images: dict[tuple[int, int], ContextImage],
+    graph: DataflowGraph,
+    fabric: CgraFabric,
+    *,
+    io_issue_ticks: int = ListScheduler.IO_ISSUE_TICKS,
+    f_rev: float | None = None,
+) -> DiagnosticReport:
+    """Verify a set of context images against the graph and fabric.
+
+    This is the "bitstream insert" gate: the images are all the hardware
+    would see, so everything is re-derived from their ticks and the
+    graph/fabric contracts.  Returns a report; never raises on content
+    problems.
+    """
+    report = DiagnosticReport()
+    latencies = fabric.config.latencies
+
+    try:
+        graph.validate()
+    except CgraError as exc:
+        report.emit(Severity.ERROR, _PASS, "graph-invalid", str(exc))
+        return report
+
+    # -- per-entry structural checks + placement table -----------------
+    placed: dict[int, tuple[tuple[int, int], int]] = {}  # node -> (pe, tick)
+    fabric_pes = set(fabric.pes)
+    for pe, image in images.items():
+        if pe not in fabric_pes:
+            report.emit(
+                Severity.ERROR, _PASS, "unknown-pe",
+                f"context image addresses PE {pe} outside the {fabric.config.rows}x"
+                f"{fabric.config.cols} fabric", pe=pe,
+            )
+            continue
+        if len(image.entries) > fabric.config.context_slots:
+            report.emit(
+                Severity.ERROR, _PASS, "context-overflow",
+                f"PE {pe} holds {len(image.entries)} context entries, memory "
+                f"depth is {fabric.config.context_slots}", pe=pe,
+            )
+        for entry in image.entries:
+            try:
+                op = Op(entry.op)
+            except ValueError:
+                report.emit(
+                    Severity.ERROR, _PASS, "unknown-op",
+                    f"entry for node {entry.node_id} carries unknown op "
+                    f"{entry.op!r}", node_id=entry.node_id, pe=pe, tick=entry.tick,
+                )
+                continue
+            if entry.tick < 0:
+                report.emit(
+                    Severity.ERROR, _PASS, "negative-tick",
+                    f"node {entry.node_id} issues at negative tick {entry.tick}",
+                    node_id=entry.node_id, pe=pe, tick=entry.tick,
+                )
+            if entry.value is not None and (
+                not np.isfinite(entry.value) or abs(entry.value) > _F32_MAX
+            ):
+                report.emit(
+                    Severity.ERROR, _PASS, "const-range",
+                    f"constant {entry.value!r} for node {entry.node_id} is outside "
+                    "the single-precision operator range",
+                    node_id=entry.node_id, pe=pe, tick=entry.tick,
+                )
+            if entry.node_id not in graph.nodes:
+                report.emit(
+                    Severity.ERROR, _PASS, "unknown-node",
+                    f"entry references node {entry.node_id} which is not in graph "
+                    f"{graph.name!r}", node_id=entry.node_id, pe=pe, tick=entry.tick,
+                )
+                continue
+            node = graph.nodes[entry.node_id]
+            if op is Op.CONST and node.op is Op.CONST:
+                # Preloaded constant pseudo-entry: value-only, no timing.
+                continue
+            if node.op is not op:
+                report.emit(
+                    Severity.ERROR, _PASS, "op-mismatch",
+                    f"node {entry.node_id} is {node.op.value!r} in the graph but "
+                    f"{op.value!r} in the context image",
+                    node_id=entry.node_id, pe=pe, tick=entry.tick,
+                )
+                continue
+            if tuple(entry.operands) != tuple(node.operands):
+                report.emit(
+                    Severity.ERROR, _PASS, "operand-mismatch",
+                    f"node {entry.node_id} operands {tuple(entry.operands)} differ "
+                    f"from the graph's {tuple(node.operands)}",
+                    node_id=entry.node_id, pe=pe, tick=entry.tick,
+                )
+            if node.is_io() and entry.io_id != node.sensor_id:
+                report.emit(
+                    Severity.ERROR, _PASS, "io-id-mismatch",
+                    f"node {entry.node_id} addresses io id {entry.io_id}, graph "
+                    f"says {node.sensor_id}",
+                    node_id=entry.node_id, pe=pe, tick=entry.tick,
+                )
+            if node.is_zero_time():
+                report.emit(
+                    Severity.ERROR, _PASS, "zero-time-scheduled",
+                    f"zero-time node {entry.node_id} ({node.op.value}) occupies a "
+                    "context slot — preloaded values live in register memory",
+                    node_id=entry.node_id, pe=pe, tick=entry.tick,
+                )
+                continue
+            if not fabric.supports(pe, node.op):
+                report.emit(
+                    Severity.ERROR, _PASS, "capability",
+                    f"PE {pe} has no {node.op.value} operator",
+                    node_id=entry.node_id, pe=pe, tick=entry.tick,
+                )
+            if entry.node_id in placed:
+                report.emit(
+                    Severity.ERROR, _PASS, "duplicate-op",
+                    f"node {entry.node_id} appears in more than one context slot",
+                    node_id=entry.node_id, pe=pe, tick=entry.tick,
+                )
+                continue
+            placed[entry.node_id] = (pe, entry.tick)
+
+    # -- coverage ------------------------------------------------------
+    for node in graph.nodes.values():
+        if node.is_zero_time():
+            continue
+        if node.node_id not in placed:
+            report.emit(
+                Severity.ERROR, _PASS, "missing-op",
+                f"node {node.node_id} ({node.op.value}) is not in any context image",
+                node_id=node.node_id,
+            )
+
+    # -- dependences with routing delays -------------------------------
+    for nid, (pe, tick) in placed.items():
+        node = graph.nodes[nid]
+        for operand_id in node.operands:
+            producer = graph.nodes.get(operand_id)
+            if producer is None or producer.is_zero_time():
+                continue
+            if operand_id not in placed:
+                continue  # already reported as missing-op
+            p_pe, p_tick = placed[operand_id]
+            if p_pe not in fabric_pes or pe not in fabric_pes:
+                continue
+            ready = p_tick + latencies.of(producer.op) + fabric.routing_delay(p_pe, pe)
+            if tick < ready:
+                report.emit(
+                    Severity.ERROR, _PASS, "operand-not-ready",
+                    f"node {nid} issues at tick {tick} but operand {operand_id} "
+                    f"(finish {p_tick + latencies.of(producer.op)} on PE {p_pe}, "
+                    f"+{fabric.routing_delay(p_pe, pe)} routing) is ready at {ready}",
+                    node_id=nid, pe=pe, tick=tick,
+                )
+
+    # -- PE exclusivity -------------------------------------------------
+    by_pe: dict[tuple[int, int], list[tuple[int, int]]] = {}
+    for nid, (pe, tick) in placed.items():
+        by_pe.setdefault(pe, []).append((tick, nid))
+    for pe, entries in by_pe.items():
+        entries.sort()
+        for (tick_a, nid_a), (tick_b, nid_b) in zip(entries, entries[1:]):
+            occ = _occupancy(latencies, graph.nodes[nid_a].op, io_issue_ticks)
+            if tick_b < tick_a + occ:
+                report.emit(
+                    Severity.ERROR, _PASS, "pe-overlap",
+                    f"PE {pe} double-booked: node {nid_a} occupies ticks "
+                    f"[{tick_a}, {tick_a + occ}) and node {nid_b} issues at {tick_b}",
+                    node_id=nid_b, pe=pe, tick=tick_b,
+                )
+
+    # -- SensorAccess serialisation -------------------------------------
+    io_placed = sorted(
+        (tick, nid, pe) for nid, (pe, tick) in placed.items() if graph.nodes[nid].is_io()
+    )
+    for tick, nid, pe in io_placed:
+        if pe != fabric.io_pe:
+            report.emit(
+                Severity.ERROR, _PASS, "io-wrong-pe",
+                f"IO node {nid} is placed on PE {pe}; only {fabric.io_pe} is wired "
+                "to the SensorAccess module",
+                node_id=nid, pe=pe, tick=tick,
+            )
+    for (tick_a, nid_a, _), (tick_b, nid_b, _) in zip(io_placed, io_placed[1:]):
+        if tick_b - tick_a < io_issue_ticks:
+            report.emit(
+                Severity.ERROR, _PASS, "io-rate",
+                f"SensorAccess accepts one request per {io_issue_ticks} ticks: "
+                f"nodes {nid_a} and {nid_b} issue at ticks {tick_a} and {tick_b}",
+                node_id=nid_b, tick=tick_b,
+            )
+
+    # -- loop-carried registers and the deadline ------------------------
+    _check_phis(graph, set(placed), report)
+    length = max(
+        (tick + latencies.of(graph.nodes[nid].op) for nid, (_, tick) in placed.items()),
+        default=0,
+    )
+    _check_deadline(length, f_rev, fabric.config.clock_mhz * 1e6, report, "schedule")
+    return report
+
+
+def verify_schedule(schedule: Schedule, *, f_rev: float | None = None) -> DiagnosticReport:
+    """Verify a list schedule by checking the context images it emits.
+
+    Equivalent to ``verify_context_images(build_context_images(s), ...)``
+    — the verifier deliberately looks at what would be inserted into the
+    bitstream, not at the scheduler's internal bookkeeping.
+    """
+    return verify_context_images(
+        build_context_images(schedule),
+        schedule.graph,
+        schedule.fabric,
+        f_rev=f_rev,
+    )
+
+
+def verify_modulo_schedule(
+    schedule: ModuloSchedule, *, f_rev: float | None = None
+) -> DiagnosticReport:
+    """Verify a software-pipelined schedule, including cross-iteration
+    PHI timing at the initiation interval and the modulo reservation
+    table.
+
+    With initiation every II ticks the deadline criterion is II (not the
+    flat length): one iteration *starts* per revolution.
+    """
+    report = DiagnosticReport()
+    graph, fabric, ii = schedule.graph, schedule.fabric, schedule.ii
+    latencies = fabric.config.latencies
+
+    try:
+        graph.validate()
+    except CgraError as exc:
+        report.emit(Severity.ERROR, _PASS, "graph-invalid", str(exc))
+        return report
+    if ii < 1:
+        report.emit(
+            Severity.ERROR, _PASS, "bad-ii", f"initiation interval {ii} must be >= 1"
+        )
+        return report
+
+    fabric_pes = set(fabric.pes)
+    placed = dict(schedule.ops)
+
+    # -- coverage, capability, occupancy, reservations ------------------
+    for node in graph.nodes.values():
+        if node.is_zero_time():
+            continue
+        if node.node_id not in placed:
+            report.emit(
+                Severity.ERROR, _PASS, "missing-op",
+                f"node {node.node_id} ({node.op.value}) is not placed",
+                node_id=node.node_id,
+            )
+    reservations: dict[tuple[tuple[int, int], int], int] = {}
+    for nid, (pe, start) in placed.items():
+        if nid not in graph.nodes:
+            report.emit(
+                Severity.ERROR, _PASS, "unknown-node",
+                f"placement references node {nid} which is not in graph "
+                f"{graph.name!r}", node_id=nid, pe=pe, tick=start,
+            )
+            continue
+        node = graph.nodes[nid]
+        if pe not in fabric_pes:
+            report.emit(
+                Severity.ERROR, _PASS, "unknown-pe",
+                f"node {nid} placed on PE {pe} outside the fabric",
+                node_id=nid, pe=pe, tick=start,
+            )
+            continue
+        if start < 0:
+            report.emit(
+                Severity.ERROR, _PASS, "negative-tick",
+                f"node {nid} starts at negative tick {start}",
+                node_id=nid, pe=pe, tick=start,
+            )
+        if not fabric.supports(pe, node.op):
+            report.emit(
+                Severity.ERROR, _PASS, "capability",
+                f"PE {pe} has no {node.op.value} operator",
+                node_id=nid, pe=pe, tick=start,
+            )
+        if node.is_io() and pe != fabric.io_pe:
+            report.emit(
+                Severity.ERROR, _PASS, "io-wrong-pe",
+                f"IO node {nid} is placed on PE {pe}; only {fabric.io_pe} is "
+                "wired to the SensorAccess module",
+                node_id=nid, pe=pe, tick=start,
+            )
+        occ = _occupancy(latencies, node.op, ListScheduler.IO_ISSUE_TICKS)
+        if occ > ii:
+            report.emit(
+                Severity.ERROR, _PASS, "pe-overlap",
+                f"node {nid} occupancy {occ} exceeds II {ii} — it would collide "
+                "with its own next iteration",
+                node_id=nid, pe=pe, tick=start,
+            )
+            continue
+        for k in range(occ):
+            slot = (pe, (start + k) % ii)
+            if slot in reservations:
+                report.emit(
+                    Severity.ERROR, _PASS, "pe-overlap",
+                    f"modulo reservation conflict on PE {pe} slot {slot[1]}: "
+                    f"nodes {reservations[slot]} and {nid}",
+                    node_id=nid, pe=pe, tick=start,
+                )
+                break
+            reservations[slot] = nid
+
+    # -- forward and loop-carried dependences ---------------------------
+    for nid, (_pe, start) in placed.items():
+        node = graph.nodes.get(nid)
+        if node is None:
+            continue
+        for operand_id in node.operands:
+            producer = graph.nodes.get(operand_id)
+            if producer is None:
+                continue
+            if producer.op is Op.PHI:
+                if producer.back_edge is None:
+                    continue  # reported by _check_phis
+                source = graph.nodes.get(producer.back_edge)
+                if source is None or source.is_zero_time() or source.node_id not in placed:
+                    continue
+                _, s_start = placed[source.node_id]
+                finish = s_start + latencies.of(source.op)
+                if start + ii < finish:
+                    report.emit(
+                        Severity.ERROR, _PASS, "phi-timing",
+                        f"loop-carried value {producer.name!r}: consumer node "
+                        f"{nid} reads at tick {start} + II {ii} but producer "
+                        f"{source.node_id} finishes at {finish} — the register "
+                        "latches one iteration too late",
+                        node_id=nid, tick=start,
+                    )
+                continue
+            if producer.is_zero_time() or operand_id not in placed:
+                continue
+            _, p_start = placed[operand_id]
+            finish = p_start + latencies.of(producer.op)
+            if start < finish:
+                report.emit(
+                    Severity.ERROR, _PASS, "operand-not-ready",
+                    f"node {nid} starts at tick {start} before operand "
+                    f"{operand_id} finishes at {finish}",
+                    node_id=nid, tick=start,
+                )
+
+    _check_phis(graph, set(placed), report)
+    _check_deadline(ii, f_rev, fabric.config.clock_mhz * 1e6, report, "initiation interval")
+    return report

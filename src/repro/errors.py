@@ -44,6 +44,14 @@ class ScheduleError(CgraError):
     """The scheduler could not map the dataflow graph onto the fabric."""
 
 
+class VerificationError(CgraError):
+    """Static verification of a schedule/context-image set found errors.
+
+    Raised by the executors' optional verify-on-load path; the message
+    embeds the formatted :class:`repro.cgra.verify.Diagnostic` records.
+    """
+
+
 class ExecutionError(CgraError):
     """Cycle-accurate execution of scheduled contexts failed."""
 

@@ -312,6 +312,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--trace", action="store_true",
                         help="also record spans; write <name>_trace.jsonl "
                              "(implies --metrics)")
+    parser.add_argument("--verify", action="store_true",
+                        help="statically verify the built-in CGRA kernels "
+                             "(lint, schedule legality, value ranges) before "
+                             "running; abort on any error")
     args = parser.parse_args(argv)
     _configure_logging(args.verbose)
 
@@ -319,6 +323,15 @@ def main(argv: list[str] | None = None) -> int:
         for name, (description, _) in EXPERIMENTS.items():
             print(f"{name:10s} {description}")
         return 0
+
+    if args.verify:
+        from repro.cgra.lint import main as lint_main
+
+        rc = lint_main(["--all", "--fail-on-error", "-q"])
+        if rc != 0:
+            logger.error("static verification of the built-in kernels failed")
+            return rc
+        logger.info("static verification passed for all built-in kernels")
 
     telemetry = args.metrics or args.trace
     if telemetry:

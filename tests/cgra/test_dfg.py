@@ -80,6 +80,46 @@ class TestValidation:
         with pytest.raises(CgraError):
             g.validate()
 
+    def test_unbound_phi_message_names_bind_phi(self):
+        g = DataflowGraph()
+        g.add_phi("acc", init_value=0.0)
+        with pytest.raises(CgraError, match=r"bind_phi"):
+            g.validate()
+        with pytest.raises(CgraError, match=r"'acc'"):
+            g.validate()
+
+    def test_phi_init_consistency_checked(self):
+        g = small_graph()
+        phi = next(n for n in g.nodes.values() if n.op is Op.PHI)
+        phi.init_param = "P"  # corrupt: both init_value and init_param set
+        with pytest.raises(CgraError, match="exactly one of init_value"):
+            g.validate()
+
+    def test_cycle_error_names_offending_nodes(self):
+        g = DataflowGraph()
+        c = g.add_const(1.0)
+        a = g.add_op(Op.FNEG, [c.node_id], name="a")
+        b = g.add_op(Op.FNEG, [a.node_id], name="b")
+        a.operands = [b.node_id]  # corrupt: a <-> b cycle
+        with pytest.raises(CgraError) as exc:
+            g.validate()
+        message = str(exc.value)
+        assert f"%{a.node_id}" in message
+        assert f"%{b.node_id}" in message
+        assert "'a'" in message and "'b'" in message
+
+    def test_cycle_error_excludes_acyclic_nodes(self):
+        g = DataflowGraph()
+        c = g.add_const(1.0)
+        ok = g.add_op(Op.FNEG, [c.node_id], name="fine")
+        a = g.add_op(Op.FNEG, [ok.node_id], name="a")
+        b = g.add_op(Op.FNEG, [a.node_id], name="b")
+        a.operands = [b.node_id]
+        with pytest.raises(CgraError) as exc:
+            g.validate()
+        message = str(exc.value)
+        assert "'fine'" not in message.split("cycle through nodes:")[1]
+
 
 class TestQueries:
     def test_topological_order_respects_deps(self):

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cgra.frontend.lexer import Lexer, TokenKind, tokenize
+from repro.cgra.frontend.lexer import TokenKind, tokenize
 from repro.errors import FrontendError
 
 
@@ -87,3 +87,27 @@ class TestDefines:
     def test_other_directives_rejected(self):
         with pytest.raises(FrontendError):
             tokenize("#include <stdio.h>")
+
+
+class TestColumns:
+    def test_tokens_carry_columns(self):
+        toks = tokenize("float x = 1.0;")
+        cols = {t.text: t.col for t in toks if t.kind is not TokenKind.EOF}
+        assert cols["float"] == 1
+        assert cols["x"] == 7
+        assert cols["="] == 9
+        assert cols["1.0"] == 11
+
+    def test_unknown_character_reports_line_and_col(self):
+        with pytest.raises(FrontendError, match=r"line 2:4"):
+            tokenize("x = 1;\ny =@ 2;")
+
+    def test_directive_errors_report_col(self):
+        with pytest.raises(FrontendError, match=r"line 1:1"):
+            tokenize("#include <stdio.h>")
+
+    def test_define_substitution_points_at_use_site(self):
+        toks = tokenize("#define N 8\nx = N;")
+        n_tok = next(t for t in toks if t.text == "8")
+        assert n_tok.line == 2
+        assert n_tok.col == 5

@@ -1,0 +1,109 @@
+"""Tests for the ``python -m repro.cgra.lint`` CLI."""
+
+import json
+
+import pytest
+
+from repro.cgra.lint import main
+
+GOOD = """
+void k() {
+    float s = 0.0;
+    while (1) {
+        float v = read_sensor(0);
+        write_actuator(16, s);
+        s = s + v * 0.5;
+    }
+}
+"""
+
+BAD_SEMANTIC = """
+void k() {
+    while (1) {
+        write_actuator(16, undefined_name);
+    }
+}
+"""
+
+BAD_RANGE = """
+void k() {
+    while (1) {
+        float v = read_sensor(0);
+        write_actuator(16, v * 0.01 + 3.0);
+    }
+}
+"""
+
+
+class TestCli:
+    def test_all_builtins_exit_zero(self, capsys):
+        assert main(["--all", "--fail-on-error"]) == 0
+        out = capsys.readouterr().out
+        assert "beam_model[n=8,pipelined]" in out
+        assert "FAIL" not in out
+
+    def test_good_file_exits_zero(self, tmp_path):
+        f = tmp_path / "good.c"
+        f.write_text(GOOD)
+        assert main([str(f), "--fail-on-error"]) == 0
+
+    def test_bad_semantic_file_exits_nonzero(self, tmp_path, capsys):
+        f = tmp_path / "bad.c"
+        f.write_text(BAD_SEMANTIC)
+        assert main([str(f), "--fail-on-error"]) == 1
+        out = capsys.readouterr().out
+        assert "use-before-def" in out
+
+    def test_bad_range_file_exits_nonzero(self, tmp_path, capsys):
+        f = tmp_path / "sat.c"
+        f.write_text(BAD_RANGE)
+        assert main([str(f), "--fail-on-error"]) == 1
+        out = capsys.readouterr().out
+        assert "dac-saturation" in out
+
+    def test_json_output(self, tmp_path, capsys):
+        f = tmp_path / "bad.c"
+        f.write_text(BAD_SEMANTIC)
+        main([str(f), "--json"])
+        out = capsys.readouterr().out
+        payload = json.loads(out.strip().splitlines()[-1])
+        assert payload["target"] == str(f)
+        codes = {d["code"] for d in payload["diagnostics"]}
+        assert "use-before-def" in codes
+
+    def test_fail_on_warning(self, tmp_path):
+        f = tmp_path / "warn.c"
+        f.write_text(
+            """
+void k() {
+    float unused = 1.0;
+    while (1) {
+        write_actuator(16, read_sensor(0));
+    }
+}
+"""
+        )
+        assert main([str(f)]) == 0
+        assert main([str(f), "--fail-on-warning"]) == 1
+
+    def test_missing_file_errors(self, tmp_path, capsys):
+        assert main([str(tmp_path / "nope.c")]) == 1
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_no_target_is_usage_error(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_module_entrypoint(self):
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        repo = Path(__file__).resolve().parents[2]
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.cgra.lint", "--all", "--fail-on-error", "-q"],
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": str(repo / "src"), "PATH": "/usr/bin:/bin"},
+        )
+        assert proc.returncode == 0, proc.stderr

@@ -1,0 +1,232 @@
+"""Tests for the mini-C semantic linter (repro.cgra.verify.linter)."""
+
+import pytest
+
+from repro.cgra.models import beam_model_source
+from repro.cgra.verify import Severity, lint_source
+
+
+def codes(source):
+    return lint_source(source).codes()
+
+
+class TestCleanSources:
+    @pytest.mark.parametrize("n_bunches", [1, 4, 8])
+    @pytest.mark.parametrize("pipelined", [True, False])
+    def test_beam_model_lints_clean(self, n_bunches, pipelined):
+        report = lint_source(beam_model_source(n_bunches=n_bunches, pipelined=pipelined))
+        assert len(report) == 0
+
+    def test_minimal_kernel(self):
+        src = """
+        void k() {
+            float s = 0.0;
+            while (1) {
+                float v = read_sensor(0);
+                write_actuator(16, s);
+                s = s + v;
+            }
+        }
+        """
+        assert len(lint_source(src)) == 0
+
+
+class TestScoping:
+    def test_use_before_def(self):
+        src = """
+        void k() {
+            while (1) {
+                float y = x + 1.0;
+                write_actuator(16, y);
+            }
+        }
+        """
+        report = lint_source(src)
+        assert report.has("use-before-def")
+        d = next(d for d in report if d.code == "use-before-def")
+        assert d.location is not None
+        assert d.location.line == 4
+        assert d.location.col > 0
+
+    def test_assignment_to_undeclared(self):
+        src = """
+        void k() {
+            while (1) {
+                y = read_sensor(0);
+                write_actuator(16, y);
+            }
+        }
+        """
+        assert "use-before-def" in codes(src)
+
+    def test_unused_variable_warning(self):
+        src = """
+        void k() {
+            float unused = 3.0;
+            while (1) {
+                write_actuator(16, read_sensor(0));
+            }
+        }
+        """
+        report = lint_source(src)
+        assert report.has("unused-variable")
+        assert report.ok  # warning, not error
+
+    def test_unused_parameter_warning(self):
+        src = """
+        void k(float P) {
+            while (1) {
+                write_actuator(16, read_sensor(0));
+            }
+        }
+        """
+        report = lint_source(src)
+        assert report.has("unused-parameter")
+        assert report.warnings()
+
+    def test_shadowing_warning(self):
+        src = """
+        void k(float P) {
+            while (1) {
+                if (read_sensor(0) < 0.5) {
+                    float P = 2.0;
+                    float q = P + 1.0;
+                    q = q + 1.0;
+                }
+                write_actuator(16, P);
+            }
+        }
+        """
+        report = lint_source(src)
+        assert report.has("shadowing")
+
+    def test_redeclaration_error(self):
+        src = """
+        void k() {
+            float x = 1.0;
+            float x = 2.0;
+            while (1) {
+                write_actuator(16, x);
+            }
+        }
+        """
+        report = lint_source(src)
+        assert report.has("redeclaration")
+        assert not report.ok
+
+    def test_kind_mismatch(self):
+        src = """
+        void k() {
+            float a[4] = 0.0;
+            while (1) {
+                write_actuator(16, a + 1.0);
+            }
+        }
+        """
+        assert "kind-mismatch" in codes(src)
+
+
+class TestIntrinsics:
+    def test_unknown_intrinsic(self):
+        src = """
+        void k() {
+            while (1) {
+                write_actuator(16, frobnicate(1.0));
+            }
+        }
+        """
+        assert "unknown-intrinsic" in codes(src)
+
+    def test_intrinsic_arity(self):
+        src = """
+        void k() {
+            while (1) {
+                write_actuator(16, sqrt(1.0, 2.0));
+            }
+        }
+        """
+        assert "intrinsic-arity" in codes(src)
+
+    def test_io_outside_loop(self):
+        src = """
+        void k() {
+            float v = read_sensor(0);
+            while (1) {
+                write_actuator(16, v);
+            }
+        }
+        """
+        assert "io-outside-loop" in codes(src)
+
+    def test_io_in_conditional(self):
+        src = """
+        void k() {
+            while (1) {
+                float v = read_sensor(0);
+                if (v < 0.5) {
+                    write_actuator(16, v);
+                }
+                write_actuator(17, v);
+            }
+        }
+        """
+        assert "io-in-conditional" in codes(src)
+
+
+class TestStructure:
+    def test_missing_steady_loop(self):
+        src = """
+        void k() {
+            float x = 1.0;
+            x = x + 1.0;
+        }
+        """
+        assert "no-steady-loop" in codes(src)
+
+    def test_nested_while(self):
+        src = """
+        void k() {
+            while (1) {
+                while (1) {
+                    write_actuator(16, 0.0);
+                }
+            }
+        }
+        """
+        assert "nested-loop" in codes(src)
+
+    def test_syntax_error_becomes_diagnostic(self):
+        report = lint_source("void k( {")
+        assert report.has("syntax-error")
+        assert not report.ok
+        d = report.errors()[0]
+        assert "line 1" in d.message
+
+    def test_all_findings_reported_not_just_first(self):
+        src = """
+        void k() {
+            while (1) {
+                float a = undefined1 + 1.0;
+                float b = undefined2 + 2.0;
+                write_actuator(16, a + b);
+            }
+        }
+        """
+        report = lint_source(src)
+        assert len([d for d in report if d.code == "use-before-def"]) == 2
+
+    def test_severity_filtering(self):
+        src = """
+        void k() {
+            float unused = 3.0;
+            while (1) {
+                write_actuator(16, missing);
+            }
+        }
+        """
+        report = lint_source(src)
+        assert report.by_severity(Severity.WARNING)
+        assert report.by_severity(Severity.ERROR)
+        text = report.format(min_severity=Severity.ERROR)
+        assert "unused" not in text
+        assert "use-before-def" in text

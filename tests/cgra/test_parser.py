@@ -13,7 +13,6 @@ from repro.cgra.frontend.astnodes import (
     NumberLit,
     Ternary,
     UnaryOp,
-    VarRef,
     WhileLoop,
 )
 from repro.cgra.frontend.parser import parse_program
@@ -149,3 +148,27 @@ class TestExpressions:
             assert "line 3" in str(exc)
         else:
             pytest.fail("expected FrontendError")
+
+
+class TestErrorPositions:
+    def test_error_reports_line_and_col(self):
+        try:
+            parse_single("void f() {\n float x = 1.0;\n float y = ; }")
+        except FrontendError as exc:
+            assert "line 3:12" in str(exc)
+        else:
+            pytest.fail("expected FrontendError")
+
+    def test_while_condition_error_has_col(self):
+        try:
+            parse_single("void f() {\n  while (0) { }\n}")
+        except FrontendError as exc:
+            assert "line 2:3" in str(exc)
+        else:
+            pytest.fail("expected FrontendError")
+
+    def test_ast_nodes_carry_columns(self):
+        fn = parse_single("void f() {\n  float x = 1.0;\n}")
+        decl = fn.body[0]
+        assert (decl.line, decl.col) == (2, 3)
+        assert decl.init.col == 13

@@ -1,0 +1,258 @@
+"""Tests for the interval range analysis (repro.cgra.verify.range_analysis)."""
+
+import pytest
+
+from repro.cgra.frontend import compile_c_to_dfg
+from repro.cgra.models import compile_beam_model
+from repro.cgra.verify import Interval, Severity, analyze_ranges
+
+
+def graph_of(source):
+    return compile_c_to_dfg(source)
+
+
+class TestInterval:
+    def test_arithmetic(self):
+        a = Interval(1.0, 2.0)
+        b = Interval(-1.0, 3.0)
+        assert (a + b) == Interval(0.0, 5.0)
+        assert (a - b) == Interval(-2.0, 3.0)
+        assert (a * b) == Interval(-2.0, 6.0)
+        assert (-a) == Interval(-2.0, -1.0)
+
+    def test_mul_zero_times_inf(self):
+        z = Interval.point(0.0)
+        top = Interval.top()
+        assert (z * top) == Interval.point(0.0)
+
+    def test_divide_straddling_zero_is_top(self):
+        assert Interval(1.0, 2.0).divide(Interval(-1.0, 1.0)) == Interval.top()
+
+    def test_divide_safe(self):
+        q = Interval(1.0, 4.0).divide(Interval(2.0, 2.0))
+        assert q == Interval(0.5, 2.0)
+
+    def test_sqrt_clamps_negative_part(self):
+        s = Interval(-4.0, 9.0).sqrt()
+        assert s == Interval(0.0, 3.0)
+
+    def test_join_and_widen(self):
+        a = Interval(0.0, 1.0)
+        b = Interval(0.5, 2.0)
+        assert a.join(b) == Interval(0.0, 2.0)
+        w = a.widen(Interval(0.0, 1.5))
+        assert w.hi == float("inf") and w.lo == 0.0
+
+    def test_malformed_interval_rejected(self):
+        from repro.errors import CgraError
+
+        with pytest.raises(CgraError):
+            Interval(2.0, 1.0)
+
+
+class TestPropagation:
+    def test_sensor_reads_bounded_by_adc_window(self):
+        src = """
+        void k() {
+            while (1) {
+                float v = read_sensor(0);
+                write_actuator(16, v);
+            }
+        }
+        """
+        graph = graph_of(src)
+        report = analyze_ranges(graph)
+        assert report.ok
+        assert not report.has("dac-unbounded")  # ±1 V in, ±1 V out
+
+    def test_scaled_sensor_may_saturate_dac(self):
+        src = """
+        void k() {
+            while (1) {
+                float v = read_sensor(0);
+                write_actuator(16, v * 3.0);
+            }
+        }
+        """
+        report = analyze_ranges(graph_of(src))
+        assert report.has("dac-may-saturate")
+        assert report.ok  # warning severity: clipping, not illegal
+
+    def test_definite_dac_saturation(self):
+        src = """
+        void k() {
+            while (1) {
+                float v = read_sensor(0);
+                write_actuator(16, v * 0.1 + 5.0);
+            }
+        }
+        """
+        report = analyze_ranges(graph_of(src))
+        assert report.has("dac-saturation")
+        assert not report.ok
+
+    def test_unbounded_param_gives_info_not_error(self):
+        src = """
+        void k(float P) {
+            while (1) {
+                float v = read_sensor(0);
+                write_actuator(16, v * P);
+            }
+        }
+        """
+        report = analyze_ranges(graph_of(src))
+        assert report.has("dac-unbounded")
+        assert report.ok
+        assert all(d.severity is Severity.INFO for d in report)
+
+    def test_param_bounds_tighten_the_result(self):
+        src = """
+        void k(float P) {
+            while (1) {
+                float v = read_sensor(0);
+                write_actuator(16, v * P);
+            }
+        }
+        """
+        report = analyze_ranges(
+            graph_of(src), param_bounds={"P": (-0.5, 0.5)}
+        )
+        assert len(report) == 0  # |v * P| <= 0.5: provably inside the window
+
+    def test_sensor_bounds_override(self):
+        src = """
+        void k() {
+            while (1) {
+                write_actuator(16, read_sensor(0));
+            }
+        }
+        """
+        report = analyze_ranges(graph_of(src), sensor_bounds=(-10.0, 10.0))
+        assert report.has("dac-may-saturate")
+
+
+class TestDivSqrt:
+    def test_possible_div_by_zero_warning(self):
+        src = """
+        void k() {
+            while (1) {
+                float v = read_sensor(0);
+                write_actuator(16, 1.0 / v);
+            }
+        }
+        """
+        report = analyze_ranges(graph_of(src))
+        assert report.has("possible-div-by-zero")
+        d = next(d for d in report if d.code == "possible-div-by-zero")
+        assert d.severity is Severity.WARNING  # finite bounds: actionable
+
+    def test_safe_division_is_silent(self):
+        src = """
+        void k() {
+            while (1) {
+                float v = read_sensor(0);
+                write_actuator(16, v / (2.0 + v));
+            }
+        }
+        """
+        report = analyze_ranges(graph_of(src))
+        assert not report.has("possible-div-by-zero")
+        assert not report.has("div-by-zero")
+
+    def test_possible_sqrt_negative(self):
+        src = """
+        void k() {
+            while (1) {
+                float v = read_sensor(0);
+                write_actuator(16, sqrt(v));
+            }
+        }
+        """
+        report = analyze_ranges(graph_of(src))
+        assert report.has("possible-sqrt-negative")
+
+    def test_safe_sqrt_is_silent(self):
+        src = """
+        void k() {
+            while (1) {
+                float v = read_sensor(0);
+                write_actuator(16, sqrt(v + 2.0) - 1.0);
+            }
+        }
+        """
+        report = analyze_ranges(graph_of(src))
+        assert not report.has("possible-sqrt-negative")
+
+
+class TestFixedPoint:
+    def test_growing_accumulator_widens_to_infinity(self):
+        src = """
+        void k() {
+            float s = 0.0;
+            while (1) {
+                float v = read_sensor(0);
+                s = s + v * v + 0.5;
+                write_actuator(16, s);
+            }
+        }
+        """
+        report = analyze_ranges(graph_of(src))
+        # s grows without bound; widening must terminate the analysis
+        # and the DAC sink reports the unprovable window.
+        assert report.has("dac-unbounded")
+
+    def test_contracting_recurrence_stays_bounded(self):
+        src = """
+        void k() {
+            float s = 0.0;
+            while (1) {
+                float v = read_sensor(0);
+                s = s * 0.5 + v * 0.25;
+                write_actuator(16, s);
+            }
+        }
+        """
+        report = analyze_ranges(graph_of(src))
+        # |s| <= 0.5|s| + 0.25 converges well inside ±1 V... but interval
+        # iteration may over-approximate; it must at least terminate and
+        # never claim definite saturation.
+        assert not report.has("dac-saturation")
+
+    def test_select_joins_branches(self):
+        src = """
+        void k() {
+            while (1) {
+                float v = read_sensor(0);
+                float y = v < 0.0 ? 0.25 : 0.75;
+                write_actuator(16, y);
+            }
+        }
+        """
+        report = analyze_ranges(graph_of(src))
+        assert len(report) == 0
+
+    def test_fmin_fmax_clamp(self):
+        src = """
+        void k(float P) {
+            while (1) {
+                float y = fmax(-0.5, fmin(0.5, P));
+                write_actuator(16, y);
+            }
+        }
+        """
+        report = analyze_ranges(graph_of(src))
+        # P is unbounded but the clamp provably confines y to ±0.5.
+        assert len(report) == 0
+
+
+class TestBeamModel:
+    @pytest.mark.parametrize("n_bunches", [1, 4])
+    def test_beam_model_has_no_errors(self, n_bunches):
+        model = compile_beam_model(n_bunches=n_bunches)
+        report = analyze_ranges(model.graph)
+        assert report.ok
+
+    def test_intervals_attached_to_report(self):
+        model = compile_beam_model(n_bunches=1)
+        report = analyze_ranges(model.graph)
+        assert set(report.intervals) == set(model.graph.nodes)

@@ -9,7 +9,7 @@ import numpy as np
 import pytest
 
 from repro.cgra.fabric import CgraConfig
-from repro.errors import CgraError, HilError, RealTimeViolation, SignalError
+from repro.errors import RealTimeViolation, SignalError
 from repro.hil.framework import FpgaFramework, FrameworkConfig
 from repro.hil.simulator import CavityInTheLoop, HilConfig
 from repro.physics import SIS18, KNOWN_IONS

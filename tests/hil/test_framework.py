@@ -126,7 +126,7 @@ class TestClosedBehaviour:
     def test_monitor_mirror_mode(self):
         fw = make_framework()
         fw.params.write("monitor_select", 1.0)
-        group_blocks = drive(fw, 40)
+        drive(fw, 40)
         # In mirror mode the monitor equals the beam output; run one block
         # manually to compare.
         group = GroupDDS(800e3, 4, 0.9, 250e6)

@@ -1,0 +1,90 @@
+"""Property tests: context-image JSON round-trip and the static verifier.
+
+The paper's flow inserts compiled context memories into the bitstream;
+the JSON payload is our stand-in.  Two properties over randomized
+scheduled kernels:
+
+* ``images_from_json(images_to_json(x)) == x`` — the round-trip is
+  lossless;
+* the static verifier accepts the round-tripped images — what we'd load
+  is exactly as legal as what the scheduler produced.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cgra.context import build_context_images, images_from_json, images_to_json
+from repro.cgra.fabric import CgraConfig, CgraFabric
+from repro.cgra.frontend import compile_c_to_dfg
+from repro.cgra.scheduler import ListScheduler
+from repro.cgra.verify import verify_context_images
+from repro.errors import ScheduleError
+
+
+@st.composite
+def scheduled_kernels(draw):
+    """A random kernel scheduled onto a random small fabric."""
+    n_chains = draw(st.integers(min_value=1, max_value=3))
+    depth = draw(st.integers(min_value=1, max_value=4))
+    use_io = draw(st.booleans())
+    body = []
+    decls = []
+    for c in range(n_chains):
+        decls.append(f"float x{c} = {0.5 + 0.25 * c};")
+        expr = f"x{c}"
+        for _ in range(depth):
+            op = draw(st.sampled_from(["* 0.5 + 0.1", "+ 0.25", "* 1.01"]))
+            expr = f"({expr} {op})"
+        body.append(f"x{c} = {expr};")
+    if use_io:
+        body.insert(0, "float s = read_sensor(0);")
+        body.append("x0 = x0 + s * 0.001;")
+        body.append("write_actuator(16, x0);")
+    decls_text = "\n    ".join(decls)
+    body_text = "\n        ".join(body)
+    source = f"""
+void kernel() {{
+    {decls_text}
+    while (1) {{
+        {body_text}
+    }}
+}}
+"""
+    rows = draw(st.integers(min_value=2, max_value=4))
+    graph = compile_c_to_dfg(source)
+    fabric = CgraFabric(CgraConfig(rows=rows, cols=rows))
+    try:
+        schedule = ListScheduler(fabric).schedule(graph)
+    except ScheduleError:
+        return None  # fabric too small for this kernel: skip
+    return schedule
+
+
+class TestContextRoundtripProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(schedule=scheduled_kernels())
+    def test_json_roundtrip_preserves_images(self, schedule):
+        if schedule is None:
+            return
+        images = build_context_images(schedule)
+        restored = images_from_json(images_to_json(images))
+        assert set(restored) == set(images)
+        for pe in images:
+            assert restored[pe].sorted_entries() == images[pe].sorted_entries()
+
+    @settings(max_examples=30, deadline=None)
+    @given(schedule=scheduled_kernels())
+    def test_verifier_accepts_roundtripped_images(self, schedule):
+        if schedule is None:
+            return
+        images = build_context_images(schedule)
+        restored = images_from_json(images_to_json(images))
+        report = verify_context_images(restored, schedule.graph, schedule.fabric)
+        assert report.ok, report.format()
+
+    @settings(max_examples=20, deadline=None)
+    @given(schedule=scheduled_kernels())
+    def test_verifier_accepts_fresh_schedules(self, schedule):
+        if schedule is None:
+            return
+        report = schedule.verify()
+        assert report.ok, report.format()

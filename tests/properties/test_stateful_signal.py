@@ -8,7 +8,7 @@ framework actually uses them.
 
 import numpy as np
 from hypothesis import given, settings, strategies as st
-from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
 
 from repro.errors import SignalError
 from repro.signal.dds import DDS
