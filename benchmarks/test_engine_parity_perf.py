@@ -1,0 +1,161 @@
+"""Engine throughput benchmark with a built-in parity gate.
+
+Measures the three execution tiers on the shipped beam model —
+interpreted, compiled, and batched-compiled with 64 lockstep lanes —
+and writes ``benchmarks/results/BENCH_engine.json``.  The same run
+first proves the compiled engine bit-exact against the interpreter, so
+a reported speedup can never come from a semantics change.
+
+Run directly (no pytest-benchmark plugin needed — timing is manual so
+parity + perf land in one process):
+
+.. code-block:: bash
+
+    PYTHONPATH=src python -m pytest -q benchmarks/test_engine_parity_perf.py
+
+Targets (ISSUE: perf_opt): compiled >= 10x interpreted per iteration,
+batched >= 50x aggregate lane-iterations at B = 64.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.cgra import (
+    BatchSensorBus,
+    BatchedCgraExecutor,
+    CgraExecutor,
+    SensorBus,
+    compile_beam_model,
+)
+from repro.cgra.sensor import (
+    ACTUATOR_DELTA_T,
+    SENSOR_GAP_BUFFER,
+    SENSOR_PERIOD,
+    SENSOR_REF_BUFFER,
+)
+from repro.obs.export import write_bench_json
+from repro.physics import KNOWN_IONS, SIS18
+
+pytestmark = pytest.mark.bench
+
+_RESULTS = Path(__file__).parent / "results"
+BATCH = 64
+
+
+def _params(model):
+    gamma0 = SIS18.gamma_from_revolution_frequency(800e3)
+    return model.default_params(
+        gamma_r0=gamma0,
+        q_over_mc2=KNOWN_IONS["14N7+"].gamma_gain_per_volt(),
+        orbit_length=SIS18.circumference,
+        alpha_c=SIS18.alpha_c,
+        v_scale=4862.0,
+        v_scale_ref=4 * 4862.0,
+        f_sample=250e6,
+        harmonic=4,
+    )
+
+
+def _scalar_bus():
+    bus = SensorBus()
+    bus.register_reader(SENSOR_PERIOD, lambda: 1.25e-6)
+    bus.register_addr_reader(
+        SENSOR_REF_BUFFER, lambda a: math.sin(2 * math.pi * 800e3 * a / 250e6)
+    )
+    bus.register_addr_reader(
+        SENSOR_GAP_BUFFER, lambda a: math.sin(2 * math.pi * 3.2e6 * a / 250e6 + 0.14)
+    )
+    bus.register_writer(ACTUATOR_DELTA_T, lambda v: None)
+    return bus
+
+
+def _batch_bus():
+    bus = BatchSensorBus(batch=BATCH)
+    bus.register_reader(SENSOR_PERIOD, lambda: 1.25e-6)
+    bus.register_addr_reader(
+        SENSOR_REF_BUFFER, lambda a: np.sin(2 * np.pi * 800e3 * a / 250e6)
+    )
+    bus.register_addr_reader(
+        SENSOR_GAP_BUFFER, lambda a: np.sin(2 * np.pi * 3.2e6 * a / 250e6 + 0.14)
+    )
+    bus.register_writer(ACTUATOR_DELTA_T, lambda v: None)
+    return bus
+
+
+def _time_run(executor, n_iterations: int) -> float:
+    """Seconds per iteration for one bulk run."""
+    t0 = time.perf_counter()
+    executor.run(n_iterations)
+    return (time.perf_counter() - t0) / n_iterations
+
+
+def test_engine_parity_and_throughput():
+    model = compile_beam_model(n_bunches=1, pipelined=True)
+    params = _params(model)
+
+    # -- parity gate: speedups below are only meaningful if bit-exact --
+    ex_i = CgraExecutor(model.schedule, _scalar_bus(), params, engine="interpreted")
+    ex_c = CgraExecutor(model.schedule, _scalar_bus(), params, engine="compiled")
+    for _ in range(30):
+        ex_i.run_iteration()
+        ex_c.run_iteration()
+        assert ex_c.registers == ex_i.registers, "parity regression"
+
+    # -- throughput, warmed executors, one bulk run each ---------------
+    interp = CgraExecutor(model.schedule, _scalar_bus(), params, engine="interpreted")
+    interp.run(50)  # warmup
+    t_interp = _time_run(interp, 1500)
+
+    comp = CgraExecutor(model.schedule, _scalar_bus(), params, engine="compiled")
+    comp.run(200)
+    t_comp = _time_run(comp, 10_000)
+
+    batched = BatchedCgraExecutor(model.schedule, _batch_bus(), params)
+    batched.run(100)
+    t_batch_iter = _time_run(batched, 2000)
+    t_lane = t_batch_iter / BATCH
+
+    single = t_interp / t_comp
+    aggregate = t_interp / t_lane
+    rows = [
+        f"interpreted: {t_interp * 1e6:9.1f} us/iter",
+        f"compiled:    {t_comp * 1e6:9.1f} us/iter  ({single:.1f}x)",
+        f"batched B={BATCH}: {t_lane * 1e6:7.2f} us/lane-iter  ({aggregate:.1f}x aggregate)",
+    ]
+    print("\n=== engine throughput (beam model, 1 bunch) ===")
+    for row in rows:
+        print(row)
+
+    _RESULTS.mkdir(exist_ok=True)
+    write_bench_json(
+        _RESULTS / "BENCH_engine.json",
+        [
+            {
+                "name": "engine/interpreted",
+                "stats": {"mean": t_interp, "rounds": 1500},
+            },
+            {
+                "name": "engine/compiled",
+                "stats": {"mean": t_comp, "rounds": 10_000},
+                "extra_info": {"speedup_vs_interpreted": single},
+            },
+            {
+                "name": f"engine/batched_b{BATCH}",
+                "stats": {"mean": t_lane, "rounds": 2000 * BATCH},
+                "extra_info": {
+                    "batch": BATCH,
+                    "seconds_per_batch_iteration": t_batch_iter,
+                    "aggregate_speedup_vs_interpreted": aggregate,
+                },
+            },
+        ],
+    )
+
+    assert single >= 10.0, f"compiled speedup {single:.1f}x below 10x target"
+    assert aggregate >= 50.0, f"aggregate speedup {aggregate:.1f}x below 50x target"

@@ -25,10 +25,17 @@ paper's central real-time argument (reproduced by :mod:`repro.cgra.timing`).
 from repro.cgra.ops import Op, OperatorLatencies
 from repro.cgra.dfg import DFGNode, DataflowGraph
 from repro.cgra.fabric import CgraFabric, CgraConfig
-from repro.cgra.sensor import SensorBus
+from repro.cgra.sensor import BatchSensorBus, SensorBus
 from repro.cgra.frontend import compile_c_to_dfg
 from repro.cgra.scheduler import ListScheduler, Schedule, ScheduledOp
 from repro.cgra.modulo import ModuloScheduler, ModuloSchedule
+from repro.cgra.engine import (
+    BatchedCgraExecutor,
+    CompiledProgram,
+    compile_program,
+    get_default_engine,
+    set_default_engine,
+)
 from repro.cgra.pipelined_executor import PipelinedExecutor
 from repro.cgra.reference import ReferenceInterpreter
 from repro.cgra.context import ContextImage, build_context_images
@@ -36,6 +43,7 @@ from repro.cgra.executor import CgraExecutor
 from repro.cgra.timing import ClockDomain, max_revolution_frequency
 from repro.cgra.models import (
     beam_model_source,
+    clear_cache,
     compile_beam_model,
     CompiledModel,
 )
@@ -58,12 +66,18 @@ __all__ = [
     "CgraFabric",
     "CgraConfig",
     "SensorBus",
+    "BatchSensorBus",
     "compile_c_to_dfg",
     "ListScheduler",
     "Schedule",
     "ScheduledOp",
     "ModuloScheduler",
     "ModuloSchedule",
+    "BatchedCgraExecutor",
+    "CompiledProgram",
+    "compile_program",
+    "get_default_engine",
+    "set_default_engine",
     "PipelinedExecutor",
     "ReferenceInterpreter",
     "ContextImage",
@@ -72,6 +86,7 @@ __all__ = [
     "ClockDomain",
     "max_revolution_frequency",
     "beam_model_source",
+    "clear_cache",
     "compile_beam_model",
     "CompiledModel",
     "Diagnostic",

@@ -1,0 +1,498 @@
+"""Compiled fast-path execution engine for verified schedules.
+
+The cycle-accurate interpreter (:class:`~repro.cgra.executor.CgraExecutor`)
+pays enum dispatch, dict register lookups and per-op ``float(f32(...))``
+boxing for every operation.  This module lowers a verified
+:class:`~repro.cgra.scheduler.Schedule` into a flat, pre-resolved
+program once per kernel:
+
+* operands are resolved to **dense register-array indices** at load time
+  (node ids are dense, so the register file is a plain Python list);
+* op dispatch disappears — the tick-ordered program is emitted as Python
+  source and ``compile()``-ed once, with every operand reference inlined
+  as a local variable;
+* sensor/actuator bindings are hoisted to function arguments;
+* per-op float32 rounding is preserved: each value is held as a
+  ``numpy.float32`` scalar, and binary64 operations on binary32 inputs
+  round identically to the interpreter's ``float(f32(f32(a) op f32(b)))``
+  (double rounding is exact for +,−,×,÷,√ because 53 ≥ 2·24 + 2).
+
+Two scalar variants are generated: ``step_fast`` stores only the PHI
+(loop-carried) registers back to the register file, ``step_traced``
+additionally stores every computed node.  Running ``n`` iterations as
+``(n−1)·fast + 1·traced`` leaves the register file in exactly the state
+the interpreter produces — non-PHI registers only ever hold the most
+recent iteration's values.
+
+Numeric faults are detected by running the compiled step under
+``numpy.errstate(over="raise", invalid="raise", divide="raise")``:
+the interpreter's per-op ``isfinite`` check can only fail when an
+operation signals overflow or invalid, so both engines fault on the
+same iteration.  Division by zero and sqrt of a negative keep their
+explicit guards (identical messages to the interpreter).
+
+**Batched lockstep execution** reuses the same codegen with ``[B]``-shaped
+NumPy array registers: one compiled program advances B independent
+scenarios per call (:class:`BatchedCgraExecutor` +
+:class:`~repro.cgra.sensor.BatchSensorBus`).  Elementwise float32 array
+arithmetic is bit-identical per lane to the scalar engine.
+"""
+
+from __future__ import annotations
+
+import weakref
+
+import numpy as np
+
+from repro.cgra.context import build_context_images
+from repro.cgra.dfg import DataflowGraph
+from repro.cgra.ops import Op
+from repro.cgra.scheduler import Schedule
+from repro.errors import ExecutionError
+from repro.obs import get_registry
+from repro.obs._state import STATE as _OBS
+
+__all__ = [
+    "CompiledProgram",
+    "compile_program",
+    "BatchedCgraExecutor",
+    "set_default_engine",
+    "get_default_engine",
+    "resolve_engine",
+    "clear_program_cache",
+]
+
+_PROGRAMS_COMPILED = get_registry().counter(
+    "cgra_engine_programs_compiled_total", "kernels lowered by the compiled engine"
+)
+_ENGINE_ITERATIONS = get_registry().counter(
+    "cgra_engine_iterations_total", "iterations executed, by engine"
+)
+_ITERS_PER_SECOND = get_registry().gauge(
+    "cgra_iterations_per_second", "most recent bulk-run iteration throughput"
+)
+
+_ENGINES = ("interpreted", "compiled")
+
+#: Session-wide default used when an executor is constructed with
+#: ``engine=None`` (the CLI's ``--engine`` flag sets this).
+_DEFAULT_ENGINE = "interpreted"
+
+
+def set_default_engine(name: str) -> None:
+    """Set the engine used when executors are built with ``engine=None``."""
+    global _DEFAULT_ENGINE
+    if name not in _ENGINES:
+        raise ExecutionError(f"engine must be one of {_ENGINES}, got {name!r}")
+    _DEFAULT_ENGINE = name
+
+
+def get_default_engine() -> str:
+    """The session-wide default engine."""
+    return _DEFAULT_ENGINE
+
+
+def resolve_engine(engine: str | None) -> str:
+    """Validate an ``engine=`` argument; ``None`` means the session default."""
+    if engine is None:
+        return _DEFAULT_ENGINE
+    if engine not in _ENGINES:
+        raise ExecutionError(f"engine must be one of {_ENGINES}, got {engine!r}")
+    return engine
+
+
+def _merged_entries(schedule: Schedule) -> list:
+    """All context-image entries merged into one tick-ordered program.
+
+    Same ordering as the interpreter: global tick order, ties broken by
+    node id (tied ops are independent on legal schedules).
+    """
+    entries = []
+    for image in build_context_images(schedule).values():
+        for e in image.sorted_entries():
+            entries.append((e.tick, Op(e.op), e.node_id, tuple(e.operands), e.io_id))
+    entries.sort(key=lambda e: (e[0], e[2]))
+    return entries
+
+
+class _CodeEmitter:
+    """Generates the Python source of one step function."""
+
+    def __init__(self, graph: DataflowGraph, entries: list, batched: bool) -> None:
+        self.graph = graph
+        self.entries = entries
+        self.batched = batched
+        self._loads: dict[int, str] = {}
+        self._computed: set[int] = set()
+
+    def _operand(self, node_id: int) -> str:
+        if node_id in self._computed:
+            return f"v{node_id}"
+        node = self.graph.node(node_id)
+        if not node.is_zero_time():
+            raise ExecutionError(
+                f"node {node_id} is consumed before it is computed — "
+                "schedule is illegal for the compiled engine"
+            )
+        self._loads.setdefault(node_id, f"z{node_id} = R[{node_id}]")
+        return f"z{node_id}"
+
+    def _emit_entry(self, body: list, tick: int, op: Op, nid: int,
+                    operands: tuple, io_id: int | None) -> None:
+        if op is Op.SENSOR_READ:
+            body.append(f"v{nid} = _ft(read({io_id}))")
+        elif op is Op.SENSOR_READ_ADDR:
+            body.append(f"v{nid} = _ft(read_addr({io_id}, {self._operand(operands[0])}))")
+        elif op is Op.ACTUATOR_WRITE:
+            body.append(f"write({io_id}, {self._operand(operands[0])})")
+        elif op is Op.FDIV:
+            a, b = (self._operand(o) for o in operands)
+            zero = f"_any({b} == 0.0)" if self.batched else f"{b} == 0.0"
+            body.append(f"if {zero}:")
+            body.append(f"    raise _EE('division by zero in node {nid}')")
+            body.append(f"v{nid} = {a} / {b}")
+        elif op is Op.FSQRT:
+            a = self._operand(operands[0])
+            neg = f"_any({a} < 0.0)" if self.batched else f"{a} < 0.0"
+            body.append(f"if {neg}:")
+            body.append(f"    raise _EE('sqrt of negative value in node {nid}')")
+            body.append(f"v{nid} = _sqrt({a})")
+        elif op in (Op.FADD, Op.FSUB, Op.FMUL):
+            sym = {Op.FADD: "+", Op.FSUB: "-", Op.FMUL: "*"}[op]
+            a, b = (self._operand(o) for o in operands)
+            body.append(f"v{nid} = {a} {sym} {b}")
+        elif op is Op.FNEG:
+            body.append(f"v{nid} = -{self._operand(operands[0])}")
+        elif op is Op.FMIN:
+            a, b = (self._operand(o) for o in operands)
+            if self.batched:
+                body.append(f"v{nid} = _minimum({a}, {b})")
+            else:
+                # min(a, b) returns a on ties — keep that argument order.
+                body.append(f"v{nid} = {b} if {b} < {a} else {a}")
+        elif op is Op.FMAX:
+            a, b = (self._operand(o) for o in operands)
+            if self.batched:
+                body.append(f"v{nid} = _maximum({a}, {b})")
+            else:
+                body.append(f"v{nid} = {b} if {a} < {b} else {a}")
+        elif op in (Op.CMP_LT, Op.CMP_LE):
+            sym = "<" if op is Op.CMP_LT else "<="
+            a, b = (self._operand(o) for o in operands)
+            if self.batched:
+                body.append(f"v{nid} = _where({a} {sym} {b}, _ONE, _ZERO)")
+            else:
+                body.append(f"v{nid} = _ONE if {a} {sym} {b} else _ZERO")
+        elif op is Op.SELECT:
+            c, a, b = (self._operand(o) for o in operands)
+            if self.batched:
+                body.append(f"v{nid} = _where({c} != 0.0, {a}, {b})")
+            else:
+                body.append(f"v{nid} = {a} if {c} != 0.0 else {b}")
+        else:
+            raise ExecutionError(f"op {op} cannot be compiled")
+        self._computed.add(nid)
+
+    def emit(self, traced: bool) -> str:
+        self._loads.clear()
+        self._computed.clear()
+        body: list[str] = []
+        for tick, op, nid, operands, io_id in self.entries:
+            self._emit_entry(body, tick, op, nid, operands, io_id)
+        stores: list[str] = []
+        if traced:
+            for _tick, op, nid, _operands, _io in self.entries:
+                if op is Op.ACTUATOR_WRITE:
+                    stores.append(f"R[{nid}] = _ZERO")
+                else:
+                    stores.append(f"R[{nid}] = v{nid}")
+        # PHI latch: sequential, in graph order, reading *live* register
+        # slots — a PHI whose back edge is another PHI must observe the
+        # value that PHI holds at this point in the latch sequence,
+        # exactly as the interpreter does.
+        latches: list[str] = []
+        for phi in self.graph.phis():
+            src = phi.back_edge
+            value = f"v{src}" if src in self._computed else f"R[{src}]"
+            latches.append(f"R[{phi.node_id}] = {value}")
+        lines = ["def step(R, read, read_addr, write):"]
+        for load in self._loads.values():
+            lines.append(f"    {load}")
+        for section in (body, stores, latches):
+            for line in section:
+                lines.append(f"    {line}")
+        if len(lines) == 1:
+            lines.append("    pass")
+        return "\n".join(lines) + "\n"
+
+
+class CompiledProgram:
+    """One schedule lowered to flat compiled step functions.
+
+    The program is stateless: the register file is a plain list (scalar
+    engine) or a list of ``[B]`` arrays (batched engine), owned by the
+    executor and passed into every step call.  Slot index == node id
+    (node ids are dense).
+    """
+
+    def __init__(self, schedule: Schedule, precision: str = "single") -> None:
+        if precision not in ("single", "double"):
+            raise ExecutionError(f"precision must be 'single' or 'double', got {precision!r}")
+        self.schedule = schedule
+        self.graph: DataflowGraph = schedule.graph
+        self.precision = precision
+        self.ftype = np.float32 if precision == "single" else np.float64
+        self.entries = _merged_entries(schedule)
+        self.n_slots = max(self.graph.nodes, default=-1) + 1
+        #: Static per-iteration tick of each actuator write (io_id → tick).
+        self.actuator_write_ticks: dict[int, int] = {
+            io_id: tick for tick, op, _nid, _ops, io_id in self.entries
+            if op is Op.ACTUATOR_WRITE
+        }
+        emitter = _CodeEmitter(self.graph, self.entries, batched=False)
+        self.source_fast = emitter.emit(traced=False)
+        self.source_traced = emitter.emit(traced=True)
+        self.step_fast = self._compile(self.source_fast, "fast", batched=False)
+        self.step_traced = self._compile(self.source_traced, "traced", batched=False)
+        self._step_batched = None
+        self.source_batched: str | None = None
+        if _OBS.enabled:
+            _PROGRAMS_COMPILED.inc(precision=precision)
+
+    def _compile(self, source: str, variant: str, batched: bool):
+        ns = {
+            "_ft": self.ftype,
+            "_sqrt": np.sqrt,
+            "_ZERO": self.ftype(0.0),
+            "_ONE": self.ftype(1.0),
+            "_EE": ExecutionError,
+            "_any": np.any,
+            "_where": np.where,
+            "_minimum": np.minimum,
+            "_maximum": np.maximum,
+        }
+        code = compile(source, f"<cgra-engine:{self.graph.name}:{variant}>", "exec")
+        exec(code, ns)
+        return ns["step"]
+
+    @property
+    def step_batched(self):
+        """The ``[B]``-array step function (compiled on first use)."""
+        if self._step_batched is None:
+            emitter = _CodeEmitter(self.graph, self.entries, batched=True)
+            self.source_batched = emitter.emit(traced=True)
+            self._step_batched = self._compile(self.source_batched, "batched", batched=True)
+        return self._step_batched
+
+    def initial_slots(self, params: dict[str, float]) -> list:
+        """Fresh register file with constants/params/PHI inits loaded."""
+        ft = self.ftype
+        slots: list = [None] * self.n_slots
+        for node in self.graph.nodes.values():
+            if node.op is Op.CONST:
+                slots[node.node_id] = ft(node.value)
+            elif node.op is Op.PARAM:
+                slots[node.node_id] = ft(params[node.name])
+            elif node.op is Op.PHI:
+                if node.init_param is not None:
+                    slots[node.node_id] = ft(params[node.init_param])
+                else:
+                    slots[node.node_id] = ft(node.init_value)
+        return slots
+
+
+#: id(schedule) → (weakref, {precision: CompiledProgram}).  Keyed by
+#: identity so repeated executors over a (cached) CompiledModel skip
+#: codegen entirely; the weakref guards against id reuse and cleans up
+#: when the schedule is collected.
+_PROGRAM_CACHE: dict[int, tuple] = {}
+
+
+def compile_program(schedule: Schedule, precision: str = "single") -> CompiledProgram:
+    """Lower ``schedule`` for ``precision``, memoised per schedule object."""
+    key = id(schedule)
+    cached = _PROGRAM_CACHE.get(key)
+    if cached is None or cached[0]() is not schedule:
+        ref = weakref.ref(schedule, lambda _r, k=key: _PROGRAM_CACHE.pop(k, None))
+        cached = (ref, {})
+        _PROGRAM_CACHE[key] = cached
+    programs = cached[1]
+    program = programs.get(precision)
+    if program is None:
+        program = CompiledProgram(schedule, precision)
+        programs[precision] = program
+    return program
+
+
+def clear_program_cache() -> None:
+    """Drop all memoised compiled programs."""
+    _PROGRAM_CACHE.clear()
+
+
+class BatchedCgraExecutor:
+    """Advances B independent scenarios in lockstep with one program.
+
+    The register file holds one ``[B]`` float array (or a scalar, for
+    values that are still lane-uniform) per node; every arithmetic op is
+    an elementwise NumPy operation, bit-identical per lane to the scalar
+    compiled engine.  IO goes through a
+    :class:`~repro.cgra.sensor.BatchSensorBus`, whose handlers produce
+    and consume ``[B]`` arrays.
+
+    Parameters are scalars (lane-uniform) or length-B arrays; the same
+    holds for :meth:`set_register`/:meth:`set_param`.  A numeric fault in
+    *any* lane faults the whole batch (lockstep semantics).
+    """
+
+    def __init__(
+        self,
+        schedule: Schedule,
+        bus,
+        params: dict | None = None,
+        precision: str = "single",
+        verify: bool = False,
+    ) -> None:
+        if verify:
+            from repro.cgra.verify import Severity, verify_schedule
+            from repro.errors import VerificationError
+
+            report = verify_schedule(schedule)
+            if not report.ok:
+                raise VerificationError(
+                    "schedule failed static verification:\n"
+                    + report.format(min_severity=Severity.WARNING)
+                )
+        self.schedule = schedule
+        self.graph = schedule.graph
+        self.bus = bus
+        self.batch = int(bus.batch)
+        self.precision = precision
+        self._program = compile_program(schedule, precision)
+        self._ftype = self._program.ftype
+        params = dict(params or {})
+        missing = [p for p in self.graph.params if p not in params]
+        if missing:
+            raise ExecutionError(f"missing parameter values: {missing}")
+        extra = [p for p in params if p not in self.graph.params]
+        if extra:
+            raise ExecutionError(f"unknown parameters: {extra}")
+        self._params = {k: self._lanes(v) for k, v in params.items()}
+        self._slots: list = [None] * self._program.n_slots
+        for node in self.graph.nodes.values():
+            if node.op is Op.CONST:
+                self._slots[node.node_id] = self._ftype(node.value)
+            elif node.op is Op.PARAM:
+                self._slots[node.node_id] = self._params[node.name]
+            elif node.op is Op.PHI:
+                if node.init_param is not None:
+                    self._slots[node.node_id] = self._params[node.init_param]
+                else:
+                    self._slots[node.node_id] = self._ftype(node.init_value)
+        self._param_nodes: dict[str, list[int]] = {}
+        self._phi_named: dict[str, int] = {}
+        self._named_order: dict[str, list[int]] = {}
+        for node in self.graph.nodes.values():
+            if node.op is Op.PARAM:
+                self._param_nodes.setdefault(node.name, []).append(node.node_id)
+            if node.op is Op.PHI and node.name:
+                self._phi_named.setdefault(node.name, node.node_id)
+            if node.name:
+                self._named_order.setdefault(node.name, []).append(node.node_id)
+        self.iterations = 0
+        self.actuator_write_ticks: dict[int, int] = {}
+
+    def _lanes(self, value):
+        """Scalar → lane-uniform np scalar; array → [B] array, rounded."""
+        arr = np.asarray(value, dtype=float)
+        if arr.ndim == 0:
+            return self._ftype(float(arr))
+        if arr.shape != (self.batch,):
+            raise ExecutionError(
+                f"per-lane value must be a scalar or shape ({self.batch},), "
+                f"got shape {arr.shape}"
+            )
+        return arr.astype(self._ftype)
+
+    @property
+    def schedule_length(self) -> int:
+        """Ticks per iteration (same schedule for every lane)."""
+        return self.schedule.length
+
+    def set_param(self, name: str, value) -> None:
+        """Update a live-in parameter between iterations (per-lane ok)."""
+        if name not in self.graph.params:
+            raise ExecutionError(f"unknown parameter {name!r}")
+        lanes = self._lanes(value)
+        self._params[name] = lanes
+        for nid in self._param_nodes.get(name, ()):
+            self._slots[nid] = lanes
+
+    def set_register(self, name: str, value) -> None:
+        """Set a loop-carried register by name (scalar or per-lane)."""
+        nid = self._phi_named.get(name)
+        if nid is None:
+            raise ExecutionError(f"no loop-carried register named {name!r}")
+        self._slots[nid] = self._lanes(value)
+
+    def register_of(self, name: str) -> np.ndarray:
+        """Current per-lane values of a named node, shape ``[B]`` float64."""
+        nid = self._phi_named.get(name)
+        if nid is None:
+            for candidate in self._named_order.get(name, ()):
+                if self._slots[candidate] is not None:
+                    nid = candidate
+                    break
+        if nid is None or self._slots[nid] is None:
+            raise ExecutionError(f"no node named {name!r} with a value")
+        value = np.asarray(self._slots[nid], dtype=float)
+        return np.broadcast_to(value, (self.batch,)).copy()
+
+    def lane_registers(self, lane: int) -> dict[int, float]:
+        """Register-file snapshot of one lane (comparable to the scalar
+        executor's ``registers`` dict)."""
+        if not 0 <= lane < self.batch:
+            raise ExecutionError(f"lane must be in [0, {self.batch}), got {lane}")
+        out: dict[int, float] = {}
+        for nid, value in enumerate(self._slots):
+            if value is None:
+                continue
+            arr = np.asarray(value, dtype=float)
+            out[nid] = float(arr) if arr.ndim == 0 else float(arr[lane])
+        return out
+
+    def run_iteration(self) -> None:
+        """Advance every lane by one iteration."""
+        self.run(1)
+
+    def run(self, n_iterations: int) -> None:
+        """Advance every lane by ``n_iterations`` in lockstep."""
+        if n_iterations < 0:
+            raise ExecutionError("n_iterations must be non-negative")
+        if n_iterations == 0:
+            return
+        step = self._program.step_batched
+        R = self._slots
+        read, read_addr, write = self.bus.read, self.bus.read_addr, self.bus.write
+        done = 0
+        import time as _time
+
+        t0 = _time.perf_counter()
+        try:
+            with np.errstate(over="raise", invalid="raise", divide="raise"):
+                for _ in range(n_iterations):
+                    step(R, read, read_addr, write)
+                    done += 1
+        except FloatingPointError as exc:
+            raise ExecutionError(
+                f"non-finite value produced in iteration {self.iterations + done} "
+                f"of the batched kernel: {exc}"
+            ) from exc
+        finally:
+            self.iterations += done
+            if done:
+                self.actuator_write_ticks = dict(self._program.actuator_write_ticks)
+            if _OBS.enabled and done:
+                elapsed = _time.perf_counter() - t0
+                _ENGINE_ITERATIONS.inc(done * self.batch, engine="batched")
+                if elapsed > 0.0:
+                    _ITERS_PER_SECOND.set(done * self.batch / elapsed, engine="batched")

@@ -62,8 +62,17 @@ from repro.cgra.sensor import (
 )
 from repro.cgra.timing import max_revolution_frequency
 from repro.errors import ConfigurationError
+from repro.obs import get_registry
+from repro.obs._state import STATE as _OBS
 
-__all__ = ["beam_model_source", "CompiledModel", "compile_beam_model"]
+__all__ = ["beam_model_source", "CompiledModel", "compile_beam_model", "clear_cache"]
+
+_CACHE_HITS = get_registry().counter(
+    "cgra_compile_cache_hits_total", "beam-model tool-flow runs served from the compile cache"
+)
+_CACHE_MISSES = get_registry().counter(
+    "cgra_compile_cache_misses_total", "beam-model tool-flow runs that ran the full pipeline"
+)
 
 #: Speed of light, spelled in the C source as a literal.
 _C0 = 299_792_458.0
@@ -173,10 +182,15 @@ class CompiledModel:
         }
 
 
+#: Keyed compile cache: (source text, fabric config) → CompiledModel.
+_MODEL_CACHE: dict[tuple[str, CgraConfig], CompiledModel] = {}
+
+
 def compile_beam_model(
     n_bunches: int = 8,
     pipelined: bool = True,
     config: CgraConfig | None = None,
+    use_cache: bool = True,
 ) -> CompiledModel:
     """Run the full tool flow for the beam model.
 
@@ -184,16 +198,30 @@ def compile_beam_model(
     the C implementation are available on the experimental setup in
     seconds"); its wall-clock duration is recorded in
     :attr:`CompiledModel.compile_seconds`.
+
+    Repeated calls with the same source and fabric config are served
+    from a process-wide cache (the returned :class:`CompiledModel` is
+    shared, with the original ``compile_seconds``).  Pass
+    ``use_cache=False`` to force a fresh pipeline run — experiments that
+    *measure* the tool-flow turnaround, or tests that mutate the
+    returned model, need an uncached instance.
     """
     config = config if config is not None else CgraConfig()
-    t0 = time.perf_counter()
     source = beam_model_source(n_bunches=n_bunches, pipelined=pipelined)
+    key = (source, config)
+    if use_cache:
+        cached = _MODEL_CACHE.get(key)
+        if cached is not None:
+            if _OBS.enabled:
+                _CACHE_HITS.inc()
+            return cached
+    t0 = time.perf_counter()
     graph = compile_c_to_dfg(source)
     fabric = CgraFabric(config)
     schedule = ListScheduler(fabric).schedule(graph)
     images = build_context_images(schedule)
     elapsed = time.perf_counter() - t0
-    return CompiledModel(
+    model = CompiledModel(
         source=source,
         n_bunches=n_bunches,
         pipelined=pipelined,
@@ -203,3 +231,16 @@ def compile_beam_model(
         config=config,
         compile_seconds=elapsed,
     )
+    if use_cache:
+        if _OBS.enabled:
+            _CACHE_MISSES.inc()
+        _MODEL_CACHE[key] = model
+    return model
+
+
+def clear_cache() -> None:
+    """Drop all cached compiled models and compiled engine programs."""
+    from repro.cgra.engine import clear_program_cache
+
+    _MODEL_CACHE.clear()
+    clear_program_cache()

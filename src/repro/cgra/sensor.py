@@ -19,10 +19,13 @@ from __future__ import annotations
 
 from typing import Callable
 
+import numpy as np
+
 from repro.errors import CgraError
 
 __all__ = [
     "SensorBus",
+    "BatchSensorBus",
     "SENSOR_PERIOD",
     "SENSOR_REF_BUFFER",
     "SENSOR_GAP_BUFFER",
@@ -99,3 +102,83 @@ class SensorBus:
             raise CgraError(f"no actuator registered for id {actuator_id}") from None
         self.write_counts[actuator_id] = self.write_counts.get(actuator_id, 0) + 1
         fn(float(value))
+
+
+class BatchSensorBus:
+    """Array-valued SensorAccess bus for the batched lockstep engine.
+
+    Same registration API as :class:`SensorBus`, but each *logical* IO
+    operation carries one value **per lane**: readers return a scalar
+    (lane-uniform) or a length-``batch`` array, addressed readers receive
+    a float64 ``[batch]`` address array, and writers receive a float64
+    ``[batch]`` value array.  ``read_counts``/``write_counts`` count
+    logical operations (one per op, not per lane), mirroring the scalar
+    bus statistics.
+    """
+
+    def __init__(self, batch: int) -> None:
+        if batch < 1:
+            raise CgraError(f"batch must be >= 1, got {batch}")
+        self.batch = int(batch)
+        self._readers: dict[int, Callable] = {}
+        self._addr_readers: dict[int, Callable] = {}
+        self._writers: dict[int, Callable] = {}
+        self.read_counts: dict[int, int] = {}
+        self.write_counts: dict[int, int] = {}
+
+    def register_reader(self, sensor_id: int, fn: Callable) -> None:
+        """Register an address-less sensor (returns scalar or [batch])."""
+        self._readers[int(sensor_id)] = fn
+
+    def register_addr_reader(self, sensor_id: int, fn: Callable) -> None:
+        """Register an addressed sensor (``[batch]`` addresses in)."""
+        self._addr_readers[int(sensor_id)] = fn
+
+    def register_writer(self, actuator_id: int, fn: Callable) -> None:
+        """Register an actuator (receives ``[batch]`` values)."""
+        self._writers[int(actuator_id)] = fn
+
+    def _broadcast(self, value) -> np.ndarray:
+        arr = np.asarray(value, dtype=float)
+        if arr.ndim == 0:
+            return np.broadcast_to(arr, (self.batch,))
+        if arr.shape != (self.batch,):
+            raise CgraError(
+                f"batched handler must return a scalar or shape ({self.batch},), "
+                f"got shape {arr.shape}"
+            )
+        return arr
+
+    def read(self, sensor_id: int) -> np.ndarray:
+        """Perform an address-less read; returns float64 ``[batch]``."""
+        try:
+            fn = self._readers[sensor_id]
+        except KeyError:
+            raise CgraError(f"no sensor registered for id {sensor_id}") from None
+        self.read_counts[sensor_id] = self.read_counts.get(sensor_id, 0) + 1
+        return self._broadcast(fn())
+
+    def read_addr(self, sensor_id: int, addr) -> np.ndarray:
+        """Perform an addressed read; returns float64 ``[batch]``.
+
+        The address is widened to float64 before the handler sees it,
+        matching the scalar bus's ``float(addr)`` conversion per lane.
+        """
+        try:
+            fn = self._addr_readers[sensor_id]
+        except KeyError:
+            raise CgraError(f"no addressed sensor registered for id {sensor_id}") from None
+        self.read_counts[sensor_id] = self.read_counts.get(sensor_id, 0) + 1
+        addresses = np.broadcast_to(
+            np.asarray(addr, dtype=float), (self.batch,)
+        )
+        return self._broadcast(fn(addresses))
+
+    def write(self, actuator_id: int, value) -> None:
+        """Perform an actuator write (float64 ``[batch]`` values)."""
+        try:
+            fn = self._writers[actuator_id]
+        except KeyError:
+            raise CgraError(f"no actuator registered for id {actuator_id}") from None
+        self.write_counts[actuator_id] = self.write_counts.get(actuator_id, 0) + 1
+        fn(self._broadcast(value))

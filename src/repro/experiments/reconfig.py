@@ -49,7 +49,11 @@ def reconfiguration_table(
     fpga_seconds = fpga.synthesis_seconds(design_kluts)
     rows: list[ReconfigRow] = []
     for n_bunches, pipelined in configurations:
-        model = compile_beam_model(n_bunches=n_bunches, pipelined=pipelined, config=config)
+        # use_cache=False: this experiment *measures* the tool-flow
+        # turnaround, so a cache hit would report a stale duration.
+        model = compile_beam_model(
+            n_bunches=n_bunches, pipelined=pipelined, config=config, use_cache=False
+        )
         rows.append(
             ReconfigRow(
                 n_bunches=n_bunches,

@@ -15,6 +15,7 @@ from repro.hil.realtime import DeadlineMonitor, JitterStats
 from repro.hil.softcore import ParameterInterface, DramRecorder
 from repro.hil.framework import FpgaFramework, FrameworkConfig
 from repro.hil.simulator import CavityInTheLoop, HilConfig, HilRunResult
+from repro.hil.batch import BatchedCavityInTheLoop, BatchHilConfig, BatchHilRunResult
 from repro.hil.closed_loop import (
     SampleAccurateBench,
     SampleAccurateBenchConfig,
@@ -34,6 +35,9 @@ __all__ = [
     "CavityInTheLoop",
     "HilConfig",
     "HilRunResult",
+    "BatchedCavityInTheLoop",
+    "BatchHilConfig",
+    "BatchHilRunResult",
     "SampleAccurateBench",
     "SampleAccurateBenchConfig",
     "SampleAccurateRun",

@@ -1,0 +1,389 @@
+"""Batched closed-loop bench: B independent scenarios in lockstep.
+
+One compiled CGRA program advances ``B`` independent closed-loop
+scenarios simultaneously (:class:`repro.cgra.BatchedCgraExecutor` with
+NumPy ``[B]`` array registers).  Every lane is a full Fig. 4 loop —
+analytic DDS sensors, optional ADC quantisation, DSP phase detector and
+the beam-phase control filter — but sensor reads, actuator writes and
+the control update happen once per revolution for the whole batch, so
+experiment sweeps (jump-amplitude scans, ablations, Monte-Carlo jitter
+studies) pay one engine iteration per revolution instead of ``B``.
+
+Per-lane semantics match :class:`repro.hil.simulator.CavityInTheLoop`
+with ``engine="cgra"``: the model math is bit-exact with the scalar
+compiled engine (the batch register file applies the same per-op
+float32/float64 rounding elementwise), while the analytic sensor
+handlers use NumPy transcendentals (``np.sin``) whose results may differ
+from ``math.sin`` by the platform libm's ULP — lane traces therefore
+agree with scalar runs to floating-point noise, not necessarily
+bit-for-bit (see docs/PERFORMANCE.md).
+
+The per-lane sweep variable is the phase-jump amplitude; ring, ion and
+RF calibration are lane-uniform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cgra.engine import BatchedCgraExecutor
+from repro.cgra.fabric import CgraConfig
+from repro.cgra.models import CompiledModel, compile_beam_model
+from repro.cgra.sensor import (
+    ACTUATOR_DELTA_T,
+    SENSOR_GAP_BUFFER,
+    SENSOR_PERIOD,
+    SENSOR_REF_BUFFER,
+    BatchSensorBus,
+)
+from repro.constants import TWO_PI, deg_to_rad
+from repro.control import ControlLoopConfig
+from repro.errors import ConfigurationError, HilError
+from repro.hil.realtime import DeadlineMonitor, JitterStats
+from repro.obs import get_registry, get_tracer, record_hil_run
+from repro.obs._state import STATE as _OBS
+from repro.physics.ion import IonSpecies
+from repro.physics.rf import RFSystem, voltage_for_synchrotron_frequency
+from repro.physics.ring import SynchrotronRing
+from repro.signal.adc import ADC
+from repro.signal.awg import PhaseJumpPattern
+from repro.signal.fir import PhaseControlFilter
+
+__all__ = ["BatchHilConfig", "BatchHilRunResult", "BatchedCavityInTheLoop"]
+
+_HIL_ITERATIONS = get_registry().counter(
+    "hil_iterations_total", "HIL model iterations run"
+)
+_LANE_ITERATIONS = get_registry().counter(
+    "hil_lane_iterations_total", "batched HIL lane-iterations run (iterations x lanes)"
+)
+
+
+@dataclass(frozen=True)
+class BatchHilConfig:
+    """Configuration of a batched cavity-in-the-loop run.
+
+    ``jump_deg`` holds one phase-jump amplitude per lane; its length is
+    the batch size B.
+    """
+
+    ring: SynchrotronRing
+    ion: IonSpecies
+    #: Per-lane phase-jump amplitudes in degrees; length = batch size.
+    jump_deg: tuple[float, ...]
+    harmonic: int = 4
+    revolution_frequency: float = 800e3
+    synchrotron_frequency: float = 1.28e3
+    jump_toggle_period: float = 0.05
+    jump_start_time: float = 0.005
+    control: ControlLoopConfig | None = None
+    n_bunches: int = 1
+    precision: str = "single"
+    pipelined: bool = True
+    cgra_config: CgraConfig = field(default_factory=CgraConfig)
+    quantize_adc: bool = True
+    adc_amplitude: float = 0.9
+    record_every: int = 1
+    #: Per-lane initial arrival offset (seconds), applied to every bunch
+    #: of that lane; None = all lanes start on their zero crossings.
+    initial_delta_t: tuple[float, ...] | None = None
+    control_source: str = "bunch0"
+
+    def __post_init__(self) -> None:
+        if len(self.jump_deg) < 1:
+            raise ConfigurationError("jump_deg needs at least one lane")
+        if self.harmonic < 1:
+            raise ConfigurationError("harmonic must be >= 1")
+        if self.n_bunches < 1 or self.n_bunches > self.harmonic:
+            raise ConfigurationError("n_bunches must be in [1, harmonic]")
+        if self.revolution_frequency <= 0:
+            raise ConfigurationError("revolution_frequency must be positive")
+        if self.synchrotron_frequency <= 0:
+            raise ConfigurationError("synchrotron_frequency must be positive")
+        if not 0 < self.adc_amplitude <= 1.0:
+            raise ConfigurationError("adc_amplitude must be in (0, 1] volts")
+        if self.record_every < 1:
+            raise ConfigurationError("record_every must be >= 1")
+        if self.jump_toggle_period <= 0:
+            raise ConfigurationError("jump_toggle_period must be positive")
+        if self.initial_delta_t is not None and len(self.initial_delta_t) != len(self.jump_deg):
+            raise ConfigurationError(
+                f"initial_delta_t needs {len(self.jump_deg)} entries, "
+                f"got {len(self.initial_delta_t)}"
+            )
+        if self.control_source not in ("bunch0", "mean"):
+            raise ConfigurationError(
+                f"control_source must be 'bunch0' or 'mean', got {self.control_source!r}"
+            )
+
+    @property
+    def batch(self) -> int:
+        """Number of lanes."""
+        return len(self.jump_deg)
+
+
+@dataclass
+class BatchHilRunResult:
+    """Recorded traces of one batched run (decimated by ``record_every``).
+
+    Per-record arrays carry one column per lane.
+    """
+
+    #: Machine time of each record, seconds — shape (n_records,).
+    time: np.ndarray
+    #: DSP phase difference per lane, degrees at h·f_R — (n_records, B).
+    phase_deg: np.ndarray
+    #: Control correction per lane, degrees — (n_records, B).
+    correction_deg: np.ndarray
+    #: Commanded jump drive per lane, degrees — (n_records, B).
+    jump_deg: np.ndarray
+    #: Arrival-time offset of bunch 0 per lane, seconds — (n_records, B).
+    delta_t: np.ndarray
+    #: All bunches — (n_records, B, n_bunches).
+    delta_t_all: np.ndarray
+    #: Reference Lorentz factor per lane — (n_records, B).
+    gamma_ref: np.ndarray
+    #: Real-time slack statistics of the run.
+    deadline: JitterStats
+    schedule_length: int
+    batch: int
+
+
+class _VectorControlLoop:
+    """Array-valued mirror of :class:`repro.control.BeamPhaseControlLoop`.
+
+    Runs B independent control filters in lockstep: identical recurrence,
+    decimation, enable and saturation semantics, with ``saturation_count``
+    totalled across lanes.
+    """
+
+    def __init__(self, config: ControlLoopConfig, batch: int) -> None:
+        self.config = config
+        # Reuse the scalar filter's normalisation math (r, g·C).
+        template = PhaseControlFilter(
+            f_pass=config.f_pass,
+            gain=config.gain * config.gain_scale,
+            recursion_factor=config.recursion_factor,
+            sample_rate=config.sample_rate / config.update_divider,
+        )
+        self._r = template.recursion_factor
+        self._gc = template.gain * template._c
+        self._x_prev = np.zeros(batch)
+        self._y_prev = np.zeros(batch)
+        self._tick = 0
+        self._last_output = np.zeros(batch)
+        self.saturation_count = 0
+
+    @property
+    def last_output_deg(self) -> np.ndarray:
+        """Most recent per-lane correction, degrees — shape (B,)."""
+        return self._last_output
+
+    def update(self, measured_phase_deg: np.ndarray) -> np.ndarray:
+        """Feed one phase measurement per lane; returns the corrections."""
+        if not self.config.enabled:
+            self._last_output = np.zeros_like(self._last_output)
+            return self._last_output
+        run_now = (self._tick % self.config.update_divider) == 0
+        self._tick += 1
+        if not run_now:
+            return self._last_output
+        x = np.asarray(measured_phase_deg, dtype=float)
+        u = self._r * self._y_prev + self._gc * (x - self._x_prev)
+        self._x_prev = x.copy()
+        self._y_prev = u.copy()
+        limit = self.config.saturation_deg
+        if limit is not None:
+            saturated = int(np.count_nonzero(np.abs(u) > limit))
+            if saturated:
+                self.saturation_count += saturated
+                u = np.clip(u, -limit, limit)
+        self._last_output = u
+        return u
+
+
+class BatchedCavityInTheLoop:
+    """The Fig. 4 closed loop, B lanes per revolution."""
+
+    def __init__(self, config: BatchHilConfig) -> None:
+        self.config = config
+        self.batch = config.batch
+        ring, ion = config.ring, config.ion
+        self.f_rev = config.revolution_frequency
+        self.gamma0 = ring.gamma_from_revolution_frequency(self.f_rev)
+        probe = RFSystem(harmonic=config.harmonic, voltage=1.0)
+        self.gap_voltage_amplitude = voltage_for_synchrotron_frequency(
+            ring, ion, probe, self.gamma0, config.synchrotron_frequency
+        )
+        self.rf = probe.with_voltage(self.gap_voltage_amplitude)
+        self._jump_unit = PhaseJumpPattern(
+            jump_deg=1.0,
+            toggle_period=config.jump_toggle_period,
+            start_time=config.jump_start_time,
+        )
+        self._jump_amps = np.asarray(config.jump_deg, dtype=float)
+        control_cfg = config.control or ControlLoopConfig(sample_rate=self.f_rev)
+        if abs(control_cfg.sample_rate - self.f_rev) > 1e-6 * self.f_rev:
+            raise ConfigurationError(
+                "control sample_rate must equal the revolution frequency "
+                f"({self.f_rev}), got {control_cfg.sample_rate}"
+            )
+        self.control = _VectorControlLoop(control_cfg, self.batch)
+
+        self.gap_scale = self.gap_voltage_amplitude / config.adc_amplitude
+        self.ref_scale = config.harmonic * self.gap_voltage_amplitude / config.adc_amplitude
+        self._adc = ADC(bits=14, vpp=2.0, sample_rate=250e6)
+
+        self.model: CompiledModel = compile_beam_model(
+            n_bunches=config.n_bunches,
+            pipelined=config.pipelined,
+            config=config.cgra_config,
+        )
+        self.deadline = DeadlineMonitor(
+            self.model.schedule_length,
+            cgra_clock_hz=config.cgra_config.clock_mhz * 1e6,
+        )
+
+        self._gap_phase_rad = np.zeros(self.batch)
+        self._time = 0.0
+        self._turn = 0
+        self._delta_t = np.zeros((self.batch, config.n_bunches))
+        self._executor = self._build_executor()
+        if config.initial_delta_t is not None:
+            initial = np.asarray(config.initial_delta_t, dtype=float)
+            for i in range(config.n_bunches):
+                self._executor.set_register(f"dt[{i}]", initial)
+            self._delta_t[:] = initial[:, None]
+
+    # -- engine plumbing -------------------------------------------------
+
+    def _maybe_quantize(self, adc_volts: np.ndarray) -> np.ndarray:
+        if not self.config.quantize_adc:
+            return adc_volts
+        return self._adc.quantize(adc_volts)
+
+    def _ref_adc_voltage(self, addr_samples: np.ndarray) -> np.ndarray:
+        """Reference-buffer read: undisturbed sine at f_R, ADC volts."""
+        t = addr_samples / 250e6
+        v = self.config.adc_amplitude * np.sin(TWO_PI * self.f_rev * t)
+        return self._maybe_quantize(v)
+
+    def _gap_adc_voltage(self, addr_samples: np.ndarray) -> np.ndarray:
+        """Gap-buffer read: harmonic signal with the commanded phase."""
+        t = addr_samples / 250e6
+        base = TWO_PI * self.config.harmonic * self.f_rev * t + self._gap_phase_rad
+        v = self.config.adc_amplitude * np.sin(base)
+        return self._maybe_quantize(v)
+
+    def _build_executor(self) -> BatchedCgraExecutor:
+        bus = BatchSensorBus(self.batch)
+        t_rev = 1.0 / self.f_rev
+        bus.register_reader(SENSOR_PERIOD, lambda: t_rev)
+        bus.register_addr_reader(SENSOR_REF_BUFFER, self._ref_adc_voltage)
+        bus.register_addr_reader(SENSOR_GAP_BUFFER, self._gap_adc_voltage)
+        for i in range(self.config.n_bunches):
+            def writer(value: np.ndarray, i: int = i) -> None:
+                self._delta_t[:, i] = value
+            bus.register_writer(ACTUATOR_DELTA_T + i, writer)
+        params = self.model.default_params(
+            gamma_r0=self.gamma0,
+            q_over_mc2=self.config.ion.gamma_gain_per_volt(),
+            orbit_length=self.config.ring.circumference,
+            alpha_c=self.config.ring.alpha_c,
+            v_scale=self.gap_scale,
+            v_scale_ref=self.ref_scale,
+            f_sample=250e6,
+            harmonic=self.config.harmonic,
+        )
+        return BatchedCgraExecutor(
+            self.model.schedule, bus, params, precision=self.config.precision
+        )
+
+    # -- the loop ---------------------------------------------------------
+
+    def measured_phase_deg(self) -> np.ndarray:
+        """DSP phase detector reading per lane (degrees at h·f_R)."""
+        if self.config.control_source == "mean":
+            dt = self._delta_t.mean(axis=1)
+        else:
+            dt = self._delta_t[:, 0]
+        return -360.0 * self.config.harmonic * self.f_rev * dt
+
+    def step_revolution(self) -> None:
+        """Advance all lanes by one revolution."""
+        jump_rad = float(self._jump_unit.phase_rad_at(self._time)) * self._jump_amps
+        self._gap_phase_rad = jump_rad + deg_to_rad(self.control.last_output_deg)
+        self._executor.run_iteration()
+        self.control.update(self.measured_phase_deg())
+        self._turn += 1
+        self._time += 1.0 / self.f_rev
+
+    def run(self, duration: float) -> BatchHilRunResult:
+        """Run all lanes for ``duration`` seconds of machine time."""
+        if duration <= 0:
+            raise HilError("duration must be positive")
+        n_turns = int(round(duration * self.f_rev))
+        rec_every = self.config.record_every
+        n_rec = n_turns // rec_every + 1
+        B = self.batch
+        time = np.empty(n_rec)
+        phase = np.empty((n_rec, B))
+        corr = np.empty((n_rec, B))
+        jump = np.empty((n_rec, B))
+        dts = np.empty((n_rec, B))
+        dts_all = np.empty((n_rec, B, self.config.n_bunches))
+        gam = np.empty((n_rec, B))
+        idx = 0
+
+        def record() -> None:
+            nonlocal idx
+            time[idx] = self._time
+            phase[idx] = self.measured_phase_deg()
+            corr[idx] = self.control.last_output_deg
+            jump[idx] = float(self._jump_unit.phase_deg_at(self._time)) * self._jump_amps
+            dts[idx] = self._delta_t[:, 0]
+            dts_all[idx] = self._delta_t
+            gam[idx] = self._executor.register_of("gamma_r")
+            idx += 1
+
+        record()
+        t_rev = 1.0 / self.f_rev
+        with get_tracer().span(
+            "hil.run_batched",
+            batch=B,
+            duration_s=duration,
+            n_turns=n_turns,
+        ):
+            for n in range(n_turns):
+                self.deadline.check_revolution(t_rev)
+                self.step_revolution()
+                if (n + 1) % rec_every == 0:
+                    record()
+        stats = self.deadline.stats(allow_empty=True)
+        if _OBS.enabled:
+            _HIL_ITERATIONS.inc(n_turns, engine="batched")
+            _LANE_ITERATIONS.inc(n_turns * B)
+            record_hil_run(
+                name="batched_cavity_in_the_loop",
+                stats=stats,
+                schedule_length=self.model.schedule_length,
+                engine="batched",
+                duration_s=duration,
+                f_rev_hz=self.f_rev,
+                batch=B,
+                control_saturations=self.control.saturation_count,
+            )
+        return BatchHilRunResult(
+            time=time[:idx],
+            phase_deg=phase[:idx],
+            correction_deg=corr[:idx],
+            jump_deg=jump[:idx],
+            delta_t=dts[:idx],
+            delta_t_all=dts_all[:idx],
+            gamma_ref=gam[:idx],
+            deadline=stats,
+            schedule_length=self.model.schedule_length,
+            batch=B,
+        )

@@ -58,6 +58,9 @@ class SampleAccurateBenchConfig:
     sample_rate: float = 250e6
     control: ControlLoopConfig | None = None
     n_bunches: int = 1
+    #: CGRA execution engine forwarded to the framework: ``"interpreted"``,
+    #: ``"compiled"``, or None for the session default.
+    engine: str | None = None
     #: IQ integration window in revolutions (longer = less noise, more lag).
     detector_window_revolutions: int = 2
 
@@ -66,6 +69,10 @@ class SampleAccurateBenchConfig:
             raise ConfigurationError("detector window must be >= 1 revolution")
         if self.harmonic < 1:
             raise ConfigurationError("harmonic must be >= 1")
+        if self.engine not in (None, "interpreted", "compiled"):
+            raise ConfigurationError(
+                f"engine must be None, 'interpreted' or 'compiled', got {self.engine!r}"
+            )
 
 
 @dataclass
@@ -101,6 +108,7 @@ class SampleAccurateBench:
             ),
             n_bunches=config.n_bunches,
             sample_rate=config.sample_rate,
+            engine=config.engine,
         ))
         self.jump = PhaseJumpPattern(
             jump_deg=config.jump_deg,

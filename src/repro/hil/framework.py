@@ -94,6 +94,9 @@ class FrameworkConfig:
     n_bunches: int = 1
     pipelined: bool = True
     precision: str = "single"
+    #: CGRA execution engine: ``"interpreted"``, ``"compiled"``, or None
+    #: for the session default.  Both are bit-exact.
+    engine: str | None = None
     cgra_config: CgraConfig = field(default_factory=CgraConfig)
     #: Beam pickup pulse sigma in seconds.
     pulse_sigma: float = 25e-9
@@ -109,6 +112,10 @@ class FrameworkConfig:
             )
         if self.gap_volts_per_adc_volt <= 0 or self.ref_volts_per_adc_volt <= 0:
             raise ConfigurationError("voltage scales must be positive")
+        if self.engine not in (None, "interpreted", "compiled"):
+            raise ConfigurationError(
+                f"engine must be None, 'interpreted' or 'compiled', got {self.engine!r}"
+            )
 
 
 class FpgaFramework:
@@ -230,7 +237,7 @@ class FpgaFramework:
             harmonic=cfg.harmonic,
         )
         self._executor = CgraExecutor(
-            self.model.schedule, self._bus, params, precision=cfg.precision
+            self.model.schedule, self._bus, params, precision=cfg.precision, engine=cfg.engine
         )
 
     def feed(self, ref_samples: np.ndarray, gap_samples: np.ndarray) -> tuple[Waveform, Waveform]:

@@ -88,6 +88,10 @@ class HilConfig:
     control: ControlLoopConfig | None = None
     n_bunches: int = 1
     engine: str = "python"
+    #: CGRA execution engine when ``engine="cgra"``: ``"interpreted"``,
+    #: ``"compiled"``, or None for the session default
+    #: (:func:`repro.cgra.set_default_engine`).  Both are bit-exact.
+    cgra_engine: str | None = None
     precision: str = "single"
     pipelined: bool = True
     cgra_config: CgraConfig = field(default_factory=CgraConfig)
@@ -115,6 +119,11 @@ class HilConfig:
     def __post_init__(self) -> None:
         if self.engine not in ("python", "cgra"):
             raise ConfigurationError(f"engine must be 'python' or 'cgra', got {self.engine!r}")
+        if self.cgra_engine not in (None, "interpreted", "compiled"):
+            raise ConfigurationError(
+                "cgra_engine must be None, 'interpreted' or 'compiled', "
+                f"got {self.cgra_engine!r}"
+            )
         if self.harmonic < 1:
             raise ConfigurationError("harmonic must be >= 1")
         if self.n_bunches < 1 or self.n_bunches > self.harmonic:
@@ -227,11 +236,6 @@ class CavityInTheLoop:
             1.0 - 2.0 * self._dh_ratio
         ) / config.adc_amplitude
         self._adc = ADC(bits=14, vpp=2.0, sample_rate=250e6)
-        # Scalar fast path of ADC.quantize (the per-revolution loop calls
-        # this twice per turn; the NumPy round trip dominates otherwise).
-        self._adc_lsb = self._adc.lsb
-        self._adc_code_min = self._adc.code_min
-        self._adc_code_max = self._adc.code_max
 
         self.model: CompiledModel = compile_beam_model(
             n_bunches=config.n_bunches,
@@ -274,12 +278,7 @@ class CavityInTheLoop:
     def _maybe_quantize(self, adc_volts: float) -> float:
         if not self.config.quantize_adc:
             return adc_volts
-        code = round(adc_volts / self._adc_lsb)
-        if code < self._adc_code_min:
-            code = self._adc_code_min
-        elif code > self._adc_code_max:
-            code = self._adc_code_max
-        return code * self._adc_lsb
+        return self._adc.quantize_scalar(adc_volts)
 
     def _ref_adc_voltage(self, addr_samples: float) -> float:
         """Reference-buffer read: undisturbed sine at f_R, ADC volts."""
@@ -319,7 +318,13 @@ class CavityInTheLoop:
             f_sample=250e6,
             harmonic=self.config.harmonic,
         )
-        return CgraExecutor(self.model.schedule, bus, params, precision=self.config.precision)
+        return CgraExecutor(
+            self.model.schedule,
+            bus,
+            params,
+            precision=self.config.precision,
+            engine=self.config.cgra_engine,
+        )
 
     def _python_step(self) -> None:
         """One revolution of the model equations, mirroring the C model.

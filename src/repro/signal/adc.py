@@ -121,6 +121,29 @@ class ADC:
         input of the HIL bench."""
         return self.codes_to_volts(self.convert(volts))
 
+    def convert_scalar(self, volts: float) -> int:
+        """Scalar fast path of :meth:`convert` — identical transfer
+        function without the ndarray round-trip (Python ``round`` and
+        ``np.round`` are both round-half-even)."""
+        v = float(volts)
+        if self.noise_rms > 0.0:
+            v += self._rng.normal(0.0, self.noise_rms)
+        code = round(v / self.lsb)
+        lo, hi = self.code_min, self.code_max
+        if _OBS.enabled:
+            _SAMPLES.inc()
+            if code < lo or code > hi:
+                _CLIPS.inc()
+        if code < lo:
+            return lo
+        if code > hi:
+            return hi
+        return code
+
+    def quantize_scalar(self, volts: float) -> float:
+        """Scalar fast path of :meth:`quantize` (identical transfer)."""
+        return self.convert_scalar(volts) * self.lsb
+
     def sample_waveform(self, waveform: Waveform) -> Waveform:
         """Quantise an already-sampled waveform at this ADC's resolution.
 

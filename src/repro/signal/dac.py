@@ -96,6 +96,25 @@ class DAC:
         """Requested voltages → actual analogue output voltages."""
         return self.volts_to_codes(volts) * self.lsb
 
+    def volts_to_codes_scalar(self, volts: float) -> int:
+        """Scalar fast path of :meth:`volts_to_codes` (identical
+        transfer: ``round`` and ``np.round`` are both half-even)."""
+        code = round(float(volts) * self.scale / self.lsb)
+        lo, hi = self.code_min, self.code_max
+        if _OBS.enabled:
+            _SAMPLES.inc()
+            if code < lo or code > hi:
+                _CLIPS.inc()
+        if code < lo:
+            return lo
+        if code > hi:
+            return hi
+        return code
+
+    def convert_scalar(self, volts: float) -> float:
+        """Scalar fast path of :meth:`convert` (identical transfer)."""
+        return self.volts_to_codes_scalar(volts) * self.lsb
+
     def render_waveform(self, volts: np.ndarray, t0: float = 0.0) -> Waveform:
         """Produce the analogue output waveform for a code-rate sample block."""
         return Waveform(self.convert(volts), self.sample_rate, t0)

@@ -60,31 +60,49 @@ class ZeroCrossingDetector:
         full = s if prev is None else np.concatenate(([prev], s))
         # offset of full[i] in global indices:
         base = self._consumed - (0 if prev is None else 1)
-        crossings: list[float] = []
+        below = full[:-1]
+        above = full[1:]
+        cand = np.nonzero((below < 0.0) & (above >= 0.0))[0]
         if self.hysteresis == 0.0:
-            below = full[:-1]
-            above = full[1:]
-            cand = np.nonzero((below < 0.0) & (above >= 0.0))[0]
-            for i in cand:
-                a, b = full[i], full[i + 1]
-                frac = -a / (b - a) if b != a else 0.0
-                crossings.append(base + i + frac)
+            fired = cand
         else:
+            # Arming events are where the signal dips below -hysteresis;
+            # a candidate fires if an arming event at index <= candidate
+            # has not been consumed by an earlier firing (an arm at the
+            # candidate's own index counts: the sequential detector arms
+            # before it checks for the crossing).  Only the candidates
+            # are walked in Python — arming is resolved with a single
+            # searchsorted over the whole block.
+            arm_idx = np.nonzero(below < -self.hysteresis)[0]
+            arms_upto = np.searchsorted(arm_idx, cand, side="right")
             armed = self._armed
-            for i in range(len(full) - 1):
-                a, b = full[i], full[i + 1]
-                if a < -self.hysteresis:
-                    armed = True
-                if armed and a < 0.0 <= b:
-                    frac = -a / (b - a) if b != a else 0.0
-                    crossings.append(base + i + frac)
+            consumed = 0
+            last_fire = -1
+            fired_list: list[int] = []
+            for i, ac in zip(cand.tolist(), arms_upto.tolist()):
+                if armed or ac > consumed:
+                    fired_list.append(i)
                     armed = False
+                    consumed = ac
+                    last_fire = i
+            if arm_idx.size and arm_idx[-1] > last_fire:
+                armed = True
             self._armed = armed
+            fired = np.asarray(fired_list, dtype=np.intp)
+        if fired.size:
+            a = full[fired]
+            b = full[fired + 1]
+            d = b - a
+            with np.errstate(divide="ignore", invalid="ignore"):
+                frac = np.where(d != 0.0, -a / d, 0.0)
+            crossings = (base + fired) + frac
+        else:
+            crossings = np.empty(0)
         self._last_sample = float(s[-1])
         self._consumed += s.size
-        if crossings:
-            self.last_crossing = crossings[-1]
-        return np.asarray(crossings, dtype=float)
+        if crossings.size:
+            self.last_crossing = float(crossings[-1])
+        return crossings
 
     @property
     def samples_consumed(self) -> int:

@@ -1,0 +1,60 @@
+"""The keyed compile cache in repro.cgra.models.
+
+Repeated ``compile_beam_model`` calls with the same source and fabric
+must not rerun the frontend/scheduler pipeline: the cache key is
+(source text, fabric config) and hits share one ``CompiledModel``.
+``clear_cache()`` empties it (and the per-schedule program cache) for
+isolation-sensitive callers.
+"""
+
+from __future__ import annotations
+
+from repro import obs
+from repro.cgra import clear_cache, compile_beam_model
+from repro.cgra.fabric import CgraConfig
+
+
+class TestCompileCache:
+    def setup_method(self):
+        clear_cache()
+
+    def teardown_method(self):
+        clear_cache()
+
+    def test_hit_returns_shared_model(self):
+        a = compile_beam_model(n_bunches=2, pipelined=True)
+        b = compile_beam_model(n_bunches=2, pipelined=True)
+        assert a is b
+
+    def test_distinct_keys_miss(self):
+        a = compile_beam_model(n_bunches=1)
+        b = compile_beam_model(n_bunches=2)
+        c = compile_beam_model(n_bunches=1, pipelined=False)
+        d = compile_beam_model(n_bunches=1, config=CgraConfig(rows=6, cols=6))
+        assert len({id(a), id(b), id(c), id(d)}) == 4
+
+    def test_clear_cache_forces_recompile(self):
+        a = compile_beam_model(n_bunches=1)
+        clear_cache()
+        b = compile_beam_model(n_bunches=1)
+        assert a is not b
+
+    def test_use_cache_false_bypasses(self):
+        a = compile_beam_model(n_bunches=1)
+        b = compile_beam_model(n_bunches=1, use_cache=False)
+        assert a is not b
+        # and the bypass does not poison the cache
+        assert compile_beam_model(n_bunches=1) is a
+
+    def test_obs_counters(self):
+        obs.enable()
+        obs.reset()
+        try:
+            compile_beam_model(n_bunches=2)
+            compile_beam_model(n_bunches=2)
+            compile_beam_model(n_bunches=2)
+            registry = obs.get_registry()
+            assert registry.get("cgra_compile_cache_misses_total").value() == 1
+            assert registry.get("cgra_compile_cache_hits_total").value() == 2
+        finally:
+            obs.disable()

@@ -48,7 +48,9 @@ class TestCapacityAccounting:
         assert tight.max_context_depth() <= 2
 
     def test_validate_catches_corruption(self):
-        model = compile_beam_model(n_bunches=1)
+        # use_cache=False: this test corrupts the model's fabric config
+        # in place, which must not leak into the shared compile cache.
+        model = compile_beam_model(n_bunches=1, use_cache=False)
         # Shrink the limit after the fact: validation must notice.
         object.__setattr__(model.schedule.fabric.config, "context_slots", 1)
         with pytest.raises(ScheduleError):

@@ -1,0 +1,325 @@
+"""Parity tests for the compiled execution engine (repro.cgra.engine).
+
+The compiled engine lowers a verified schedule into a flat pre-resolved
+Python program.  Its contract is **bit-exactness**: for every kernel,
+precision and executor, the register trace, actuator writes and fault
+behaviour must be identical — not approximately, to the last ULP — to
+the cycle-accurate interpreter.  These tests compare the two engines
+iteration by iteration on every built-in beam model, on the batched
+lockstep executor, and on the pipelined (modulo-scheduled) executor.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.cgra import (
+    BatchSensorBus,
+    BatchedCgraExecutor,
+    CgraExecutor,
+    PipelinedExecutor,
+    SensorBus,
+    compile_beam_model,
+    get_default_engine,
+    set_default_engine,
+)
+from repro.cgra.engine import compile_program, resolve_engine
+from repro.cgra.fabric import CgraConfig, CgraFabric
+from repro.cgra.frontend import compile_c_to_dfg
+from repro.cgra.modulo import ModuloScheduler
+from repro.cgra.scheduler import ListScheduler
+from repro.cgra.sensor import (
+    ACTUATOR_DELTA_T,
+    SENSOR_GAP_BUFFER,
+    SENSOR_PERIOD,
+    SENSOR_REF_BUFFER,
+)
+from repro.errors import ExecutionError
+from repro.physics import KNOWN_IONS, SIS18
+
+
+@pytest.fixture(autouse=True)
+def _restore_default_engine():
+    saved = get_default_engine()
+    yield
+    set_default_engine(saved)
+
+
+def _beam_params(model):
+    gamma0 = SIS18.gamma_from_revolution_frequency(800e3)
+    return model.default_params(
+        gamma_r0=gamma0,
+        q_over_mc2=KNOWN_IONS["14N7+"].gamma_gain_per_volt(),
+        orbit_length=SIS18.circumference,
+        alpha_c=SIS18.alpha_c,
+        v_scale=4862.0,
+        v_scale_ref=4 * 4862.0,
+        f_sample=250e6,
+        harmonic=4,
+    )
+
+
+def _scalar_bus(n_bunches):
+    bus = SensorBus()
+    bus.register_reader(SENSOR_PERIOD, lambda: 1.25e-6)
+    bus.register_addr_reader(
+        SENSOR_REF_BUFFER, lambda a: math.sin(2 * math.pi * 800e3 * a / 250e6)
+    )
+    bus.register_addr_reader(
+        SENSOR_GAP_BUFFER,
+        lambda a: math.sin(2 * math.pi * 3.2e6 * a / 250e6 + 0.14),
+    )
+    outs: list[float] = []
+    for i in range(n_bunches):
+        bus.register_writer(ACTUATOR_DELTA_T + i, outs.append)
+    return bus, outs
+
+
+class TestSequentialParity:
+    """Interpreted vs compiled on the sequential executor."""
+
+    @pytest.mark.parametrize("n_bunches", [1, 2, 4])
+    @pytest.mark.parametrize("precision", ["single", "double"])
+    def test_beam_model_bit_exact(self, n_bunches, precision):
+        model = compile_beam_model(n_bunches=n_bunches, pipelined=True)
+        params = _beam_params(model)
+        bus_i, outs_i = _scalar_bus(n_bunches)
+        bus_c, outs_c = _scalar_bus(n_bunches)
+        ex_i = CgraExecutor(model.schedule, bus_i, params,
+                            precision=precision, engine="interpreted")
+        ex_c = CgraExecutor(model.schedule, bus_c, params,
+                            precision=precision, engine="compiled")
+        for _ in range(40):
+            ex_i.run_iteration()
+            ex_c.run_iteration()
+            # Full register file, exact float equality every iteration.
+            assert ex_c.registers == ex_i.registers
+        assert outs_c == outs_i
+        assert ex_c.iterations == ex_i.iterations == 40
+        assert ex_c.actuator_write_ticks == ex_i.actuator_write_ticks
+
+    def test_unpipelined_model(self):
+        model = compile_beam_model(n_bunches=1, pipelined=False)
+        params = _beam_params(model)
+        bus_i, outs_i = _scalar_bus(1)
+        bus_c, outs_c = _scalar_bus(1)
+        CgraExecutor(model.schedule, bus_i, params, engine="interpreted").run(30)
+        CgraExecutor(model.schedule, bus_c, params, engine="compiled").run(30)
+        assert outs_c == outs_i
+
+    def test_host_interface_matches(self):
+        """set_param / set_register / register_of behave identically."""
+        model = compile_beam_model(n_bunches=1)
+        params = _beam_params(model)
+        bus_i, _ = _scalar_bus(1)
+        bus_c, _ = _scalar_bus(1)
+        ex_i = CgraExecutor(model.schedule, bus_i, params, engine="interpreted")
+        ex_c = CgraExecutor(model.schedule, bus_c, params, engine="compiled")
+        for ex in (ex_i, ex_c):
+            ex.run(5)
+            ex.set_register("dt[0]", 3.5e-9)
+            ex.set_param("V_SCALE", 5000.0)
+            ex.run(15)
+        assert ex_c.register_of("dt[0]") == ex_i.register_of("dt[0]")
+        assert ex_c.register_of("gamma_r") == ex_i.register_of("gamma_r")
+        assert ex_c.registers == ex_i.registers
+
+    def test_unknown_names_raise(self):
+        model = compile_beam_model(n_bunches=1)
+        bus, _ = _scalar_bus(1)
+        ex = CgraExecutor(model.schedule, bus, _beam_params(model), engine="compiled")
+        with pytest.raises(ExecutionError):
+            ex.set_param("no_such_param", 1.0)
+        with pytest.raises(ExecutionError):
+            ex.set_register("no_such_reg", 1.0)
+        with pytest.raises(ExecutionError):
+            ex.register_of("no_such_node")
+
+
+class TestFaultParity:
+    """Numeric faults must raise the same error text in both engines."""
+
+    def _executors(self, source, params):
+        graph = compile_c_to_dfg(source)
+        schedule = ListScheduler(CgraFabric(CgraConfig(rows=2, cols=2))).schedule(graph)
+        ex_i = CgraExecutor(schedule, SensorBus(), dict(params), engine="interpreted")
+        ex_c = CgraExecutor(schedule, SensorBus(), dict(params), engine="compiled")
+        return ex_i, ex_c
+
+    def test_division_by_zero(self):
+        source = "void k(float p) { float x = 1.0; while (1) { x = x / p; } }"
+        ex_i, ex_c = self._executors(source, {"p": 0.0})
+        with pytest.raises(ExecutionError) as err_i:
+            ex_i.run(1)
+        with pytest.raises(ExecutionError) as err_c:
+            ex_c.run(1)
+        assert str(err_c.value) == str(err_i.value)
+        assert "division by zero in node" in str(err_c.value)
+
+    def test_sqrt_of_negative(self):
+        source = "void k(float p) { float x = 1.0; while (1) { x = sqrt(p); } }"
+        ex_i, ex_c = self._executors(source, {"p": -1.0})
+        with pytest.raises(ExecutionError) as err_i:
+            ex_i.run(1)
+        with pytest.raises(ExecutionError) as err_c:
+            ex_c.run(1)
+        assert str(err_c.value) == str(err_i.value)
+
+    def test_iteration_count_after_fault(self):
+        """A fault in iteration k leaves both engines at k-1 iterations."""
+        source = ("void k(float p) { float c = 3.0; float x = 0.0; "
+                  "while (1) { c = c - p; x = 1.0 / c; } }")
+        ex_i, ex_c = self._executors(source, {"p": 1.0})
+        for ex in (ex_i, ex_c):
+            with pytest.raises(ExecutionError):
+                ex.run(10)
+        assert ex_c.iterations == ex_i.iterations == 2
+
+
+class TestBatchedParity:
+    """Each lane of the batched executor is bit-identical to a scalar run."""
+
+    BATCH = 5
+
+    @staticmethod
+    def _handler(amp):
+        # Bounded rational — evaluates identically in scalar Python
+        # floats and elementwise NumPy float64 (IEEE mult/div/abs only).
+        return lambda a: amp * (a * 1e-3) / (1.0 + abs(a) * 1e-3)
+
+    def _scalar_run(self, model, params, amp, n_iter):
+        bus = SensorBus()
+        bus.register_reader(SENSOR_PERIOD, lambda: 1.25e-6)
+        bus.register_addr_reader(SENSOR_REF_BUFFER, self._handler(amp))
+        bus.register_addr_reader(SENSOR_GAP_BUFFER, self._handler(0.5 * amp))
+        outs: list[float] = []
+        bus.register_writer(ACTUATOR_DELTA_T, outs.append)
+        ex = CgraExecutor(model.schedule, bus, params, engine="compiled")
+        traces = []
+        for _ in range(n_iter):
+            ex.run_iteration()
+            traces.append(dict(ex.registers))
+        return traces, outs
+
+    def test_lanes_match_scalar_runs(self):
+        model = compile_beam_model(n_bunches=1)
+        params = _beam_params(model)
+        amps = [0.2, 0.5, 0.9, 1.3, 2.0]
+        n_iter = 25
+
+        bus = BatchSensorBus(batch=self.BATCH)
+        bus.register_reader(SENSOR_PERIOD, lambda: 1.25e-6)
+        amps_arr = np.asarray(amps)
+        bus.register_addr_reader(
+            SENSOR_REF_BUFFER,
+            lambda a: amps_arr * (a * 1e-3) / (1.0 + np.abs(a) * 1e-3),
+        )
+        bus.register_addr_reader(
+            SENSOR_GAP_BUFFER,
+            lambda a: 0.5 * amps_arr * (a * 1e-3) / (1.0 + np.abs(a) * 1e-3),
+        )
+        writes: list[np.ndarray] = []
+        bus.register_writer(ACTUATOR_DELTA_T, lambda v: writes.append(np.array(v)))
+        ex = BatchedCgraExecutor(model.schedule, bus, params)
+        batched_traces = []
+        for _ in range(n_iter):
+            ex.run_iteration()
+            batched_traces.append([ex.lane_registers(lane) for lane in range(self.BATCH)])
+
+        for lane, amp in enumerate(amps):
+            scalar_traces, scalar_outs = self._scalar_run(model, params, amp, n_iter)
+            for it in range(n_iter):
+                assert batched_traces[it][lane] == scalar_traces[it], (
+                    f"lane {lane} diverged at iteration {it}"
+                )
+            assert [float(w[lane]) for w in writes] == scalar_outs
+
+    def test_host_interface_per_lane(self):
+        model = compile_beam_model(n_bunches=1)
+        params = _beam_params(model)
+        bus = BatchSensorBus(batch=3)
+        bus.register_reader(SENSOR_PERIOD, lambda: 1.25e-6)
+        bus.register_addr_reader(SENSOR_REF_BUFFER, lambda a: a * 0.0)
+        bus.register_addr_reader(SENSOR_GAP_BUFFER, lambda a: a * 0.0)
+        bus.register_writer(ACTUATOR_DELTA_T, lambda v: None)
+        ex = BatchedCgraExecutor(model.schedule, bus, params)
+        ex.set_register("dt[0]", [1e-9, 2e-9, 3e-9])
+        # Values are rounded to the kernel precision (single) on the way in.
+        expect = np.asarray([1e-9, 2e-9, 3e-9], dtype=np.float32).astype(float)
+        assert list(ex.register_of("dt[0]")) == list(expect)
+        ex.set_param("V_SCALE", [4000.0, 4500.0, 5000.0])
+        ex.run(3)
+        assert ex.iterations == 3
+        with pytest.raises(ExecutionError):
+            ex.set_register("dt[0]", [1.0, 2.0])  # wrong lane count
+        with pytest.raises(ExecutionError):
+            ex.lane_registers(3)
+
+
+class TestPipelinedParity:
+    """Interpreted vs compiled on the modulo-scheduled executor."""
+
+    @pytest.mark.parametrize("precision", ["single", "double"])
+    def test_beam_model_bit_exact(self, precision):
+        model = compile_beam_model(n_bunches=2, pipelined=True)
+        msched = ModuloScheduler(model.schedule.fabric).schedule(model.graph)
+        params = _beam_params(model)
+        bus_i, outs_i = _scalar_bus(2)
+        bus_c, outs_c = _scalar_bus(2)
+        ex_i = PipelinedExecutor(msched, bus_i, params,
+                                 precision=precision, engine="interpreted")
+        ex_c = PipelinedExecutor(msched, bus_c, params,
+                                 precision=precision, engine="compiled")
+        ex_i.run(12)
+        ex_c.run(12)
+        ex_i.run(18)  # incremental run resumes the software pipeline
+        ex_c.run(18)
+        assert outs_c == outs_i
+        # The compiled engine retains a rotating window of recent
+        # iterations (stage_count + 3 deep); compare within it.
+        for it in (27, 28, 29, None):
+            assert ex_c.value_of("dt[0]", it) == ex_i.value_of("dt[0]", it)
+            assert ex_c.value_of("gamma_r", it) == ex_i.value_of("gamma_r", it)
+
+    def test_stale_read_raises_in_both(self):
+        model = compile_beam_model(n_bunches=1, pipelined=True)
+        msched = ModuloScheduler(model.schedule.fabric).schedule(model.graph)
+        params = _beam_params(model)
+        for engine in ("interpreted", "compiled"):
+            bus, _ = _scalar_bus(1)
+            ex = PipelinedExecutor(msched, bus, params, engine=engine)
+            ex.run(4)
+            with pytest.raises(ExecutionError):
+                ex.value_of("dt[0]", 100)  # far beyond the rotation window
+
+
+class TestEngineSelection:
+    def test_resolve_and_default(self):
+        assert resolve_engine(None) == get_default_engine()
+        assert resolve_engine("compiled") == "compiled"
+        set_default_engine("compiled")
+        assert get_default_engine() == "compiled"
+        model = compile_beam_model(n_bunches=1)
+        bus, _ = _scalar_bus(1)
+        ex = CgraExecutor(model.schedule, bus, _beam_params(model))
+        assert ex.engine == "compiled"
+
+    def test_invalid_engine_rejected(self):
+        with pytest.raises(ExecutionError):
+            resolve_engine("jit")
+        with pytest.raises(ExecutionError):
+            set_default_engine("fast")
+        model = compile_beam_model(n_bunches=1)
+        bus, _ = _scalar_bus(1)
+        with pytest.raises(ExecutionError):
+            CgraExecutor(model.schedule, bus, _beam_params(model), engine="llvm")
+
+    def test_program_is_cached_per_schedule(self):
+        model = compile_beam_model(n_bunches=1)
+        p1 = compile_program(model.schedule, "single")
+        p2 = compile_program(model.schedule, "single")
+        assert p1 is p2
+        assert compile_program(model.schedule, "double") is not p1

@@ -127,3 +127,34 @@ class TestDAC:
     def test_dac_finer_than_adc(self):
         # 16-bit DAC has 4x finer steps than the 14-bit ADC at same Vpp.
         assert DAC().lsb == pytest.approx(ADC().lsb / 4)
+
+
+class TestScalarFastPaths:
+    """The scalar ADC/DAC entry points used by the per-revolution HIL
+    loop must agree exactly with the array implementations."""
+
+    def test_adc_convert_scalar_matches_array(self):
+        adc = ADC()
+        for v in (-2.0, -1.0001, -0.3, 0.0, 1e-5, 0.77, 1.0, 2.5):
+            assert adc.convert_scalar(v) == int(adc.convert(v))
+            assert adc.quantize_scalar(v) == float(adc.quantize(v))
+
+    def test_adc_scalar_noise_stream_matches(self, rng=None):
+        a = ADC(noise_rms=1e-4, rng=np.random.default_rng(9))
+        b = ADC(noise_rms=1e-4, rng=np.random.default_rng(9))
+        vs = [0.1, -0.4, 0.9, 0.0]
+        got = [a.convert_scalar(v) for v in vs]
+        want = [int(b.convert(v)) for v in vs]
+        assert got == want
+
+    def test_dac_scalar_matches_array(self):
+        dac = DAC()
+        for v in (-3.0, -1.0, -0.2, 0.0, 0.5, 1.0, 3.0):
+            assert dac.volts_to_codes_scalar(v) == int(dac.volts_to_codes(v))
+            assert dac.convert_scalar(v) == float(dac.convert(v))
+
+    def test_scalar_clipping(self):
+        adc = ADC()
+        full = 2 ** (adc.bits - 1)
+        assert adc.convert_scalar(100.0) == full - 1
+        assert adc.convert_scalar(-100.0) == -full

@@ -108,3 +108,34 @@ class TestPhaseControlFilter:
             PhaseControlFilter(f_pass=500e3, sample_rate=800e3)
         with pytest.raises(SignalError):
             PhaseControlFilter(sample_rate=-1.0)
+
+
+class TestVectorizedProcess:
+    """The lfilter-vectorized process() must be bit-identical to the
+    scalar step() recurrence, including state carried across blocks."""
+
+    def test_process_bit_exact_with_step(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(0, 5.0, 400)
+        f_step = PhaseControlFilter()
+        f_proc = PhaseControlFilter()
+        stepped = np.array([f_step.step(v) for v in x])
+        processed = f_proc.process(x)
+        assert np.array_equal(stepped, processed)  # exact, not allclose
+        assert f_proc._x_prev == f_step._x_prev
+        assert f_proc._y_prev == f_step._y_prev
+
+    def test_process_across_blocks(self):
+        rng = np.random.default_rng(4)
+        x = rng.normal(0, 2.0, 300)
+        whole = PhaseControlFilter().process(x)
+        chunked = PhaseControlFilter()
+        parts = [chunked.process(x[i:i + 37]) for i in range(0, 300, 37)]
+        assert np.array_equal(np.concatenate(parts), whole)
+
+    def test_process_empty_block(self):
+        f = PhaseControlFilter()
+        f.step(1.0)
+        out = f.process(np.empty(0))
+        assert out.size == 0
+        assert f.step(0.0) != 0.0  # state untouched by the empty call
