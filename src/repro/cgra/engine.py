@@ -305,6 +305,13 @@ class CompiledProgram:
 #: identity so repeated executors over a (cached) CompiledModel skip
 #: codegen entirely; the weakref guards against id reuse and cleans up
 #: when the schedule is collected.
+#:
+#: **Multiprocess safety**: per-process only, like the model cache in
+#: :mod:`repro.cgra.models` — and doubly so, because the key is an
+#: ``id()``: an object's identity is meaningless in another process, so
+#: a pickled schedule would never hit this cache anyway.  Worker pools
+#: prime it per worker (via the initializer's model compile + first
+#: run); never send CompiledProgram/Schedule handles between processes.
 _PROGRAM_CACHE: dict[int, tuple] = {}
 
 

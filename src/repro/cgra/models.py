@@ -183,6 +183,17 @@ class CompiledModel:
 
 
 #: Keyed compile cache: (source text, fabric config) → CompiledModel.
+#:
+#: **Multiprocess safety**: the cache is strictly per-process — a plain
+#: dict with no lock and no shared memory.  Worker processes of
+#: :mod:`repro.parallel` each hold their own copy: ``fork`` children
+#: inherit the parent's primed entries at fork time (free warm start);
+#: ``spawn`` children start empty and are primed by the pool's worker
+#: initializer.  Never ship a :class:`CompiledModel` (or its schedule /
+#: executor) across process boundaries to "share" the cache — workers
+#: must return plain result data and let each process compile through
+#: its own cache (``repro.parallel.pool._guard_value`` enforces this on
+#: worker returns).
 _MODEL_CACHE: dict[tuple[str, CgraConfig], CompiledModel] = {}
 
 

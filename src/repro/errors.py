@@ -67,3 +67,12 @@ class RealTimeViolation(ReproError):
 
 class HilError(ReproError):
     """Hardware-in-the-loop framework wiring or run-time error."""
+
+
+class ParallelExecutionError(ReproError):
+    """One or more sharded scenario runs failed inside a worker process.
+
+    The message embeds the structured :class:`repro.parallel.ShardFailure`
+    records (shard index, exception type, message, traceback), so a single
+    faulting lane surfaces with full context instead of killing the pool.
+    """

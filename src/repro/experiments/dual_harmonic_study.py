@@ -31,7 +31,13 @@ from repro.physics.multiparticle import MultiParticleTracker
 from repro.physics.rf import RFSystem, voltage_for_synchrotron_frequency
 from repro.physics.ring import SynchrotronRing
 
-__all__ = ["DualHarmonicRow", "dual_harmonic_landau_study"]
+__all__ = [
+    "DualHarmonicRow",
+    "DualHarmonicTask",
+    "dual_harmonic_tasks",
+    "dual_harmonic_row",
+    "dual_harmonic_landau_study",
+]
 
 
 @dataclass(frozen=True)
@@ -56,6 +62,76 @@ class DualHarmonicRow:
         return abs(self.f_s_small - self.f_s_large) / top if top > 0 else 0.0
 
 
+@dataclass(frozen=True)
+class DualHarmonicTask:
+    """One cavity ratio of the study (plain dataclass — ring/ion are
+    frozen parameter records, so the task pickles into workers)."""
+
+    ring: SynchrotronRing
+    ion: IonSpecies
+    ratio: float
+    f_rev: float = 800e3
+    f_s_target: float = 1.28e3
+    n_particles: int = 2500
+    sigma_delta_t: float = 10e-9
+    displacement: float = 15e-9
+    n_turns: int = 48000
+    #: Shared across ratios on purpose: the same ensemble probes each
+    #: bucket shape, so retention differences isolate the ratio.
+    seed: int = 9
+
+
+def dual_harmonic_row(task: DualHarmonicTask) -> DualHarmonicRow:
+    """Track one ratio's ensemble and extract its Landau behaviour."""
+    ring, ion, ratio = task.ring, task.ion, task.ratio
+    gamma0 = ring.gamma_from_revolution_frequency(task.f_rev)
+    probe = RFSystem(harmonic=4, voltage=1.0)
+    v1 = voltage_for_synchrotron_frequency(ring, ion, probe, gamma0, task.f_s_target)
+    rf = DualHarmonicRF(harmonic=4, voltage=v1, ratio=ratio)
+    f_lin = dual_harmonic_synchrotron_frequency(ring, ion, rf, gamma0)
+    f_amp = synchrotron_frequency_vs_amplitude(
+        ring, ion, rf, gamma0, [5e-9, 50e-9], f_rev=task.f_rev
+    )
+    # Matched-ish ensemble: use the single-harmonic matching for the
+    # momentum spread (conservative for the flattened bucket) and
+    # displace it to excite a coherent dipole.
+    rng = np.random.default_rng(task.seed)
+    single = RFSystem(harmonic=4, voltage=v1)
+    dt, dgamma = gaussian_bunch(
+        ring, ion, single, gamma0, task.sigma_delta_t, task.n_particles, rng,
+        centre_delta_t=task.displacement,
+    )
+    tracker = MultiParticleTracker(ring, ion, rf, dt, dgamma, gamma0)
+    rec = tracker.track(task.n_turns, f_rev=task.f_rev, record_every=16)
+    centred = np.abs(rec.mean_delta_t - rec.mean_delta_t.mean())
+    quarter = max(1, len(centred) // 4)
+    early = float(centred[:quarter].max())
+    late = float(centred[-quarter:].max())
+    return DualHarmonicRow(
+        ratio=ratio,
+        f_s_linear=f_lin,
+        f_s_small=float(f_amp[0]),
+        f_s_large=float(f_amp[1]),
+        amplitude_retention=late / early if early > 0 else 1.0,
+    )
+
+
+def dual_harmonic_tasks(
+    ring: SynchrotronRing,
+    ion: IonSpecies,
+    ratios: tuple[float, ...] = (0.0, 0.35, 0.5),
+    **overrides,
+) -> list[DualHarmonicTask]:
+    """The study's shard plan: one task per second-harmonic ratio."""
+    n_particles = overrides.get("n_particles", 2500)
+    if n_particles < 10:
+        raise ConfigurationError("need a meaningful ensemble")
+    return [
+        DualHarmonicTask(ring=ring, ion=ion, ratio=ratio, **overrides)
+        for ratio in ratios
+    ]
+
+
 def dual_harmonic_landau_study(
     ring: SynchrotronRing,
     ion: IonSpecies,
@@ -75,41 +151,16 @@ def dual_harmonic_landau_study(
     flattens the bucket at constant V̂₁ — the operational knob of a real
     dual-harmonic system.
     """
-    if n_particles < 10:
-        raise ConfigurationError("need a meaningful ensemble")
-    gamma0 = ring.gamma_from_revolution_frequency(f_rev)
-    probe = RFSystem(harmonic=4, voltage=1.0)
-    v1 = voltage_for_synchrotron_frequency(ring, ion, probe, gamma0, f_s_target)
-
-    rows: list[DualHarmonicRow] = []
-    for ratio in ratios:
-        rf = DualHarmonicRF(harmonic=4, voltage=v1, ratio=ratio)
-        f_lin = dual_harmonic_synchrotron_frequency(ring, ion, rf, gamma0)
-        f_amp = synchrotron_frequency_vs_amplitude(
-            ring, ion, rf, gamma0, [5e-9, 50e-9], f_rev=f_rev
-        )
-        # Matched-ish ensemble: use the single-harmonic matching for the
-        # momentum spread (conservative for the flattened bucket) and
-        # displace it to excite a coherent dipole.
-        rng = np.random.default_rng(seed)
-        single = RFSystem(harmonic=4, voltage=v1)
-        dt, dgamma = gaussian_bunch(
-            ring, ion, single, gamma0, sigma_delta_t, n_particles, rng,
-            centre_delta_t=displacement,
-        )
-        tracker = MultiParticleTracker(ring, ion, rf, dt, dgamma, gamma0)
-        rec = tracker.track(n_turns, f_rev=f_rev, record_every=16)
-        centred = np.abs(rec.mean_delta_t - rec.mean_delta_t.mean())
-        quarter = max(1, len(centred) // 4)
-        early = float(centred[:quarter].max())
-        late = float(centred[-quarter:].max())
-        rows.append(
-            DualHarmonicRow(
-                ratio=ratio,
-                f_s_linear=f_lin,
-                f_s_small=float(f_amp[0]),
-                f_s_large=float(f_amp[1]),
-                amplitude_retention=late / early if early > 0 else 1.0,
-            )
-        )
-    return rows
+    tasks = dual_harmonic_tasks(
+        ring,
+        ion,
+        ratios,
+        f_rev=f_rev,
+        f_s_target=f_s_target,
+        n_particles=n_particles,
+        sigma_delta_t=sigma_delta_t,
+        displacement=displacement,
+        n_turns=n_turns,
+        seed=seed,
+    )
+    return [dual_harmonic_row(task) for task in tasks]

@@ -27,7 +27,13 @@ from repro.errors import ConfigurationError
 from repro.experiments.mde import machine_config
 from repro.physics.oscillation import fit_damping_envelope
 
-__all__ = ["LandauRow", "landau_damping_comparison"]
+__all__ = [
+    "LandauRow",
+    "LandauTask",
+    "landau_tasks",
+    "landau_row",
+    "landau_damping_comparison",
+]
 
 
 @dataclass(frozen=True)
@@ -44,6 +50,69 @@ class LandauRow:
     bunch_length_growth: float
     #: Residual dipole amplitude at the end of the window, degrees.
     residual_amplitude_deg: float
+
+
+@dataclass(frozen=True)
+class LandauTask:
+    """One configuration (loop off or on) of the comparison — plain
+    data, so the two runs shard across :mod:`repro.parallel` workers."""
+
+    control_enabled: bool
+    n_particles: int = 4000
+    duration: float = 0.045
+    sigma_delta_t: float = 8e-9
+    #: Shared across both configurations on purpose: the ensembles must
+    #: be identical so the on/off contrast isolates the loop.
+    seed: int = 20231124
+
+
+def landau_row(task: LandauTask) -> LandauRow:
+    """Run one configuration's jump response and fit its decay rate."""
+    emu = MachineExperimentEmulator(
+        machine_config(
+            n_particles=task.n_particles,
+            sigma_delta_t=task.sigma_delta_t,
+            control_enabled=task.control_enabled,
+            seed=task.seed,
+            record_every=4,
+        )
+    )
+    res = emu.run(task.duration)
+    sel = res.time > emu.jump.start_time
+    fit = fit_damping_envelope(res.time[sel], res.phase_deg[sel])
+    sigma0 = float(res.sigma_delta_t[0])
+    sigma1 = float(res.sigma_delta_t[-1])
+    tail = res.phase_deg[res.time > 0.8 * task.duration]
+    centred = tail - tail.mean()
+    return LandauRow(
+        control_enabled=task.control_enabled,
+        n_particles=task.n_particles,
+        damping_rate=fit.rate,
+        time_constant=fit.time_constant,
+        bunch_length_growth=sigma1 / sigma0 - 1.0,
+        residual_amplitude_deg=float(np.abs(centred).max()),
+    )
+
+
+def landau_tasks(
+    n_particles: int = 4000,
+    duration: float = 0.045,
+    sigma_delta_t: float = 8e-9,
+    seed: int = 20231124,
+) -> list[LandauTask]:
+    """The comparison's shard plan: loop off, then loop on."""
+    if duration > 0.05:
+        raise ConfigurationError("duration must fit inside one inter-jump window")
+    return [
+        LandauTask(
+            control_enabled=enabled,
+            n_particles=n_particles,
+            duration=duration,
+            sigma_delta_t=sigma_delta_t,
+            seed=seed,
+        )
+        for enabled in (False, True)
+    ]
 
 
 def landau_damping_comparison(
@@ -63,34 +132,7 @@ def landau_damping_comparison(
     below the loop's — the paper's "much stronger" regime — while still
     being measurable within one window.
     """
-    if duration > 0.05:
-        raise ConfigurationError("duration must fit inside one inter-jump window")
-    rows: list[LandauRow] = []
-    for enabled in (False, True):
-        emu = MachineExperimentEmulator(
-            machine_config(
-                n_particles=n_particles,
-                sigma_delta_t=sigma_delta_t,
-                control_enabled=enabled,
-                seed=seed,
-                record_every=4,
-            )
-        )
-        res = emu.run(duration)
-        sel = res.time > emu.jump.start_time
-        fit = fit_damping_envelope(res.time[sel], res.phase_deg[sel])
-        sigma0 = float(res.sigma_delta_t[0])
-        sigma1 = float(res.sigma_delta_t[-1])
-        tail = res.phase_deg[res.time > 0.8 * duration]
-        centred = tail - tail.mean()
-        rows.append(
-            LandauRow(
-                control_enabled=enabled,
-                n_particles=n_particles,
-                damping_rate=fit.rate,
-                time_constant=fit.time_constant,
-                bunch_length_growth=sigma1 / sigma0 - 1.0,
-                residual_amplitude_deg=float(np.abs(centred).max()),
-            )
-        )
-    return rows
+    return [
+        landau_row(task)
+        for task in landau_tasks(n_particles, duration, sigma_delta_t, seed)
+    ]

@@ -18,7 +18,7 @@ from repro.baselines.fpga_direct import DirectFpgaFlow
 from repro.cgra.fabric import CgraConfig
 from repro.cgra.models import compile_beam_model
 
-__all__ = ["ReconfigRow", "reconfiguration_table"]
+__all__ = ["ReconfigRow", "ReconfigTask", "reconfig_tasks", "reconfig_row", "reconfiguration_table"]
 
 
 @dataclass(frozen=True)
@@ -36,6 +36,59 @@ class ReconfigRow:
         return self.fpga_seconds / self.cgra_seconds
 
 
+@dataclass(frozen=True)
+class ReconfigTask:
+    """One model variant's turnaround measurement (plain data)."""
+
+    n_bunches: int
+    pipelined: bool
+    config: CgraConfig
+    design_kluts: float = 180.0
+
+
+def reconfig_row(task: ReconfigTask) -> ReconfigRow:
+    """Measure one variant's tool-flow wall clock.
+
+    The CSV column this feeds is a *measured duration*, so it is the one
+    runner output that is inherently not byte-reproducible across runs
+    (any job count included).
+    """
+    fpga_seconds = DirectFpgaFlow().synthesis_seconds(task.design_kluts)
+    # use_cache=False: this experiment *measures* the tool-flow
+    # turnaround, so a cache hit would report a stale duration.
+    model = compile_beam_model(
+        n_bunches=task.n_bunches,
+        pipelined=task.pipelined,
+        config=task.config,
+        use_cache=False,
+    )
+    return ReconfigRow(
+        n_bunches=task.n_bunches,
+        pipelined=task.pipelined,
+        cgra_seconds=model.compile_seconds,
+        fpga_seconds=fpga_seconds,
+    )
+
+
+def reconfig_tasks(
+    configurations: list[tuple[int, bool]] | None = None,
+    config: CgraConfig | None = None,
+    design_kluts: float = 180.0,
+) -> list[ReconfigTask]:
+    """The table's shard plan: one task per model variant."""
+    configurations = configurations or [(8, False), (8, True), (4, True), (1, True)]
+    config = config if config is not None else CgraConfig()
+    return [
+        ReconfigTask(
+            n_bunches=n_bunches,
+            pipelined=pipelined,
+            config=config,
+            design_kluts=design_kluts,
+        )
+        for n_bunches, pipelined in configurations
+    ]
+
+
 def reconfiguration_table(
     configurations: list[tuple[int, bool]] | None = None,
     config: CgraConfig | None = None,
@@ -43,23 +96,16 @@ def reconfiguration_table(
     fpga: DirectFpgaFlow | None = None,
 ) -> list[ReconfigRow]:
     """Measure CGRA turnaround and compare with modelled FPGA synthesis."""
-    configurations = configurations or [(8, False), (8, True), (4, True), (1, True)]
-    config = config if config is not None else CgraConfig()
-    fpga = fpga if fpga is not None else DirectFpgaFlow()
-    fpga_seconds = fpga.synthesis_seconds(design_kluts)
-    rows: list[ReconfigRow] = []
-    for n_bunches, pipelined in configurations:
-        # use_cache=False: this experiment *measures* the tool-flow
-        # turnaround, so a cache hit would report a stale duration.
-        model = compile_beam_model(
-            n_bunches=n_bunches, pipelined=pipelined, config=config, use_cache=False
-        )
-        rows.append(
+    tasks = reconfig_tasks(configurations, config, design_kluts)
+    if fpga is not None:
+        fpga_seconds = fpga.synthesis_seconds(design_kluts)
+        return [
             ReconfigRow(
-                n_bunches=n_bunches,
-                pipelined=pipelined,
-                cgra_seconds=model.compile_seconds,
+                n_bunches=t.n_bunches,
+                pipelined=t.pipelined,
+                cgra_seconds=reconfig_row(t).cgra_seconds,
                 fpga_seconds=fpga_seconds,
             )
-        )
-    return rows
+            for t in tasks
+        ]
+    return [reconfig_row(task) for task in tasks]

@@ -10,12 +10,21 @@ without touching Python:
     python -m repro.experiments.runner fig5a --out results/ --quick
     python -m repro.experiments.runner all --out results/
     python -m repro.experiments.runner fig5a --quick --metrics --trace
+    python -m repro.experiments.runner sweep --batch 32 --jobs 4
 
 ``--quick`` shrinks durations/ensembles for smoke runs; the defaults
 match EXPERIMENTS.md.  ``--metrics``/``--trace`` switch on the
 :mod:`repro.obs` telemetry and write its artefacts
 (``<name>_metrics.json``/``.csv``, ``<name>_trace.jsonl``,
 ``<name>_report.json``) next to the CSVs — see docs/OBSERVABILITY.md.
+
+``--jobs N`` shards experiment fan-out (frequency points, scenario
+lanes, configurations) across ``N`` worker processes through one warm
+:class:`repro.parallel.WorkerPool` held for the whole session.  The
+shard plan and every random seed are independent of ``N``, so the CSVs
+are byte-identical between ``--jobs 1`` and ``--jobs N`` (sole
+exception: ``reconfig``, whose columns are measured wall-clock
+durations); worker telemetry merges back into the parent before export.
 
 Progress/diagnostics go to **stderr** through :mod:`logging`
 (``--verbose`` raises the level to DEBUG); only the ``--list`` catalogue
@@ -40,8 +49,27 @@ __all__ = ["main", "EXPERIMENTS", "run_experiment"]
 logger = logging.getLogger(__name__)
 
 #: Runtime options set by CLI flags and read by individual experiments
-#: (the runner signature is fixed at ``fn(out, quick)``).
-_RUNNER_OPTIONS = {"batch": 8}
+#: (the runner signature is fixed at ``fn(out, quick)``); ``pool`` holds
+#: the session :class:`repro.parallel.WorkerPool` when ``--jobs > 1``.
+_RUNNER_OPTIONS = {"batch": 8, "jobs": 1, "pool": None}
+
+
+def _dispatch(fn, items, what: str) -> list:
+    """Run one experiment's shard items, inline or across the pool.
+
+    Returns the per-item values in item order; a failed shard raises
+    :class:`repro.errors.ParallelExecutionError` with the worker-side
+    context (failure containment keeps the pool and sibling shards
+    alive, so all outcomes are known before the raise).
+    """
+    from repro.parallel import raise_on_failures, run_sharded
+
+    pool = _RUNNER_OPTIONS.get("pool")
+    if pool is not None:
+        results = pool.map_sharded(fn, items)
+    else:
+        results = run_sharded(fn, items, jobs=1)
+    return raise_on_failures(results, what)
 
 
 def _configure_logging(verbose: bool) -> None:
@@ -85,11 +113,26 @@ def _fig2(out: Path, quick: bool) -> list[str]:
     return [f"{len(d.time)} samples over {d.time[-1] * 1e6:.2f} us (h = 2)"]
 
 
+def _fig5a_run(duration: float):
+    """Module-level fig5a work item (pickles into pool workers)."""
+    from repro.experiments.fig5 import fig5_run_bench
+
+    return fig5_run_bench(duration=duration)
+
+
+def _fig5b_run(task: tuple):
+    """Module-level fig5b work item (pickles into pool workers)."""
+    from repro.experiments.fig5 import fig5_run_machine
+
+    duration, n_particles = task
+    return fig5_run_machine(duration=duration, n_particles=n_particles)
+
+
 def _fig5a(out: Path, quick: bool) -> list[str]:
-    from repro.experiments.fig5 import fig5_metrics, fig5_run_bench
+    from repro.experiments.fig5 import fig5_metrics
 
     duration = 0.12 if quick else 0.30
-    res = fig5_run_bench(duration=duration)
+    (res,) = _dispatch(_fig5a_run, [duration], "fig5a")
     smoothed = res.phase_deg_smoothed(5)
     _write_csv(
         out / "fig5a_phase.csv",
@@ -105,11 +148,11 @@ def _fig5a(out: Path, quick: bool) -> list[str]:
 
 
 def _fig5b(out: Path, quick: bool) -> list[str]:
-    from repro.experiments.fig5 import fig5_metrics, fig5_run_machine
+    from repro.experiments.fig5 import fig5_metrics
 
     duration = 0.12 if quick else 0.30
     n_particles = 1200 if quick else 5000
-    res = fig5_run_machine(duration=duration, n_particles=n_particles)
+    (res,) = _dispatch(_fig5b_run, [(duration, n_particles)], "fig5b")
     _write_csv(
         out / "fig5b_phase.csv",
         "time_s,phase_deg,sigma_delta_t_s,jump_deg,correction_deg",
@@ -146,9 +189,10 @@ def _schedule(out: Path, quick: bool) -> list[str]:
 
 
 def _jitter(out: Path, quick: bool) -> list[str]:
-    from repro.experiments.jitter_study import jitter_comparison
+    from repro.experiments.jitter_study import jitter_rows_for, jitter_tasks
 
-    rows = jitter_comparison(n_samples=50_000 if quick else 200_000)
+    tasks = jitter_tasks(n_samples=50_000 if quick else 200_000)
+    rows = [row for pair in _dispatch(jitter_rows_for, tasks, "jitter") for row in pair]
     _write_csv(
         out / "jitter.csv",
         "is_cgra,f_rev_hz,p50_s,p999_s,miss_rate,false_phase_rms_deg",
@@ -166,9 +210,9 @@ def _jitter(out: Path, quick: bool) -> list[str]:
 
 
 def _reconfig(out: Path, quick: bool) -> list[str]:
-    from repro.experiments.reconfig import reconfiguration_table
+    from repro.experiments.reconfig import reconfig_row, reconfig_tasks
 
-    rows = reconfiguration_table()
+    rows = _dispatch(reconfig_row, reconfig_tasks(), "reconfig")
     _write_csv(
         out / "reconfig.csv",
         "n_bunches,pipelined,cgra_seconds,fpga_seconds",
@@ -204,9 +248,10 @@ def _rampup(out: Path, quick: bool) -> list[str]:
 
 
 def _landau(out: Path, quick: bool) -> list[str]:
-    from repro.experiments.landau import landau_damping_comparison
+    from repro.experiments.landau import landau_row, landau_tasks
 
-    rows = landau_damping_comparison(n_particles=1200 if quick else 4000)
+    tasks = landau_tasks(n_particles=1200 if quick else 4000)
+    rows = _dispatch(landau_row, tasks, "landau")
     _write_csv(
         out / "landau.csv",
         "control_enabled,damping_rate_per_s,time_constant_s,bunch_length_growth",
@@ -222,14 +267,18 @@ def _landau(out: Path, quick: bool) -> list[str]:
 
 
 def _dual(out: Path, quick: bool) -> list[str]:
-    from repro.experiments.dual_harmonic_study import dual_harmonic_landau_study
+    from repro.experiments.dual_harmonic_study import (
+        dual_harmonic_row,
+        dual_harmonic_tasks,
+    )
     from repro.physics import SIS18, KNOWN_IONS
 
-    rows = dual_harmonic_landau_study(
+    tasks = dual_harmonic_tasks(
         SIS18, KNOWN_IONS["14N7+"],
         n_particles=1000 if quick else 2500,
         n_turns=24000 if quick else 48000,
     )
+    rows = _dispatch(dual_harmonic_row, tasks, "dual")
     _write_csv(
         out / "dual_harmonic.csv",
         "ratio,f_s_linear_hz,f_s_small_hz,f_s_large_hz,amplitude_retention",
@@ -246,45 +295,44 @@ def _dual(out: Path, quick: bool) -> list[str]:
 
 
 def _sweep(out: Path, quick: bool) -> list[str]:
-    from repro.experiments.fig5 import fig5_metrics
-    from repro.hil import BatchedCavityInTheLoop, BatchHilConfig
-    from repro.physics import SIS18, KNOWN_IONS
+    from repro.experiments.sweep import SWEEP_CHUNK, plan_sweep, run_sweep_shard
 
     batch = int(_RUNNER_OPTIONS["batch"])
     amps = np.linspace(2.0, 12.0, batch)
-    config = BatchHilConfig(
-        ring=SIS18,
-        ion=KNOWN_IONS["14N7+"],
-        jump_deg=tuple(float(a) for a in amps),
-        jump_start_time=0.005,
-    )
     duration = 0.06 if quick else 0.20
-    bench = BatchedCavityInTheLoop(config)
+    tasks = plan_sweep(amps, duration)
     t0 = time.perf_counter()
-    res = bench.run(duration)
+    shards = _dispatch(run_sweep_shard, tasks, "sweep")
     elapsed = time.perf_counter() - t0
-    f_s = np.empty(batch)
-    first_pp = np.empty(batch)
-    settled = np.empty(batch)
-    for lane in range(batch):
-        m = fig5_metrics(res.time, res.phase_deg[:, lane], float(amps[lane]), 0.005)
-        f_s[lane] = m.synchrotron_frequency
-        first_pp[lane] = m.first_peak_to_peak
-        settled[lane] = m.settled_shift
+    # Shards come back in offset order (the merge is order-stable), so
+    # concatenation reassembles the full scan.
+    f_s = np.concatenate([s.f_s for s in shards])
+    first_pp = np.concatenate([s.first_pp for s in shards])
+    settled = np.concatenate([s.settled for s in shards])
     _write_csv(
         out / "sweep_jump_amplitude.csv",
         "jump_deg,f_s_hz,first_peak_to_peak_deg,settled_shift_deg",
         [amps, f_s, first_pp, settled],
     )
-    n_turns = len(res.time) * config.record_every
+    n_turns = shards[0].n_turns
     rate = batch * n_turns / elapsed if elapsed > 0 else float("inf")
-    return [
+    lines = [
         f"{batch} lanes x {n_turns} turns in {elapsed:.1f}s "
-        f"({rate / 1e3:.0f}k lane-iterations/s, one compiled program)",
-        f"f_s across lanes: {f_s.min():.1f}..{f_s.max():.1f} Hz (paper 1280)",
-        f"settled shift tracks jump: "
-        f"{settled[0]:.1f} deg @ {amps[0]:.0f} -> {settled[-1]:.1f} deg @ {amps[-1]:.0f}",
+        f"({rate / 1e3:.0f}k lane-iterations/s, "
+        f"{len(shards)} shard(s) of {SWEEP_CHUNK} lanes, "
+        f"jobs={_RUNNER_OPTIONS['jobs']})",
     ]
+    if np.isfinite(f_s).any():
+        lines += [
+            f"f_s across lanes: {np.nanmin(f_s):.1f}..{np.nanmax(f_s):.1f} Hz "
+            f"(paper 1280)",
+            f"settled shift tracks jump: "
+            f"{settled[0]:.1f} deg @ {amps[0]:.0f} -> "
+            f"{settled[-1]:.1f} deg @ {amps[-1]:.0f}",
+        ]
+    else:
+        lines.append("duration too short for settled metrics (NaN columns)")
+    return lines
 
 
 #: Experiment id → (description, runner).
@@ -369,12 +417,20 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--batch", type=int, default=8,
                         help="number of lockstep lanes for batched "
                              "experiments such as 'sweep' (default 8)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="shard experiment fan-out across N worker "
+                             "processes (default 1 = in-process); output "
+                             "CSVs are byte-identical across job counts")
     args = parser.parse_args(argv)
     _configure_logging(args.verbose)
     if args.batch < 1:
         logger.error("--batch must be >= 1, got %d", args.batch)
         return 2
+    if args.jobs < 1:
+        logger.error("--jobs must be >= 1, got %d", args.jobs)
+        return 2
     _RUNNER_OPTIONS["batch"] = args.batch
+    _RUNNER_OPTIONS["jobs"] = args.jobs
     if args.engine is not None:
         from repro.cgra import set_default_engine
 
@@ -401,6 +457,15 @@ def main(argv: list[str] | None = None) -> int:
         obs.enable(trace=args.trace)
         obs.reset()
 
+    # The pool outlives individual experiments: workers stay warm (and
+    # their compile caches primed) across every experiment of the run.
+    # Created after obs.enable() so the workers inherit the telemetry
+    # switches.
+    if args.jobs > 1:
+        from repro.parallel import WorkerPool
+
+        _RUNNER_OPTIONS["pool"] = WorkerPool(jobs=args.jobs)
+
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     out_dir = Path(args.out)
     try:
@@ -419,6 +484,10 @@ def main(argv: list[str] | None = None) -> int:
             if telemetry:
                 _export_telemetry(name, out_dir, want_trace=args.trace)
     finally:
+        pool = _RUNNER_OPTIONS["pool"]
+        if pool is not None:
+            pool.close()
+            _RUNNER_OPTIONS["pool"] = None
         if telemetry:
             from repro import obs
 

@@ -36,10 +36,12 @@ from repro.obs.registry import (
 )
 from repro.obs.report import (
     HilRunReport,
+    add_run_report,
     clear_run_reports,
     record_hil_run,
     run_reports,
 )
+from repro.obs.snapshot import ObsSnapshot, capture_snapshot, merge_snapshot
 from repro.obs.trace import SpanRecord, Tracer, get_tracer
 
 __all__ = [
@@ -60,8 +62,12 @@ __all__ = [
     "SpanRecord",
     "HilRunReport",
     "record_hil_run",
+    "add_run_report",
     "run_reports",
     "clear_run_reports",
+    "ObsSnapshot",
+    "capture_snapshot",
+    "merge_snapshot",
     "export",
     "report",
 ]

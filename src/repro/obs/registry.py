@@ -116,6 +116,20 @@ class Counter(_Instrument):
     def series(self) -> dict:
         return {key: value for key, value in self._values.items()}
 
+    def state(self) -> dict:
+        """Raw per-label-set totals, for snapshot transfer."""
+        return dict(self._values)
+
+    def merge_state(self, state: dict) -> None:
+        """Add another process's totals into this counter.
+
+        State transfer, not measurement: merging bypasses the enabled
+        flag so a parent can aggregate worker snapshots even after
+        telemetry was switched off.
+        """
+        for key, value in state.items():
+            self._values[key] = self._values.get(key, 0.0) + float(value)
+
 
 class Gauge(_Instrument):
     """Last-value instrument with ``set``/``inc``/``dec``."""
@@ -149,6 +163,19 @@ class Gauge(_Instrument):
 
     def series(self) -> dict:
         return {key: value for key, value in self._values.items()}
+
+    def state(self) -> dict:
+        """Raw per-label-set values, for snapshot transfer."""
+        return dict(self._values)
+
+    def merge_state(self, state: dict) -> None:
+        """Adopt another process's values (last merge wins per series).
+
+        Gauges are last-write instruments, so merging in shard order
+        reproduces the value a serial run would have ended with.
+        """
+        for key, value in state.items():
+            self._values[key] = float(value)
 
 
 class _HistogramSeries:
@@ -264,6 +291,43 @@ class Histogram(_Instrument):
 
     def reset(self) -> None:
         self._series.clear()
+
+    def state(self) -> dict:
+        """Raw per-label-set bucket counts and moments, for transfer."""
+        return {
+            key: {
+                "counts": list(s.counts),
+                "count": s.count,
+                "sum": s.sum,
+                "min": s.min,
+                "max": s.max,
+            }
+            for key, s in self._series.items()
+        }
+
+    def merge_state(self, state: dict) -> None:
+        """Add another process's distributions into this histogram.
+
+        The source must have been recorded with identical bucket bounds
+        (all built-in instruments use :data:`DEFAULT_BUCKETS`); a length
+        mismatch raises rather than silently mis-binning.
+        """
+        for key, payload in state.items():
+            counts = payload["counts"]
+            if len(counts) != len(self.buckets):
+                raise ConfigurationError(
+                    f"histogram {self.name}: cannot merge series with "
+                    f"{len(counts)} buckets into {len(self.buckets)}"
+                )
+            s = self._series.get(key)
+            if s is None:
+                s = self._series[key] = _HistogramSeries(len(self.buckets))
+            for i, c in enumerate(counts):
+                s.counts[i] += int(c)
+            s.count += int(payload["count"])
+            s.sum += float(payload["sum"])
+            s.min = min(s.min, float(payload["min"]))
+            s.max = max(s.max, float(payload["max"]))
 
     def series(self) -> dict:
         out = {}

@@ -24,7 +24,13 @@ from repro.obs.registry import MetricsRegistry, get_registry
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.hil.realtime import JitterStats
 
-__all__ = ["HilRunReport", "record_hil_run", "run_reports", "clear_run_reports"]
+__all__ = [
+    "HilRunReport",
+    "record_hil_run",
+    "add_run_report",
+    "run_reports",
+    "clear_run_reports",
+]
 
 
 @dataclass
@@ -88,6 +94,30 @@ class HilRunReport:
             "extras": self.extras,
         }
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "HilRunReport":
+        """Rebuild a report from :meth:`to_dict` output (round-trip safe);
+        used when worker-process reports are merged into the parent."""
+        slack = data.get("slack_ticks", {})
+        return cls(
+            name=data["name"],
+            engine=data["engine"],
+            schedule_length=int(data["schedule_length_ticks"]),
+            n_iterations=int(data["n_iterations"]),
+            deadline_misses=int(data["deadline_misses"]),
+            slack_min=float(slack.get("min", 0.0)),
+            slack_mean=float(slack.get("mean", 0.0)),
+            slack_p50=float(slack.get("p50", 0.0)),
+            slack_p99=float(slack.get("p99", 0.0)),
+            adc_clip_count=int(data.get("adc_clip_count", 0)),
+            dac_clip_count=int(data.get("dac_clip_count", 0)),
+            executed_ops=int(data.get("executed_ops", 0)),
+            context_switches=int(data.get("context_switches", 0)),
+            ring_buffer_fill=float(data.get("ring_buffer_fill", 0.0)),
+            control_saturation_count=int(data.get("control_saturation_count", 0)),
+            extras=dict(data.get("extras", {})),
+        )
+
 
 #: Reports recorded since the last :func:`clear_run_reports`.
 _REPORTS: list[HilRunReport] = []
@@ -142,6 +172,11 @@ def record_hil_run(
     )
     _REPORTS.append(report)
     return report
+
+
+def add_run_report(report: HilRunReport) -> None:
+    """File an already-built report (merging worker snapshots)."""
+    _REPORTS.append(report)
 
 
 def run_reports() -> list[HilRunReport]:

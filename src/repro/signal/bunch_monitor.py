@@ -37,6 +37,37 @@ def _truncation_variance_ratio(k: float) -> float:
     return ratio
 
 
+def _expand_region(
+    samples: np.ndarray, start: int, stop: int, local_threshold: float
+) -> tuple[int, int]:
+    """Widen ``[start, stop)`` to the local threshold's crossing points.
+
+    Vectorised equivalent of walking outward sample by sample: the
+    sorted indices at-or-below the local threshold bracket every
+    above-threshold run, so ``searchsorted`` lands on the nearest
+    crossing to each side directly.
+    """
+    below = np.flatnonzero(samples <= local_threshold)
+    pos = np.searchsorted(below, start)
+    lo = int(below[pos - 1]) + 1 if pos > 0 else 0
+    pos = np.searchsorted(below, stop)
+    hi = int(below[pos]) if pos < below.size else samples.size
+    return lo, hi
+
+
+def _expand_region_scalar(
+    samples: np.ndarray, start: int, stop: int, local_threshold: float
+) -> tuple[int, int]:
+    """Reference sample-by-sample walk; the parity tests pin
+    :func:`_expand_region` to it bit-for-bit."""
+    lo, hi = start, stop
+    while lo > 0 and samples[lo - 1] > local_threshold:
+        lo -= 1
+    while hi < samples.size and samples[hi] > local_threshold:
+        hi += 1
+    return lo, hi
+
+
 @dataclass(frozen=True)
 class PulseMeasurement:
     """One detected pulse's shape parameters."""
@@ -107,11 +138,7 @@ def detect_pulses(
         # a fraction of the measured pulse's own amplitude.
         local_peak = float(samples[start:stop].max())
         local_threshold = threshold_fraction * local_peak
-        lo, hi = start, stop
-        while lo > 0 and samples[lo - 1] > local_threshold:
-            lo -= 1
-        while hi < samples.size and samples[hi] > local_threshold:
-            hi += 1
+        lo, hi = _expand_region(samples, start, stop, local_threshold)
         seg = samples[lo:hi] - local_threshold
         seg[seg < 0.0] = 0.0
         seg_t = t[lo:hi]

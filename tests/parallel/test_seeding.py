@@ -1,0 +1,32 @@
+"""shard_seeds: deterministic, prefix-stable, worker-count independent."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.parallel import shard_seeds
+
+
+class TestShardSeeds:
+    def test_deterministic(self):
+        assert shard_seeds(7, 5) == shard_seeds(7, 5)
+
+    def test_prefix_stable(self):
+        """Growing the workload never changes earlier items' seeds."""
+        assert shard_seeds(7, 8)[:3] == shard_seeds(7, 3)
+
+    def test_distinct_across_items_and_bases(self):
+        seeds = shard_seeds(7, 16)
+        assert len(set(seeds)) == 16
+        assert set(seeds).isdisjoint(shard_seeds(8, 16))
+
+    def test_streams_are_independent(self):
+        a, b = shard_seeds(0, 2)
+        ra = np.random.default_rng(a).normal(size=100)
+        rb = np.random.default_rng(b).normal(size=100)
+        assert not np.allclose(ra, rb)
+
+    def test_empty_and_invalid(self):
+        assert shard_seeds(7, 0) == []
+        with pytest.raises(ConfigurationError):
+            shard_seeds(7, -1)

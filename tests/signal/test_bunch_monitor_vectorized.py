@@ -1,0 +1,85 @@
+"""Vectorised local-threshold re-expansion: bit-exact vs the scalar walk.
+
+``detect_pulses`` widens each above-threshold region to its *local*
+threshold's crossing points.  The production path does this with
+``searchsorted`` over the at-or-below indices; these tests pin it
+bit-for-bit to the straightforward sample-by-sample walk it replaced.
+"""
+
+import numpy as np
+
+from repro.signal.bunch_monitor import (
+    _expand_region,
+    _expand_region_scalar,
+    detect_pulses,
+)
+from repro.signal.parametric_pulse import ParametricPulseGenerator
+from repro.signal.waveform import Waveform
+
+
+def _regions(samples, threshold):
+    """Contiguous above-threshold runs, as detect_pulses finds them."""
+    above = samples > threshold
+    edges = np.diff(above.astype(np.int8))
+    starts = list(np.nonzero(edges == 1)[0] + 1)
+    stops = list(np.nonzero(edges == -1)[0] + 1)
+    if above[0]:
+        starts.insert(0, 0)
+    if above[-1]:
+        stops.append(samples.size)
+    return list(zip(starts, stops))
+
+
+class TestExpandRegionParity:
+    def test_random_waveforms_bit_exact(self):
+        rng = np.random.default_rng(42)
+        for _ in range(200):
+            samples = rng.random(rng.integers(4, 200))
+            threshold = float(rng.uniform(0.05, 0.95))
+            local = threshold * float(rng.uniform(0.3, 1.0))
+            for start, stop in _regions(samples, threshold):
+                assert _expand_region(samples, start, stop, local) == \
+                    _expand_region_scalar(samples, start, stop, local)
+
+    def test_expansion_hits_array_edges(self):
+        # Everything above the local threshold: expand to the full array.
+        samples = np.ones(32)
+        assert _expand_region(samples, 10, 12, 0.5) == (0, 32)
+        assert _expand_region_scalar(samples, 10, 12, 0.5) == (0, 32)
+
+    def test_no_expansion_needed(self):
+        samples = np.array([0.0, 0.0, 1.0, 1.0, 0.0, 0.0])
+        assert _expand_region(samples, 2, 4, 0.5) == (2, 4)
+        assert _expand_region_scalar(samples, 2, 4, 0.5) == (2, 4)
+
+    def test_asymmetric_expansion(self):
+        # Local threshold below the global one: the region grows into
+        # the skirt on both sides, by different amounts.
+        samples = np.array([0.0, 0.3, 0.6, 1.0, 0.6, 0.3, 0.2, 0.0])
+        got = _expand_region(samples, 2, 5, 0.25)
+        assert got == _expand_region_scalar(samples, 2, 5, 0.25)
+        assert got == (1, 6)
+
+
+class TestDetectPulsesUnchanged:
+    def test_pulse_train_measurements_stable(self):
+        """End-to-end: varying-height pulses exercise the re-expansion."""
+        centres = [0.4e-6, 1.1e-6, 1.9e-6]
+        generator = ParametricPulseGenerator()
+        for centre, amplitude in zip(centres, (1.0, 0.5, 0.8)):
+            generator.schedule(centre, sigma=30e-9, amplitude=amplitude)
+        wf = generator.render(0.0, 600)
+        pulses = detect_pulses(wf, threshold_fraction=0.2)
+        assert len(pulses) == 3
+        for pulse, centre in zip(pulses, centres):
+            assert abs(pulse.centre - centre) < 3e-9
+            assert abs(pulse.rms_width - 30e-9) < 3e-9
+
+    def test_plateau_at_threshold_boundary(self):
+        # Samples exactly at the local threshold terminate the walk
+        # (strict > in the scalar loop, <= in the vectorised crossing
+        # set) — the historically easy place to drift off by one.
+        samples = np.array([0.2, 0.2, 0.9, 1.0, 0.9, 0.2, 0.2])
+        wf = Waveform(samples, 250e6)
+        (pulse,) = detect_pulses(wf, threshold_fraction=0.2)
+        assert pulse.peak == 1.0
