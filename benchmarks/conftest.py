@@ -12,7 +12,10 @@ On top of the per-title text files, the session writes one
 ``benchmarks/results/BENCH_session.json`` aggregating every reported
 benchmark's timing stats in the pytest-benchmark JSON shape
 (:func:`repro.obs.export.write_bench_json`) — the artefact CI uploads so
-the perf trajectory is machine-readable.
+the perf trajectory is machine-readable — and appends it to the
+``benchmarks/results/history.jsonl`` trajectory so
+``python -m repro.obs.bench_history check`` can flag regressions against
+the median of past runs.
 """
 
 from __future__ import annotations
@@ -52,13 +55,16 @@ def record_rows(benchmark, title: str, rows: list[str]) -> None:
 
 
 def pytest_sessionfinish(session, exitstatus):
-    """Aggregate all reported benchmarks into BENCH_session.json."""
+    """Aggregate all reported benchmarks into BENCH_session.json and
+    extend the perf-history trajectory."""
     if not _BENCH_ENTRIES:
         return
+    from repro.obs.bench_history import append_run
     from repro.obs.export import write_bench_json
 
     _RESULTS_DIR.mkdir(exist_ok=True)
-    write_bench_json(_RESULTS_DIR / "BENCH_session.json", _BENCH_ENTRIES)
+    bench_path = write_bench_json(_RESULTS_DIR / "BENCH_session.json", _BENCH_ENTRIES)
+    append_run(bench_path, history_path=_RESULTS_DIR / "history.jsonl")
 
 
 @pytest.fixture()

@@ -51,6 +51,7 @@ from repro.cgra.scheduler import Schedule
 from repro.errors import ExecutionError
 from repro.obs import get_registry
 from repro.obs._state import STATE as _OBS
+from repro.obs.profile import record_program
 
 __all__ = [
     "CompiledProgram",
@@ -249,6 +250,12 @@ class CompiledProgram:
             io_id: tick for tick, op, _nid, _ops, io_id in self.entries
             if op is Op.ACTUATOR_WRITE
         }
+        #: Static op-class census of one iteration (op name → count);
+        #: the profiler attributes measured run time across op classes
+        #: proportionally to these counts (deterministic, schedule-fixed).
+        self.op_class_counts: dict[str, int] = {}
+        for _tick, op, _nid, _ops, _io in self.entries:
+            self.op_class_counts[op.name] = self.op_class_counts.get(op.name, 0) + 1
         emitter = _CodeEmitter(self.graph, self.entries, batched=False)
         self.source_fast = emitter.emit(traced=False)
         self.source_traced = emitter.emit(traced=True)
@@ -320,7 +327,11 @@ def compile_program(schedule: Schedule, precision: str = "single") -> CompiledPr
     key = id(schedule)
     cached = _PROGRAM_CACHE.get(key)
     if cached is None or cached[0]() is not schedule:
-        ref = weakref.ref(schedule, lambda _r, k=key: _PROGRAM_CACHE.pop(k, None))
+        # Capture the dict by value: at interpreter shutdown module
+        # globals are already None when late finalizers fire.
+        ref = weakref.ref(
+            schedule, lambda _r, k=key, cache=_PROGRAM_CACHE: cache.pop(k, None)
+        )
         cached = (ref, {})
         _PROGRAM_CACHE[key] = cached
     programs = cached[1]
@@ -503,3 +514,8 @@ class BatchedCgraExecutor:
                 _ENGINE_ITERATIONS.inc(done * self.batch, engine="batched")
                 if elapsed > 0.0:
                     _ITERS_PER_SECOND.set(done * self.batch / elapsed, engine="batched")
+                if _OBS.profile:
+                    record_program(
+                        self.graph.name, "batched", done, elapsed,
+                        self._program.op_class_counts, lanes=self.batch,
+                    )

@@ -359,6 +359,13 @@ class CgraExecutor:
                 _ENGINE_ITERATIONS.inc(done, engine="compiled")
                 if elapsed > 0.0:
                     _ITERS_PER_SECOND.set(done / elapsed, engine="compiled")
+                if _OBS.profile:
+                    from repro.obs.profile import record_program
+
+                    record_program(
+                        self.graph.name, "compiled", done, elapsed,
+                        program.op_class_counts,
+                    )
 
     def set_register(self, name: str, value: float) -> None:
         """Set a loop-carried register by name *between* iterations.

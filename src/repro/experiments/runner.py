@@ -17,6 +17,14 @@ match EXPERIMENTS.md.  ``--metrics``/``--trace`` switch on the
 :mod:`repro.obs` telemetry and write its artefacts
 (``<name>_metrics.json``/``.csv``, ``<name>_trace.jsonl``,
 ``<name>_report.json``) next to the CSVs — see docs/OBSERVABILITY.md.
+``--profile`` adds the deterministic phase/op profiler (implies
+``--metrics``; writes ``<name>_profile.json`` and logs the hot list);
+``--trace-out PATH`` (implies ``--trace``) additionally accumulates
+every experiment's spans across the whole invocation and writes one
+Chrome/Perfetto trace file at the end — each experiment runs under a
+root span ``experiment.<name>``, so a ``--jobs N`` run still exports a
+single coherent span tree.  Inspect it with
+``python -m repro.obs.view PATH`` or at https://ui.perfetto.dev.
 
 ``--jobs N`` shards experiment fan-out (frequency points, scenario
 lanes, configurations) across ``N`` worker processes through one warm
@@ -362,8 +370,50 @@ def run_experiment(name: str, out_dir: Path, quick: bool = False) -> list[str]:
     return fn(out_dir, quick)
 
 
-def _export_telemetry(name: str, out_dir: Path, want_trace: bool) -> None:
+class _TraceSession:
+    """Accumulates spans + profile across experiments for ``--trace-out``.
+
+    ``_export_telemetry`` resets the global tracer/profiler after every
+    experiment (per-experiment artefacts stay scoped); this object takes
+    custody of the records first so the end-of-run Perfetto export sees
+    the whole invocation.  It reuses a private :class:`~repro.obs.Tracer`
+    /:class:`~repro.obs.Profiler` pair as the accumulator, which the
+    exporter accepts directly.
+    """
+
+    def __init__(self) -> None:
+        from repro import obs
+
+        self.tracer = obs.Tracer()
+        self.profiler = obs.Profiler()
+
+    def absorb(self) -> None:
+        """Take the global tracer's records/profile (call before reset)."""
+        from repro import obs
+
+        live = obs.get_tracer()
+        self.tracer.records.extend(live.records)
+        self.tracer.dropped += live.dropped
+        self.profiler.merge_state(obs.get_profiler().state())
+
+    def export(self, path: Path) -> Path:
+        from repro import obs
+
+        return obs.export.export_trace_perfetto(
+            path, tracer=self.tracer, profiler=self.profiler
+        )
+
+
+def _export_telemetry(
+    name: str,
+    out_dir: Path,
+    want_trace: bool,
+    want_profile: bool = False,
+    session: _TraceSession | None = None,
+) -> None:
     """Write the obs artefacts for one experiment and reset for the next."""
+    import json
+
     from repro import obs
 
     paths = [
@@ -372,6 +422,16 @@ def _export_telemetry(name: str, out_dir: Path, want_trace: bool) -> None:
     ]
     if want_trace:
         paths.append(obs.export.export_trace_jsonl(out_dir / f"{name}_trace.jsonl"))
+    if want_profile:
+        profiler = obs.get_profiler()
+        profile_path = out_dir / f"{name}_profile.json"
+        profile_path.write_text(json.dumps(profiler.state(), indent=2))
+        paths.append(profile_path)
+        for phase, entry in profiler.hot_list(5):
+            logger.info(
+                "  profile %-28s %10.4fs total  %8d calls  mean %.3g s",
+                phase, entry.total_s, entry.count, entry.mean_s,
+            )
     reports = obs.run_reports()
     if reports:
         paths.append(
@@ -384,6 +444,8 @@ def _export_telemetry(name: str, out_dir: Path, want_trace: bool) -> None:
                 report.slack_p50, report.slack_p99,
             )
     logger.info("telemetry -> %s", ", ".join(p.name for p in paths))
+    if session is not None:
+        session.absorb()
     obs.reset()
 
 
@@ -407,6 +469,14 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--trace", action="store_true",
                         help="also record spans; write <name>_trace.jsonl "
                              "(implies --metrics)")
+    parser.add_argument("--profile", action="store_true",
+                        help="time phases/ops with the deterministic "
+                             "profiler; write <name>_profile.json and log "
+                             "the hot list (implies --metrics)")
+    parser.add_argument("--trace-out", metavar="PATH", default=None,
+                        help="write one Chrome/Perfetto trace file covering "
+                             "the whole run (implies --trace); inspect with "
+                             "python -m repro.obs.view PATH")
     parser.add_argument("--verify", action="store_true",
                         help="statically verify the built-in CGRA kernels "
                              "(lint, schedule legality, value ranges) before "
@@ -450,12 +520,16 @@ def main(argv: list[str] | None = None) -> int:
             return rc
         logger.info("static verification passed for all built-in kernels")
 
-    telemetry = args.metrics or args.trace
+    want_trace = args.trace or args.trace_out is not None
+    telemetry = args.metrics or want_trace or args.profile
+    session: _TraceSession | None = None
     if telemetry:
         from repro import obs
 
-        obs.enable(trace=args.trace)
+        obs.enable(trace=want_trace, profile=args.profile)
         obs.reset()
+        if args.trace_out is not None:
+            session = _TraceSession()
 
     # The pool outlives individual experiments: workers stay warm (and
     # their compile caches primed) across every experiment of the run.
@@ -472,17 +546,44 @@ def main(argv: list[str] | None = None) -> int:
         for name in names:
             logger.debug("starting %s (quick=%s)", name, args.quick)
             t0 = time.perf_counter()
+            # Root span: every span the experiment records — including
+            # shards dispatched to pool workers, whose context is frozen
+            # from here — parents under experiment.<name>, so the
+            # exported tree has a single root per experiment.
+            if want_trace:
+                from repro import obs
+
+                root = obs.get_tracer().span(
+                    f"experiment.{name}", quick=bool(args.quick), jobs=args.jobs
+                )
+            else:
+                root = None
             try:
                 summary = run_experiment(name, out_dir, quick=args.quick)
             except ConfigurationError as exc:
                 logger.error("%s", exc)
                 return 2
+            finally:
+                if root is not None:
+                    root.end()
             elapsed = time.perf_counter() - t0
             logger.info("[%s] done in %.1fs -> %s/", name, elapsed, out_dir)
             for line in summary:
                 logger.info("  %s", line)
             if telemetry:
-                _export_telemetry(name, out_dir, want_trace=args.trace)
+                _export_telemetry(
+                    name, out_dir,
+                    want_trace=want_trace,
+                    want_profile=args.profile,
+                    session=session,
+                )
+        if session is not None:
+            trace_path = session.export(Path(args.trace_out))
+            logger.info(
+                "perfetto trace -> %s (%d spans/events; "
+                "python -m repro.obs.view %s)",
+                trace_path, len(session.tracer), trace_path,
+            )
     finally:
         pool = _RUNNER_OPTIONS["pool"]
         if pool is not None:

@@ -1,0 +1,31 @@
+"""``repro.faults`` — fault-injection campaigns (package skeleton).
+
+Reserved home of the fault-injection campaign engine (see ROADMAP.md):
+model RF-station and hardware-level faults against the closed loop and
+sweep fault type × magnitude × onset time as batched/sharded runs,
+reporting loop stability margins.
+
+Planned modules (none implemented yet — importing them raises
+``ImportError`` until the corresponding PR lands):
+
+``station``
+    RF-station faults: cavity failure with compensation/rematch,
+    microphonic detuning spectra, amplifier saturation, detuning
+    transients.
+``hardware``
+    Substrate-level faults the signal chain makes cheap to inject:
+    ADC stuck bits, DAC clipping, DDS phase glitches, CGRA context
+    corruption (detected by the ``repro.cgra.lint`` verifier).
+``campaign``
+    Campaign runner sweeping fault type × magnitude × onset time
+    through the batched/sharded execution tiers; emits stability-margin
+    reports through :mod:`repro.obs`.
+
+Campaign runs are expected to lean on the flight recorder: traces carry
+fault onset as span events, and the profiler attributes the recovery
+cost per phase (see docs/OBSERVABILITY.md).
+"""
+
+from __future__ import annotations
+
+__all__: list[str] = []

@@ -44,6 +44,7 @@ from repro.errors import ConfigurationError, HilError
 from repro.hil.realtime import DeadlineMonitor, JitterStats
 from repro.obs import get_registry, get_tracer, record_hil_run
 from repro.obs._state import STATE as _OBS
+from repro.obs.profile import get_profiler
 from repro.physics.ion import IonSpecies
 from repro.physics.rf import RFSystem, voltage_for_synchrotron_frequency
 from repro.physics.ring import SynchrotronRing
@@ -356,11 +357,14 @@ class BatchedCavityInTheLoop:
             duration_s=duration,
             n_turns=n_turns,
         ):
-            for n in range(n_turns):
-                self.deadline.check_revolution(t_rev)
-                self.step_revolution()
-                if (n + 1) % rec_every == 0:
-                    record()
+            # One profiler phase for the whole lockstep loop (the
+            # batched engine hook below it adds per-op-class detail).
+            with get_profiler().phase("hil.run_batched"):
+                for n in range(n_turns):
+                    self.deadline.check_revolution(t_rev)
+                    self.step_revolution()
+                    if (n + 1) % rec_every == 0:
+                        record()
         stats = self.deadline.stats(allow_empty=True)
         if _OBS.enabled:
             _HIL_ITERATIONS.inc(n_turns, engine="batched")

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from repro.obs import export, report
 from repro.obs._state import STATE
+from repro.obs.profile import ProfileEntry, Profiler, get_profiler
 from repro.obs.registry import (
     Counter,
     Gauge,
@@ -42,24 +43,37 @@ from repro.obs.report import (
     run_reports,
 )
 from repro.obs.snapshot import ObsSnapshot, capture_snapshot, merge_snapshot
-from repro.obs.trace import SpanRecord, Tracer, get_tracer
+from repro.obs.trace import (
+    SpanRecord,
+    Tracer,
+    current_context,
+    get_tracer,
+    trace_context,
+)
 
 __all__ = [
     "enable",
     "disable",
     "enabled",
     "trace_enabled",
+    "profile_enabled",
     "reset",
     "metrics",
     "tracer",
+    "profiler",
     "get_registry",
     "get_tracer",
+    "get_profiler",
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "Tracer",
     "SpanRecord",
+    "current_context",
+    "trace_context",
+    "Profiler",
+    "ProfileEntry",
     "HilRunReport",
     "record_hil_run",
     "add_run_report",
@@ -73,16 +87,18 @@ __all__ = [
 ]
 
 
-def enable(trace: bool = False) -> None:
-    """Turn metrics collection on (and optionally span recording)."""
+def enable(trace: bool = False, profile: bool = False) -> None:
+    """Turn metrics collection on (and optionally spans / profiling)."""
     STATE.enabled = True
     STATE.trace = bool(trace)
+    STATE.profile = bool(profile)
 
 
 def disable() -> None:
     """Turn all telemetry off (instruments keep their recorded values)."""
     STATE.enabled = False
     STATE.trace = False
+    STATE.profile = False
 
 
 def enabled() -> bool:
@@ -95,6 +111,11 @@ def trace_enabled() -> bool:
     return STATE.trace
 
 
+def profile_enabled() -> bool:
+    """True when phase/op profiling is on."""
+    return STATE.profile
+
+
 def metrics() -> MetricsRegistry:
     """The global metric registry."""
     return get_registry()
@@ -105,12 +126,18 @@ def tracer() -> Tracer:
     return get_tracer()
 
 
+def profiler() -> Profiler:
+    """The global phase/op profiler."""
+    return get_profiler()
+
+
 def reset() -> None:
-    """Zero all metric values, drop all spans/events and run reports.
+    """Zero all metric values, drop spans/events, profiles and reports.
 
     The enable/disable switches are left as they are; instrument objects
     stay registered so import-time references remain valid.
     """
     get_registry().reset()
     get_tracer().reset()
+    get_profiler().reset()
     clear_run_reports()

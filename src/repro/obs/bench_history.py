@@ -1,0 +1,227 @@
+"""Benchmark history and regression tracking.
+
+Every ``BENCH_*.json`` artefact (pytest-benchmark JSON shape — see
+:func:`repro.obs.export.write_bench_json`) is a point-in-time snapshot;
+this module strings them into a trajectory and flags regressions:
+
+* :func:`append_run` appends one run — ``{timestamp, source,
+  benchmarks: {name: stats}}`` — as a line of
+  ``benchmarks/results/history.jsonl``;
+* :func:`check_regressions` compares the latest run's mean per benchmark
+  against the **median of the preceding runs'** means and reports every
+  benchmark slower than ``(1 + threshold)`` × baseline.  The median
+  baseline makes a single historic outlier (a noisy CI box) unable to
+  mask or fake a regression;
+* the CLI gates CI:
+
+  .. code-block:: bash
+
+      python -m repro.obs.bench_history append benchmarks/results/BENCH_session.json
+      python -m repro.obs.bench_history check --threshold 0.30
+      python -m repro.obs.bench_history check --warn-only   # 1-core CI boxes
+
+  ``check`` exits 1 on regressions (0 with ``--warn-only``, consistent
+  with the core-gated parallel-scaling thresholds: shared CI runners
+  get warnings, real machines get failures).
+
+Benchmarks present only in the latest run (new benches) or only in
+history (retired benches) are skipped, so renames don't false-positive.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "DEFAULT_HISTORY",
+    "Regression",
+    "append_run",
+    "load_history",
+    "check_regressions",
+    "main",
+]
+
+#: Default trajectory file, next to the BENCH_*.json artefacts.
+DEFAULT_HISTORY = Path("benchmarks/results/history.jsonl")
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One benchmark whose latest mean exceeds the baseline budget."""
+
+    name: str
+    #: Latest run's mean, seconds.
+    latest_s: float
+    #: Median mean of the preceding runs, seconds.
+    baseline_s: float
+    #: ``latest / baseline`` (> 1 means slower).
+    ratio: float
+    #: How many historic runs the baseline is built from.
+    n_baseline_runs: int
+
+    def summary(self) -> str:
+        return (
+            f"{self.name}: {self.latest_s * 1e3:.3f} ms vs baseline "
+            f"{self.baseline_s * 1e3:.3f} ms ({self.ratio:+.0%} of baseline, "
+            f"median of {self.n_baseline_runs} run(s))"
+        )
+
+
+def append_run(
+    bench_path: str | Path,
+    history_path: str | Path = DEFAULT_HISTORY,
+    timestamp: float | None = None,
+) -> dict:
+    """Append one ``BENCH_*.json`` document to the history; returns the
+    appended record."""
+    bench_path = Path(bench_path)
+    doc = json.loads(bench_path.read_text())
+    benchmarks = doc.get("benchmarks")
+    if not isinstance(benchmarks, list):
+        raise ConfigurationError(
+            f"{bench_path} is not a BENCH_*.json document (no 'benchmarks' list)"
+        )
+    entry_stats = {}
+    for bench in benchmarks:
+        stats = bench.get("stats", {})
+        if "mean" not in stats:
+            raise ConfigurationError(
+                f"benchmark {bench.get('name')!r} in {bench_path} lacks stats.mean"
+            )
+        entry_stats[str(bench["name"])] = {
+            "mean": float(stats["mean"]),
+            "min": float(stats.get("min", stats["mean"])),
+            "rounds": int(stats.get("rounds", 1)),
+        }
+    record = {
+        "timestamp": float(timestamp if timestamp is not None else time.time()),
+        "source": bench_path.name,
+        "benchmarks": entry_stats,
+    }
+    history_path = Path(history_path)
+    history_path.parent.mkdir(parents=True, exist_ok=True)
+    with history_path.open("a") as fh:
+        fh.write(json.dumps(record) + "\n")
+    return record
+
+
+def load_history(history_path: str | Path = DEFAULT_HISTORY) -> list[dict]:
+    """All history records, in append (chronological) order."""
+    history_path = Path(history_path)
+    if not history_path.exists():
+        return []
+    records = []
+    for line in history_path.read_text().splitlines():
+        line = line.strip()
+        if line:
+            records.append(json.loads(line))
+    return records
+
+
+def check_regressions(
+    history_path: str | Path = DEFAULT_HISTORY,
+    threshold: float = 0.25,
+    min_runs: int = 2,
+) -> list[Regression]:
+    """Compare the latest run against the median of the preceding runs.
+
+    Returns one :class:`Regression` per benchmark whose latest mean is
+    more than ``(1 + threshold)`` × the baseline median.  With fewer
+    than ``min_runs`` total runs there is nothing to compare and the
+    result is empty.
+    """
+    if threshold <= 0:
+        raise ConfigurationError(f"threshold must be > 0, got {threshold}")
+    history = load_history(history_path)
+    if len(history) < max(2, min_runs):
+        return []
+    latest = history[-1]
+    previous = history[:-1]
+    regressions = []
+    for name, stats in sorted(latest["benchmarks"].items()):
+        baseline_means = [
+            run["benchmarks"][name]["mean"]
+            for run in previous
+            if name in run.get("benchmarks", {})
+        ]
+        if not baseline_means:
+            continue  # new benchmark: no baseline yet
+        baseline = statistics.median(baseline_means)
+        latest_mean = float(stats["mean"])
+        if baseline > 0 and latest_mean > baseline * (1.0 + threshold):
+            regressions.append(
+                Regression(
+                    name=name,
+                    latest_s=latest_mean,
+                    baseline_s=baseline,
+                    ratio=latest_mean / baseline,
+                    n_baseline_runs=len(baseline_means),
+                )
+            )
+    return regressions
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point (``append`` / ``check`` subcommands)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.bench_history",
+        description="Append BENCH_*.json runs to a history file and flag "
+        "perf regressions against the median baseline.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    p_append = sub.add_parser("append", help="append a BENCH_*.json run")
+    p_append.add_argument("bench", nargs="+", help="BENCH_*.json file(s)")
+    p_append.add_argument("--history", default=str(DEFAULT_HISTORY))
+    p_check = sub.add_parser("check", help="flag regressions in the history")
+    p_check.add_argument("--history", default=str(DEFAULT_HISTORY))
+    p_check.add_argument("--threshold", type=float, default=0.25,
+                         help="allowed slowdown fraction (default 0.25)")
+    p_check.add_argument("--warn-only", action="store_true",
+                         help="report regressions but exit 0 (shared/1-core "
+                              "CI boxes, where timing is unreliable)")
+    args = parser.parse_args(argv)
+
+    if args.command == "append":
+        for bench in args.bench:
+            try:
+                record = append_run(bench, history_path=args.history)
+            except (OSError, ConfigurationError, json.JSONDecodeError) as exc:
+                print(f"bench_history: cannot append {bench}: {exc}",
+                      file=sys.stderr)
+                return 2
+            print(
+                f"appended {record['source']} "
+                f"({len(record['benchmarks'])} benchmark(s)) -> {args.history}"
+            )
+        return 0
+
+    try:
+        regressions = check_regressions(
+            history_path=args.history, threshold=args.threshold
+        )
+    except ConfigurationError as exc:
+        print(f"bench_history: {exc}", file=sys.stderr)
+        return 2
+    n_runs = len(load_history(args.history))
+    if not regressions:
+        print(f"no regressions beyond {args.threshold:.0%} "
+              f"across {n_runs} recorded run(s)")
+        return 0
+    for regression in regressions:
+        print(f"REGRESSION {regression.summary()}")
+    if args.warn_only:
+        print("(warn-only: not failing the gate)")
+        return 0
+    return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,12 +1,17 @@
 """Telemetry artefact writers.
 
-Four formats, all plain files next to the experiment CSVs:
+Five formats, all plain files next to the experiment CSVs:
 
 * :func:`export_metrics_json` — the full registry snapshot as one JSON
   document (instrument kind, description, per-label-set series);
 * :func:`export_metrics_csv` — flat ``metric,labels,field,value`` rows
   for spreadsheet-grade consumers;
 * :func:`export_trace_jsonl` — one JSON object per span/event record;
+* :func:`export_trace_perfetto` — Chrome trace-event JSON that loads
+  directly in https://ui.perfetto.dev (and ``chrome://tracing``); span
+  ids travel in ``args`` so :mod:`repro.obs.view` can rebuild the tree
+  from the same file, and the profiler table rides along under a
+  top-level ``profile`` key;
 * :func:`export_run_reports_json` / :func:`write_bench_json` — run
   reports, and a pytest-benchmark-compatible ``BENCH_*.json`` so perf
   numbers from CI land in the same shape the benchmark suite emits.
@@ -21,6 +26,7 @@ from pathlib import Path
 from typing import Iterable, Mapping
 
 from repro.errors import ConfigurationError
+from repro.obs.profile import Profiler, get_profiler
 from repro.obs.registry import MetricsRegistry, get_registry
 from repro.obs.report import HilRunReport, run_reports
 from repro.obs.trace import Tracer, get_tracer
@@ -29,6 +35,7 @@ __all__ = [
     "export_metrics_json",
     "export_metrics_csv",
     "export_trace_jsonl",
+    "export_trace_perfetto",
     "export_run_reports_json",
     "write_bench_json",
 ]
@@ -110,6 +117,89 @@ def export_trace_jsonl(path: str | Path, tracer: Tracer | None = None) -> Path:
                 )
                 + "\n"
             )
+    return path
+
+
+def export_trace_perfetto(
+    path: str | Path,
+    tracer: Tracer | None = None,
+    profiler: Profiler | None = None,
+) -> Path:
+    """Write the trace as Chrome trace-event JSON (Perfetto-loadable).
+
+    Spans become complete (``ph: "X"``) events and point events become
+    instants (``ph: "i"``); timestamps are microseconds relative to the
+    earliest record, so the timeline starts at zero.  Each event's
+    ``args`` carries the span's attributes plus its
+    ``trace_id``/``span_id``/``parent_id``, which is what
+    ``python -m repro.obs.view`` uses to rebuild the span tree from this
+    same file.  Records merged from worker processes (a ``worker``
+    attribute, set by :func:`repro.obs.snapshot.merge_snapshot`) land on
+    their own Perfetto process track; everything else lands on the
+    parent track.  The profiler table is embedded under a top-level
+    ``profile`` key (Chrome/Perfetto ignore unknown top-level keys).
+    """
+    tracer = tracer if tracer is not None else get_tracer()
+    profiler = profiler if profiler is not None else get_profiler()
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    records = sorted(tracer.records, key=lambda r: r.start)
+    t0 = records[0].start if records else 0.0
+    events: list[dict] = []
+    tracks: dict = {}
+
+    def track_of(record) -> int:
+        worker = record.attrs.get("worker", "parent")
+        pid = tracks.get(worker)
+        if pid is None:
+            pid = tracks[worker] = len(tracks) + 1
+            events.append({
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 1,
+                "args": {"name": "parent process" if worker == "parent"
+                         else f"worker {worker}"},
+            })
+        return pid
+
+    for record in records:
+        args = {k: _sanitize(v) if isinstance(v, float) else v
+                for k, v in record.attrs.items()}
+        args["trace_id"] = record.trace_id
+        args["span_id"] = record.span_id
+        args["parent_id"] = record.parent_id
+        event = {
+            "name": record.name,
+            "cat": record.name.split(".", 1)[0],
+            "pid": track_of(record),
+            "tid": 1,
+            "ts": (record.start - t0) * 1e6,
+            "args": args,
+        }
+        if record.is_event:
+            event["ph"] = "i"
+            event["s"] = "t"  # thread-scoped instant
+        else:
+            event["ph"] = "X"
+            event["dur"] = record.duration * 1e6
+        events.append(event)
+    if tracer.dropped:
+        events.append({
+            "name": "trace.dropped",
+            "ph": "i",
+            "s": "g",
+            "pid": 1,
+            "tid": 1,
+            "ts": (records[-1].start - t0) * 1e6 if records else 0.0,
+            "args": {"dropped_records": tracer.dropped},
+        })
+    doc = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "profile": profiler.state(),
+    }
+    path.write_text(json.dumps(doc, default=_json_default))
     return path
 
 

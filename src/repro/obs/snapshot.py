@@ -11,11 +11,19 @@ worker.  This module makes it transportable:
   and can atomically reset afterwards, so one warm worker produces one
   delta snapshot per task;
 * :func:`merge_snapshot` folds a snapshot into the parent's registry,
-  tracer and report list with per-kind semantics: **counters add**,
-  **gauges last-write-wins in merge order** (merging shards in index
-  order reproduces the serial outcome), **histograms add bucket counts
-  and moments**, spans append (tagged with the worker id), reports
-  append.
+  tracer, profiler and report list with per-kind semantics: **counters
+  add**, **gauges last-write-wins in merge order** (merging shards in
+  index order reproduces the serial outcome), **histograms add bucket
+  counts and moments**, **profile entries add** (count/total, min/max
+  compose), spans append (tagged with the worker id), reports append.
+
+Spans keep their ``trace_id``/``span_id``/``parent_id`` through the
+round trip, so a worker span whose parent context was propagated from
+the parent process (:func:`repro.obs.trace.current_context` →
+:class:`repro.obs.trace.trace_context`) re-attaches to the parent's
+span tree on merge.  Span start times are **rebased** onto the parent
+tracer's clock using the two tracers' epoch origins, so a merged trace
+renders as one coherent timeline in Perfetto.
 
 Merging ``N`` worker snapshots into an idle parent registry yields the
 same totals a serial run of the same work would have produced — pinned
@@ -27,6 +35,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError
+from repro.obs.profile import Profiler, get_profiler
 from repro.obs.registry import Histogram, MetricsRegistry, get_registry
 from repro.obs.report import HilRunReport, add_run_report, run_reports
 from repro.obs.trace import SpanRecord, Tracer, get_tracer
@@ -40,7 +49,8 @@ class ObsSnapshot:
 
     ``metrics`` entries carry ``name``/``kind``/``description`` plus the
     instrument's raw :meth:`state` payload (and bucket bounds for
-    histograms); ``spans``/``reports`` are ``to_dict()`` records.
+    histograms); ``spans``/``reports`` are ``to_dict()`` records;
+    ``profile`` is the profiler's :meth:`~repro.obs.profile.Profiler.state`.
     """
 
     metrics: list[dict] = field(default_factory=list)
@@ -48,17 +58,24 @@ class ObsSnapshot:
     reports: list[dict] = field(default_factory=list)
     #: Spans the worker's tracer discarded at its record cap.
     dropped_spans: int = 0
+    #: Phase/op profile table (name → count/total/min/max payload).
+    profile: dict = field(default_factory=dict)
+    #: The capturing tracer's epoch origin (``time.time() -
+    #: time.perf_counter()``); merge uses it to rebase span starts onto
+    #: the parent's clock.  None in snapshots from older emitters.
+    clock_origin_s: float | None = None
 
     @property
     def empty(self) -> bool:
         """True when nothing was recorded (idle worker)."""
-        return not (self.metrics or self.spans or self.reports)
+        return not (self.metrics or self.spans or self.reports or self.profile)
 
 
 def capture_snapshot(
     reset: bool = False,
     registry: MetricsRegistry | None = None,
     tracer: Tracer | None = None,
+    profiler: Profiler | None = None,
 ) -> ObsSnapshot:
     """Freeze the current telemetry state into an :class:`ObsSnapshot`.
 
@@ -68,6 +85,7 @@ def capture_snapshot(
     """
     registry = registry if registry is not None else get_registry()
     tracer = tracer if tracer is not None else get_tracer()
+    profiler = profiler if profiler is not None else get_profiler()
     metrics: list[dict] = []
     for name in registry.names():
         instrument = registry.get(name)
@@ -88,10 +106,13 @@ def capture_snapshot(
         spans=[record.to_dict() for record in tracer.records],
         reports=[report.to_dict() for report in run_reports()],
         dropped_spans=tracer.dropped,
+        profile=profiler.state(),
+        clock_origin_s=tracer.clock_origin,
     )
     if reset:
         registry.reset()
         tracer.reset()
+        profiler.reset()
         from repro.obs.report import clear_run_reports
 
         clear_run_reports()
@@ -102,6 +123,7 @@ def merge_snapshot(
     snapshot: ObsSnapshot,
     registry: MetricsRegistry | None = None,
     tracer: Tracer | None = None,
+    profiler: Profiler | None = None,
     worker: int | str | None = None,
 ) -> None:
     """Fold one worker snapshot into the parent-side telemetry.
@@ -110,10 +132,12 @@ def merge_snapshot(
     direct instrumentation), so the parent need not have touched a
     metric for a worker's series to survive.  ``worker`` tags every
     merged span with a ``worker`` attribute for attribution; span start
-    times stay on the worker's own ``perf_counter`` origin.
+    times are rebased onto the parent tracer's clock when the snapshot
+    carries its origin (older snapshots merge un-rebased).
     """
     registry = registry if registry is not None else get_registry()
     tracer = tracer if tracer is not None else get_tracer()
+    profiler = profiler if profiler is not None else get_profiler()
     for entry in snapshot.metrics:
         kind = entry["kind"]
         if kind == "counter":
@@ -129,6 +153,11 @@ def merge_snapshot(
                 f"snapshot metric {entry['name']!r} has unknown kind {kind!r}"
             )
         instrument.merge_state(entry["state"])
+    # Rebase worker perf_counter starts onto the parent's clock so the
+    # merged trace is one coherent timeline.
+    shift = 0.0
+    if snapshot.clock_origin_s is not None:
+        shift = snapshot.clock_origin_s - tracer.clock_origin
     for span in snapshot.spans:
         attrs = dict(span.get("attrs", {}))
         if worker is not None:
@@ -136,12 +165,16 @@ def merge_snapshot(
         tracer._record(
             SpanRecord(
                 name=span["name"],
-                start=float(span["start_s"]),
+                start=float(span["start_s"]) + shift,
                 duration=float(span["duration_s"]),
                 attrs=attrs,
                 is_event=bool(span.get("event", False)),
+                trace_id=span.get("trace_id"),
+                span_id=span.get("span_id"),
+                parent_id=span.get("parent_id"),
             )
         )
     tracer.dropped += snapshot.dropped_spans
+    profiler.merge_state(snapshot.profile)
     for report in snapshot.reports:
         add_run_report(HilRunReport.from_dict(report))

@@ -1,11 +1,23 @@
-"""Lightweight span/event recorder.
+"""Lightweight span/event recorder with hierarchical trace context.
 
 A :class:`Tracer` records named **spans** (with wall-clock start and
 duration from :func:`time.perf_counter`) and zero-duration **events**,
 both carrying arbitrary key/value attributes.  The records land in an
 in-memory list bounded by ``max_records`` (overflow increments a drop
 counter instead of growing without bound), and export as one JSON object
-per line (:func:`repro.obs.export.export_trace_jsonl`).
+per line (:func:`repro.obs.export.export_trace_jsonl`) or as a
+Chrome/Perfetto trace (:func:`repro.obs.export.export_trace_perfetto`).
+
+Every recorded span carries **trace context**: a ``trace_id`` shared by
+the whole tree, its own ``span_id``, and the ``parent_id`` of the span
+that was *current* when it started.  The current span is tracked on a
+:mod:`contextvars` stack, so nesting needs no plumbing — entering a span
+makes it the parent of everything started underneath it, including
+spans recorded by code three layers down.  The context crosses process
+boundaries explicitly: :func:`current_context` freezes the parent's
+``(trace_id, span_id)`` into plain strings, and :class:`trace_context`
+adopts them in a worker, so a sharded ``repro.parallel`` run merges into
+one coherent tree (see :mod:`repro.obs.snapshot`).
 
 While tracing is disabled — the default — ``span()`` returns a shared
 no-op context manager and ``event()`` returns immediately, so call sites
@@ -14,12 +26,79 @@ can stay unconditional: the cost is one flag check.
 
 from __future__ import annotations
 
+import contextvars
+import os
+import sys
 import time
+import uuid
 from dataclasses import dataclass, field
 
 from repro.obs._state import STATE
 
-__all__ = ["SpanRecord", "Tracer", "get_tracer"]
+__all__ = [
+    "SpanRecord",
+    "Tracer",
+    "get_tracer",
+    "current_context",
+    "trace_context",
+    "new_trace_id",
+]
+
+#: ``(trace_id, span_id)`` of the innermost live span, or None outside
+#: any span.  A ContextVar (not a plain global) so threads and asyncio
+#: tasks each see their own stack.
+_CONTEXT: contextvars.ContextVar = contextvars.ContextVar(
+    "repro_obs_span_context", default=None
+)
+
+#: Per-process span-id sequence; combined with the pid so ids minted by
+#: concurrently-running worker processes never collide.
+_SPAN_SEQ = 0
+
+
+def _next_span_id() -> str:
+    global _SPAN_SEQ
+    _SPAN_SEQ += 1
+    return f"{os.getpid():x}-{_SPAN_SEQ:x}"
+
+
+def new_trace_id() -> str:
+    """A fresh 32-hex trace id (one per span tree)."""
+    return uuid.uuid4().hex
+
+
+def current_context() -> tuple[str, str] | None:
+    """``(trace_id, span_id)`` of the current span, or None.
+
+    The returned pair is plain picklable data — ship it to a worker
+    process and re-enter it there with :class:`trace_context` to parent
+    the worker's spans under this process's current span.
+    """
+    return _CONTEXT.get()
+
+
+class trace_context:
+    """Adopt an externally-created parent span for the enclosed code.
+
+    Used on the worker side of a cross-process dispatch: spans started
+    inside the ``with`` block join trace ``trace_id`` as children of
+    ``span_id`` instead of starting a fresh tree.
+    """
+
+    __slots__ = ("_ctx", "_token")
+
+    def __init__(self, trace_id: str, span_id: str) -> None:
+        self._ctx = (str(trace_id), str(span_id))
+        self._token = None
+
+    def __enter__(self) -> "trace_context":
+        self._token = _CONTEXT.set(self._ctx)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self._token is not None:
+            _CONTEXT.reset(self._token)
+            self._token = None
 
 
 @dataclass
@@ -35,6 +114,12 @@ class SpanRecord:
     attrs: dict = field(default_factory=dict)
     #: True for point events.
     is_event: bool = False
+    #: Trace tree this record belongs to (None for pre-context records).
+    trace_id: str | None = None
+    #: This record's own id.
+    span_id: str | None = None
+    #: Id of the span that was current when this one started.
+    parent_id: str | None = None
 
     def to_dict(self) -> dict:
         return {
@@ -43,6 +128,9 @@ class SpanRecord:
             "duration_s": self.duration,
             "attrs": self.attrs,
             "event": self.is_event,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
         }
 
 
@@ -68,14 +156,32 @@ _NULL_SPAN = _NullSpan()
 
 
 class _Span:
-    """Live span; records itself on exit/end (idempotent)."""
+    """Live span; records itself on exit/end (idempotent).
 
-    __slots__ = ("_tracer", "name", "attrs", "_start", "_done")
+    On start the span pushes itself onto the contextvar stack (becoming
+    the parent of spans started underneath); on end it pops itself.
+    Non-LIFO manual ``end()`` calls fall back to restoring the parent
+    context directly instead of raising.
+    """
+
+    __slots__ = (
+        "_tracer", "name", "attrs", "_start", "_done",
+        "trace_id", "span_id", "parent_id", "_token", "_parent_ctx",
+    )
 
     def __init__(self, tracer: "Tracer", name: str, attrs: dict) -> None:
         self._tracer = tracer
         self.name = name
         self.attrs = attrs
+        parent = _CONTEXT.get()
+        self._parent_ctx = parent
+        if parent is None:
+            self.trace_id = new_trace_id()
+            self.parent_id = None
+        else:
+            self.trace_id, self.parent_id = parent[0], parent[1]
+        self.span_id = _next_span_id()
+        self._token = _CONTEXT.set((self.trace_id, self.span_id))
         self._start = time.perf_counter()
         self._done = False
 
@@ -88,8 +194,21 @@ class _Span:
             return
         self._done = True
         duration = time.perf_counter() - self._start
+        if _CONTEXT.get() == (self.trace_id, self.span_id):
+            try:
+                _CONTEXT.reset(self._token)
+            except ValueError:  # token minted in another context
+                _CONTEXT.set(self._parent_ctx)
+        # else: ended out of order while a child is still open — leave
+        # the stack to the spans that remain live (their parent links
+        # were captured at start, so the tree stays correct).
         self._tracer._record(
-            SpanRecord(self.name, self._start, duration, self.attrs)
+            SpanRecord(
+                self.name, self._start, duration, self.attrs,
+                trace_id=self.trace_id,
+                span_id=self.span_id,
+                parent_id=self.parent_id,
+            )
         )
 
     def __enter__(self) -> "_Span":
@@ -114,10 +233,29 @@ class Tracer:
         self.records: list[SpanRecord] = []
         #: Records discarded because the buffer was full.
         self.dropped = 0
+        #: Offset mapping this process's perf_counter starts onto the
+        #: epoch clock (``time.time() - time.perf_counter()`` at tracer
+        #: creation).  Snapshot merges use the difference between two
+        #: tracers' origins to rebase worker spans onto the parent's
+        #: timeline, so a merged trace renders coherently in Perfetto.
+        self.clock_origin = time.time() - time.perf_counter()
+        self._drop_warned = False
 
     def _record(self, record: SpanRecord) -> None:
         if len(self.records) >= self.max_records:
             self.dropped += 1
+            if not self._drop_warned:
+                # One-time, loud: a truncated trace must never be
+                # mistaken for a complete one.
+                self._drop_warned = True
+                print(
+                    f"repro.obs: tracer hit max_records={self.max_records}; "
+                    "further spans/events are dropped (see the "
+                    "obs_trace_dropped_total counter and the trace.dropped "
+                    "event in exports)",
+                    file=sys.stderr,
+                )
+            _dropped_counter().inc()
             return
         self.records.append(record)
 
@@ -128,20 +266,43 @@ class Tracer:
         return _Span(self, name, attrs)
 
     def event(self, name: str, **attrs) -> None:
-        """Record a zero-duration point event."""
+        """Record a zero-duration point event (a child of the current span)."""
         if not STATE.trace:
             return
+        ctx = _CONTEXT.get()
         self._record(
-            SpanRecord(name, time.perf_counter(), 0.0, attrs, is_event=True)
+            SpanRecord(
+                name, time.perf_counter(), 0.0, attrs, is_event=True,
+                trace_id=ctx[0] if ctx is not None else None,
+                span_id=_next_span_id(),
+                parent_id=ctx[1] if ctx is not None else None,
+            )
         )
 
     def reset(self) -> None:
-        """Drop all records and the drop counter."""
+        """Drop all records, the drop counter, and the context stack.
+
+        Clearing the stack recovers from any stale context left by
+        out-of-order manual ``end()`` calls; don't call mid-span.
+        """
         self.records.clear()
         self.dropped = 0
+        self._drop_warned = False
+        _CONTEXT.set(None)
 
     def __len__(self) -> int:
         return len(self.records)
+
+
+def _dropped_counter():
+    """The saturation counter (lazy import: registry pulls in no trace
+    code, but keep module import order decoupled anyway)."""
+    from repro.obs.registry import get_registry
+
+    return get_registry().counter(
+        "obs_trace_dropped_total",
+        "span/event records dropped at the tracer's max_records cap",
+    )
 
 
 #: The process-wide tracer used by all built-in instrumentation.

@@ -25,6 +25,10 @@ Design points, in the order the ISSUE states them:
   :class:`~repro.obs.snapshot.ObsSnapshot` per task, and the parent
   merges every snapshot back — worker iterations, deadline misses and
   compile-cache hits all aggregate into the parent's exported metrics.
+  With tracing on, the dispatching span's ``(trace_id, span_id)`` is
+  frozen into each task and adopted worker-side, so every shard's span
+  subtree re-attaches under the dispatch site on merge: a ``--jobs N``
+  run exports one coherent span tree with a single trace id.
 
 Work functions and items must be picklable (module-level functions,
 plain-data items).  Results must be plain data as well: returning
@@ -45,7 +49,9 @@ from typing import Any, Callable, Iterable, Sequence
 
 from repro import obs
 from repro.errors import ConfigurationError, ParallelExecutionError
+from repro.obs.profile import get_profiler
 from repro.obs.snapshot import ObsSnapshot, capture_snapshot, merge_snapshot
+from repro.obs.trace import current_context, get_tracer, trace_context
 
 __all__ = [
     "ShardFailure",
@@ -176,7 +182,10 @@ _WORKER_STATE = {"obs": False}
 
 
 def _worker_init(
-    obs_enabled: bool, trace_enabled: bool, primers: tuple[Callable[[], None], ...]
+    obs_enabled: bool,
+    trace_enabled: bool,
+    profile_enabled: bool,
+    primers: tuple[Callable[[], None], ...],
 ) -> None:
     """Per-worker initializer: clean telemetry, primed caches.
 
@@ -189,7 +198,7 @@ def _worker_init(
     obs.disable()
     obs.reset()
     if obs_enabled:
-        obs.enable(trace=trace_enabled)
+        obs.enable(trace=trace_enabled, profile=profile_enabled)
     _WORKER_STATE["obs"] = obs_enabled
     for primer in primers:
         primer()
@@ -214,10 +223,33 @@ def _execute(index: int, fn: Callable[[Any], Any], item: Any) -> tuple:
     return value, failure, time.perf_counter() - t0
 
 
+def _execute_instrumented(index: int, fn, item, ctx: tuple | None) -> tuple:
+    """Run one item inside a ``parallel.shard`` span / profile phase.
+
+    ``ctx`` is the parent process's ``(trace_id, span_id)`` frozen at
+    dispatch time: adopting it parents the shard's whole span subtree
+    (HIL runs, engine spans, ...) under the dispatching span, so a
+    ``--jobs N`` run merges into one tree with a single trace id.
+    """
+    adopt = trace_context(*ctx) if ctx is not None and obs.trace_enabled() else None
+    if adopt is not None:
+        adopt.__enter__()
+    try:
+        with get_tracer().span(
+            "parallel.shard", shard=index, fn=getattr(fn, "__name__", str(fn))
+        ):
+            value, failure, elapsed = _execute(index, fn, item)
+    finally:
+        if adopt is not None:
+            adopt.__exit__()
+    get_profiler().add("parallel.shard", elapsed)
+    return value, failure, elapsed
+
+
 def _run_shard(payload: tuple) -> ShardResult:
     """Worker-side task wrapper: run, then snapshot-and-reset telemetry."""
-    index, fn, item = payload
-    value, failure, elapsed = _execute(index, fn, item)
+    index, fn, item, ctx = payload
+    value, failure, elapsed = _execute_instrumented(index, fn, item, ctx)
     telemetry = None
     if _WORKER_STATE["obs"]:
         _SHARD_SECONDS.observe(elapsed)
@@ -289,7 +321,12 @@ class WorkerPool:
                 max_workers=self.jobs,
                 mp_context=context,
                 initializer=_worker_init,
-                initargs=(obs.enabled(), obs.trace_enabled(), self._primers),
+                initargs=(
+                    obs.enabled(),
+                    obs.trace_enabled(),
+                    obs.profile_enabled(),
+                    self._primers,
+                ),
             )
             _POOL_WORKERS.set(self.jobs)
         return self._executor
@@ -330,7 +367,10 @@ class WorkerPool:
     def _map_inline(self, fn, items) -> list[ShardResult]:
         results = []
         for index, item in enumerate(items):
-            value, failure, elapsed = _execute(index, fn, item)
+            # Inline shards share the parent's contextvar stack, so the
+            # parallel.shard span nests under the caller's current span
+            # without explicit context adoption.
+            value, failure, elapsed = _execute_instrumented(index, fn, item, None)
             _SHARD_SECONDS.observe(elapsed)
             results.append(
                 ShardResult(
@@ -346,8 +386,11 @@ class WorkerPool:
 
     def _map_pooled(self, fn, items) -> list[ShardResult]:
         executor = self._ensure_executor()
+        # Freeze the dispatching span's context once: every shard of
+        # this map call is its child, whatever worker it lands on.
+        ctx = current_context()
         futures = [
-            executor.submit(_run_shard, (index, fn, item))
+            executor.submit(_run_shard, (index, fn, item, ctx))
             for index, item in enumerate(items)
         ]
         results: list[ShardResult] = []

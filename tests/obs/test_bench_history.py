@@ -1,0 +1,127 @@
+"""Benchmark history trajectory and the regression gate."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.bench_history import (
+    append_run,
+    check_regressions,
+    load_history,
+    main,
+)
+from repro.obs.export import write_bench_json
+
+
+def _bench_file(tmp_path, slug, means):
+    entries = [
+        {"name": name, "stats": {"mean": mean, "rounds": 3}}
+        for name, mean in means.items()
+    ]
+    return write_bench_json(tmp_path / f"BENCH_{slug}.json", entries)
+
+
+class TestAppend:
+    def test_appends_jsonl_records_in_order(self, tmp_path):
+        history = tmp_path / "history.jsonl"
+        path = _bench_file(tmp_path, "a", {"fig5a": 0.10})
+        record = append_run(path, history_path=history, timestamp=100.0)
+        assert record["source"] == "BENCH_a.json"
+        assert record["benchmarks"]["fig5a"]["mean"] == 0.10
+        append_run(path, history_path=history, timestamp=200.0)
+        runs = load_history(history)
+        assert [r["timestamp"] for r in runs] == [100.0, 200.0]
+
+    def test_rejects_non_bench_document(self, tmp_path):
+        bogus = tmp_path / "BENCH_bogus.json"
+        bogus.write_text(json.dumps({"nope": 1}))
+        with pytest.raises(ConfigurationError, match="benchmarks"):
+            append_run(bogus, history_path=tmp_path / "h.jsonl")
+
+    def test_missing_history_loads_empty(self, tmp_path):
+        assert load_history(tmp_path / "absent.jsonl") == []
+
+
+class TestCheck:
+    def test_injected_synthetic_slowdown_is_detected(self, tmp_path):
+        """Acceptance fixture: a 2x slowdown on one benchmark trips the gate."""
+        history = tmp_path / "history.jsonl"
+        for ts, mean in ((1, 0.10), (2, 0.11), (3, 0.09)):
+            path = _bench_file(tmp_path, f"r{ts}", {"fig5a": mean, "sweep": 1.0})
+            append_run(path, history_path=history, timestamp=float(ts))
+        slow = _bench_file(tmp_path, "slow", {"fig5a": 0.20, "sweep": 1.0})
+        append_run(slow, history_path=history, timestamp=4.0)
+        (regression,) = check_regressions(history, threshold=0.25)
+        assert regression.name == "fig5a"
+        assert regression.baseline_s == pytest.approx(0.10)  # median of 3
+        assert regression.ratio == pytest.approx(2.0)
+        assert regression.n_baseline_runs == 3
+        assert "fig5a" in regression.summary()
+
+    def test_within_threshold_is_quiet(self, tmp_path):
+        history = tmp_path / "history.jsonl"
+        for ts, mean in ((1, 0.10), (2, 0.11)):
+            path = _bench_file(tmp_path, f"r{ts}", {"b": mean})
+            append_run(path, history_path=history, timestamp=float(ts))
+        assert check_regressions(history, threshold=0.25) == []
+
+    def test_median_baseline_resists_one_outlier(self, tmp_path):
+        # One historic outlier must not drag the baseline up.
+        history = tmp_path / "history.jsonl"
+        for ts, mean in ((1, 0.10), (2, 5.0), (3, 0.10), (4, 0.25)):
+            path = _bench_file(tmp_path, f"r{ts}", {"b": mean})
+            append_run(path, history_path=history, timestamp=float(ts))
+        (regression,) = check_regressions(history, threshold=0.25)
+        assert regression.baseline_s == pytest.approx(0.10)
+
+    def test_single_run_has_no_baseline(self, tmp_path):
+        history = tmp_path / "history.jsonl"
+        append_run(
+            _bench_file(tmp_path, "only", {"b": 0.1}),
+            history_path=history, timestamp=1.0,
+        )
+        assert check_regressions(history) == []
+
+    def test_new_and_retired_benchmarks_are_skipped(self, tmp_path):
+        history = tmp_path / "history.jsonl"
+        append_run(
+            _bench_file(tmp_path, "old", {"retired": 0.1}),
+            history_path=history, timestamp=1.0,
+        )
+        append_run(
+            _bench_file(tmp_path, "new", {"fresh": 99.0}),
+            history_path=history, timestamp=2.0,
+        )
+        assert check_regressions(history) == []
+
+    def test_bad_threshold_raises(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="threshold"):
+            check_regressions(tmp_path / "h.jsonl", threshold=0.0)
+
+
+class TestCli:
+    def test_append_then_check_exit_codes(self, tmp_path, capsys):
+        history = tmp_path / "h.jsonl"
+        fast = _bench_file(tmp_path, "fast", {"b": 0.1})
+        slow = _bench_file(tmp_path, "slowrun", {"b": 0.3})
+        assert main(["append", str(fast), "--history", str(history)]) == 0
+        assert main(["check", "--history", str(history)]) == 0
+        assert main(["append", str(slow), "--history", str(history)]) == 0
+        assert main(["check", "--history", str(history)]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_warn_only_reports_but_exits_zero(self, tmp_path, capsys):
+        history = tmp_path / "h.jsonl"
+        for slug, mean in (("fast", 0.1), ("slowrun", 0.3)):
+            main(["append", str(_bench_file(tmp_path, slug, {"b": mean})),
+                  "--history", str(history)])
+        assert main(["check", "--history", str(history), "--warn-only"]) == 0
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out and "warn-only" in out
+
+    def test_append_unreadable_file_exits_2(self, tmp_path, capsys):
+        missing = tmp_path / "BENCH_missing.json"
+        assert main(["append", str(missing), "--history",
+                     str(tmp_path / "h.jsonl")]) == 2
+        assert "cannot append" in capsys.readouterr().err

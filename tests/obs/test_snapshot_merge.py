@@ -117,6 +117,51 @@ class TestMergeValidation:
             merge_snapshot(snap, registry=MetricsRegistry(), tracer=Tracer())
 
 
+class TestGaugeOrderDeterminism:
+    def test_gauge_outcome_is_fixed_by_shard_order(self, enabled):
+        """Gauges are last-write-wins *in merge order* — merging shards
+        in index order is what makes the outcome deterministic."""
+        snaps = []
+        for i in range(3):
+            registry = MetricsRegistry()
+            registry.gauge("g", "").set(10.0 * i)
+            snaps.append(capture_snapshot(registry=registry, tracer=Tracer()))
+        outcomes = []
+        for _ in range(2):  # same order → same outcome, every time
+            parent = MetricsRegistry()
+            for snap in snaps:
+                merge_snapshot(snap, registry=parent, tracer=Tracer())
+            outcomes.append(parent.gauge("g", "").value())
+        assert outcomes == [20.0, 20.0]
+        # Completion order is NOT the contract: a different merge order
+        # moves the gauge, which is why the pool merges in shard order.
+        parent = MetricsRegistry()
+        for snap in reversed(snaps):
+            merge_snapshot(snap, registry=parent, tracer=Tracer())
+        assert parent.gauge("g", "").value() == 0.0
+
+
+class TestProfileMerge:
+    def test_profile_tables_merge_by_addition(self, enabled):
+        from repro.obs.profile import Profiler
+
+        worker = Profiler()
+        worker._add("hil.sense", 2.0)
+        parent = Profiler()
+        parent._add("hil.sense", 1.0)
+        snap = capture_snapshot(
+            registry=MetricsRegistry(), tracer=Tracer(), profiler=worker
+        )
+        assert snap.profile["hil.sense"]["count"] == 1
+        merge_snapshot(
+            snap, registry=MetricsRegistry(), tracer=Tracer(), profiler=parent
+        )
+        entry = parent.entries()["hil.sense"]
+        assert entry.count == 2
+        assert entry.total_s == 3.0
+        assert (entry.min_s, entry.max_s) == (1.0, 2.0)
+
+
 class TestSpansAndReports:
     def test_spans_merge_with_worker_tag(self, tracing):
         worker_tracer = Tracer()
@@ -131,6 +176,38 @@ class TestSpansAndReports:
         assert record.duration == 0.25
         assert record.attrs == {"model": "beam", "worker": 42}
         assert parent.dropped == 3
+
+    def test_worker_span_merge_then_export_round_trip(self, tracing, tmp_path):
+        """The worker tag and parent links survive merge → Perfetto →
+        view reload."""
+        from repro.obs.view import load_trace
+
+        with tracing.span("dispatch") as dispatch:
+            ctx = obs.current_context()
+        worker_tracer = Tracer()  # simulated worker process
+        with obs.trace_context(*ctx):
+            with worker_tracer.span("shard"):
+                pass
+        snap = capture_snapshot(registry=MetricsRegistry(), tracer=worker_tracer)
+        merge_snapshot(
+            snap, registry=MetricsRegistry(), tracer=tracing, worker=7
+        )
+        path = obs.export.export_trace_perfetto(tmp_path / "t.json")
+        spans, _ = load_trace(path)
+        by_name = {s["name"]: s for s in spans}
+        shard = by_name["shard"]
+        assert shard["attrs"]["worker"] == 7
+        assert shard["trace_id"] == by_name["dispatch"]["trace_id"]
+        assert shard["parent_id"] == by_name["dispatch"]["span_id"]
+
+    def test_span_starts_rebase_onto_parent_clock(self, tracing):
+        worker_tracer = Tracer()
+        worker_tracer.clock_origin = tracing.clock_origin + 100.0
+        worker_tracer._record(SpanRecord("w", 5.0, 0.1))
+        snap = capture_snapshot(registry=MetricsRegistry(), tracer=worker_tracer)
+        assert snap.clock_origin_s == worker_tracer.clock_origin
+        merge_snapshot(snap, registry=MetricsRegistry(), tracer=tracing)
+        assert tracing.records[-1].start == pytest.approx(105.0)
 
     def test_reports_round_trip(self, enabled):
         clear_run_reports()

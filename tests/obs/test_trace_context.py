@@ -1,0 +1,145 @@
+"""Hierarchical trace context: ids, nesting, adoption, saturation.
+
+The tracer contract pinned here: every recorded span carries a
+``trace_id``/``span_id``/``parent_id`` triple maintained on a contextvar
+stack, the frozen ``(trace_id, span_id)`` pair adopts across process
+boundaries, and hitting the record cap is loudly visible (one stderr
+warning + the ``obs_trace_dropped_total`` counter).
+"""
+
+import pickle
+
+from repro import obs
+from repro.obs.trace import Tracer, current_context, trace_context
+
+
+class TestContextIds:
+    def test_root_span_mints_trace_id(self, tracing):
+        with tracing.span("root"):
+            pass
+        (rec,) = tracing.records
+        assert len(rec.trace_id) == 32
+        assert rec.span_id
+        assert rec.parent_id is None
+
+    def test_nested_spans_share_trace_and_link_parent(self, tracing):
+        with tracing.span("outer"):
+            with tracing.span("inner"):
+                pass
+        inner, outer = tracing.records
+        assert inner.trace_id == outer.trace_id
+        assert inner.parent_id == outer.span_id
+        assert inner.span_id != outer.span_id
+
+    def test_sibling_roots_start_separate_traces(self, tracing):
+        with tracing.span("a"):
+            pass
+        with tracing.span("b"):
+            pass
+        a, b = tracing.records
+        assert a.trace_id != b.trace_id
+        assert a.parent_id is None and b.parent_id is None
+
+    def test_event_is_child_of_current_span(self, tracing):
+        with tracing.span("outer"):
+            tracing.event("tick")
+        event, outer = tracing.records
+        assert event.trace_id == outer.trace_id
+        assert event.parent_id == outer.span_id
+        assert event.span_id != outer.span_id
+
+    def test_orphan_event_has_no_context(self, tracing):
+        tracing.event("loose")
+        (rec,) = tracing.records
+        assert rec.trace_id is None and rec.parent_id is None
+
+    def test_current_context_tracks_innermost_span(self, tracing):
+        assert current_context() is None
+        with tracing.span("outer") as outer:
+            assert current_context() == (outer.trace_id, outer.span_id)
+            with tracing.span("inner") as inner:
+                assert current_context() == (inner.trace_id, inner.span_id)
+            assert current_context() == (outer.trace_id, outer.span_id)
+        assert current_context() is None
+
+    def test_manual_lifo_end_restores_context(self, tracing):
+        outer = tracing.span("outer")
+        inner = tracing.span("inner")
+        inner.end()
+        assert current_context() == (outer.trace_id, outer.span_id)
+        outer.end()
+        assert current_context() is None
+
+    def test_out_of_order_end_keeps_recording_safe(self, tracing):
+        outer = tracing.span("outer")
+        inner = tracing.span("inner")
+        outer.end()  # non-LIFO: inner is still open
+        # The open inner span stays current (its parent link was already
+        # captured at start), so a new child still lands under it.
+        assert current_context() == (inner.trace_id, inner.span_id)
+        inner.end()
+        with tracing.span("later"):
+            pass
+        assert len(tracing.records) == 3
+        later = tracing.records[-1]
+        # The tree stays well-formed: every parent link resolves to a
+        # recorded span.
+        ids = {r.span_id for r in tracing.records}
+        assert later.parent_id is None or later.parent_id in ids
+
+    def test_to_dict_carries_context(self, tracing):
+        with tracing.span("s"):
+            pass
+        payload = tracing.records[0].to_dict()
+        assert payload["trace_id"] and payload["span_id"]
+        assert payload["parent_id"] is None
+
+
+class TestAdoption:
+    def test_trace_context_parents_spans_under_remote_span(self, tracing):
+        with tracing.span("dispatch") as dispatch:
+            ctx = current_context()
+        worker_tracer = Tracer()  # simulated worker side
+        with trace_context(*ctx):
+            with worker_tracer.span("shard"):
+                pass
+        assert current_context() is None
+        (rec,) = worker_tracer.records
+        assert rec.trace_id == dispatch.trace_id
+        assert rec.parent_id == dispatch.span_id
+
+    def test_context_is_plain_picklable_data(self, tracing):
+        with tracing.span("dispatch"):
+            ctx = current_context()
+        assert pickle.loads(pickle.dumps(ctx)) == ctx
+        assert all(isinstance(part, str) for part in ctx)
+
+
+class TestDisabledPath:
+    def test_no_context_outside_tracing(self):
+        t = Tracer()
+        with t.span("nope"):
+            assert current_context() is None
+        assert len(t) == 0
+
+
+class TestSaturation:
+    def test_cap_warns_once_and_counts(self, tracing, capsys):
+        t = Tracer(max_records=1)
+        t.event("kept")
+        t.event("lost-1")
+        t.event("lost-2")
+        err = capsys.readouterr().err
+        assert err.count("max_records=1") == 1  # one-time warning
+        assert t.dropped == 2
+        counter = obs.metrics().counter("obs_trace_dropped_total", "")
+        assert counter.value() == 2
+
+    def test_reset_rearms_the_warning(self, tracing, capsys):
+        t = Tracer(max_records=1)
+        t.event("kept")
+        t.event("lost")
+        t.reset()
+        t.event("kept")
+        t.event("lost")
+        assert capsys.readouterr().err.count("max_records=1") == 2
