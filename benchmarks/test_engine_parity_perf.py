@@ -154,8 +154,42 @@ def test_engine_parity_and_throughput():
                     "aggregate_speedup_vs_interpreted": aggregate,
                 },
             },
+            *_certificate_entries(),
         ],
     )
 
     assert single >= 10.0, f"compiled speedup {single:.1f}x below 10x target"
     assert aggregate >= 50.0, f"aggregate speedup {aggregate:.1f}x below 50x target"
+
+
+def _certificate_entries() -> list[dict]:
+    """Per-schedule vectorization-certificate stats: how much of each
+    built-in kernel the dependence analysis certifies chunkable.  The
+    timing is the analysis cost itself; the chunkability numbers ride in
+    ``extra_info`` so the history gate can watch them regress."""
+    from repro.cgra.verify import certify_vectorization
+
+    entries = []
+    for n_bunches in (1, 4, 8):
+        for pipelined in (False, True):
+            model = compile_beam_model(n_bunches=n_bunches, pipelined=pipelined)
+            t0 = time.perf_counter()
+            cert = certify_vectorization(model.schedule).certificate
+            t_cert = time.perf_counter() - t0
+            stats = cert.stats()
+            suffix = "pipelined" if pipelined else "plain"
+            entries.append(
+                {
+                    "name": f"certificate/beam_n{n_bunches}_{suffix}",
+                    "stats": {"mean": t_cert, "rounds": 1},
+                    "extra_info": {
+                        "n_ops": stats["n_ops"],
+                        "n_segments": stats["n_segments"],
+                        "n_chunkable_segments": stats["n_chunkable_segments"],
+                        "chunkable_ops": stats["chunkable_ops"],
+                        "chunkable_fraction": stats["chunkable_fraction"],
+                        "max_chunk_width": stats["max_chunk_width"],
+                    },
+                }
+            )
+    return entries

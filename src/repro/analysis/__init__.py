@@ -1,0 +1,42 @@
+"""``repro.analysis`` — whole-program static analysis front ends.
+
+Two analyses share the :mod:`repro.cgra.verify` diagnostics machinery:
+
+* :mod:`repro.analysis.shardlint` — AST-based shard-safety/determinism
+  lint of the experiment/fault task modules (pass id ``"shardlint"``,
+  rules ``SHARD001``–``SHARD004``), the static counterpart of the
+  runtime ``_guard_value`` check in :mod:`repro.parallel.pool`;
+* the dependence pass (:mod:`repro.cgra.verify.dependence`) — per-op
+  effect summaries, loop-carried dependence chains and
+  :class:`~repro.cgra.verify.dependence.VectorizationCertificate`
+  emission for every built-in kernel.
+
+``python -m repro.analysis`` runs both (``--all``) or shardlint over
+explicit paths, with ``--json`` per-target output and
+``--fail-on-error``/``--fail-on-warning`` gates.  Exit status: 0 clean,
+1 diagnostics tripped a gate, 2 internal analyzer error.
+"""
+
+from repro.analysis.shardlint import (
+    HANDLE_TYPES,
+    RULES,
+    default_targets,
+    lint_shard_file,
+    lint_shard_source,
+)
+
+__all__ = [
+    "RULES",
+    "HANDLE_TYPES",
+    "lint_shard_source",
+    "lint_shard_file",
+    "default_targets",
+    "main",
+]
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point (see :mod:`repro.analysis.cli`)."""
+    from repro.analysis.cli import main as cli_main
+
+    return cli_main(argv)

@@ -56,6 +56,7 @@ from repro.obs.profile import record_program
 __all__ = [
     "CompiledProgram",
     "compile_program",
+    "merged_entries",
     "BatchedCgraExecutor",
     "set_default_engine",
     "get_default_engine",
@@ -102,11 +103,13 @@ def resolve_engine(engine: str | None) -> str:
     return engine
 
 
-def _merged_entries(schedule: Schedule) -> list:
+def merged_entries(schedule: Schedule) -> list:
     """All context-image entries merged into one tick-ordered program.
 
     Same ordering as the interpreter: global tick order, ties broken by
-    node id (tied ops are independent on legal schedules).
+    node id (tied ops are independent on legal schedules).  Each entry
+    is ``(tick, Op, node_id, operands, io_id)`` — the flat program the
+    static analyses in :mod:`repro.cgra.verify` consume.
     """
     entries = []
     for image in build_context_images(schedule).values():
@@ -114,6 +117,10 @@ def _merged_entries(schedule: Schedule) -> list:
             entries.append((e.tick, Op(e.op), e.node_id, tuple(e.operands), e.io_id))
     entries.sort(key=lambda e: (e[0], e[2]))
     return entries
+
+
+#: Backwards-compatible private alias (public since the dependence pass).
+_merged_entries = merged_entries
 
 
 class _CodeEmitter:
@@ -243,7 +250,7 @@ class CompiledProgram:
         self.graph: DataflowGraph = schedule.graph
         self.precision = precision
         self.ftype = np.float32 if precision == "single" else np.float64
-        self.entries = _merged_entries(schedule)
+        self.entries = merged_entries(schedule)
         self.n_slots = max(self.graph.nodes, default=-1) + 1
         #: Static per-iteration tick of each actuator write (io_id → tick).
         self.actuator_write_ticks: dict[int, int] = {
@@ -263,6 +270,7 @@ class CompiledProgram:
         self.step_traced = self._compile(self.source_traced, "traced", batched=False)
         self._step_batched = None
         self.source_batched: str | None = None
+        self._certificate = None
         if _OBS.enabled:
             _PROGRAMS_COMPILED.inc(precision=precision)
 
@@ -290,6 +298,21 @@ class CompiledProgram:
             self.source_batched = emitter.emit(traced=True)
             self._step_batched = self._compile(self.source_batched, "batched", batched=True)
         return self._step_batched
+
+    @property
+    def certificate(self):
+        """Vectorization certificate of this program (derived on first use).
+
+        The :class:`~repro.cgra.verify.dependence.VectorizationCertificate`
+        partitioning the flat program into chunkable/sequential segments —
+        the seam the future array-lowered engine consumes.  Purely static;
+        cached per program.
+        """
+        if self._certificate is None:
+            from repro.cgra.verify.dependence import certify_vectorization
+
+            self._certificate = certify_vectorization(self.schedule).certificate
+        return self._certificate
 
     def initial_slots(self, params: dict[str, float]) -> list:
         """Fresh register file with constants/params/PHI inits loaded."""

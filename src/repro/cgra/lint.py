@@ -11,10 +11,14 @@ or over every built-in beam-model kernel (the CI configuration)::
 
     python -m repro.cgra.lint --all --fail-on-error
 
-Exit status is 0 when no ERROR-severity diagnostic was produced, 1
-otherwise; ``--fail-on-error`` is accepted for explicitness and
-``--fail-on-warning`` tightens the gate.  ``--json`` emits one JSON
-object per target for tooling.
+Exit status is 0 when no ERROR-severity diagnostic was produced, 1 when
+diagnostics tripped the gate, and **2 for an internal analyzer error**
+(unreadable file, analyzer crash) — so tooling can tell "the kernel is
+dirty" from "the analyzer is broken".  ``--fail-on-error`` is accepted
+for explicitness and ``--fail-on-warning`` tightens the gate.
+``--json`` emits one JSON object per target for tooling; every
+diagnostic carries its analyzer name (``analyzer``/``pass``) and
+``severity``.
 """
 
 from __future__ import annotations
@@ -120,26 +124,47 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("nothing to analyse: pass source files or --all")
 
     targets: list[tuple[str, str, dict[str, tuple[float, float]] | None]] = []
+    internal_error = False
     if args.all:
-        targets.extend(_builtin_targets())
+        try:
+            targets.extend(_builtin_targets())
+        except Exception:
+            import traceback
+
+            print("internal error: cannot build built-in targets:", file=sys.stderr)
+            traceback.print_exc()
+            internal_error = True
     for path in args.files:
         try:
             targets.append((str(path), path.read_text(), None))
         except OSError as exc:
-            print(f"error: cannot read {path}: {exc}", file=sys.stderr)
-            return 1
+            print(f"internal error: cannot read {path}: {exc}", file=sys.stderr)
+            internal_error = True
 
     worst = Severity.INFO
     failed = False
     for name, source, bounds in targets:
-        report = _analyze(name, source, bounds)
+        try:
+            report = _analyze(name, source, bounds)
+        except Exception:
+            import traceback
+
+            print(f"internal error: analyzer crashed on {name}:", file=sys.stderr)
+            traceback.print_exc()
+            internal_error = True
+            continue
         errors, warnings = len(report.errors()), len(report.warnings())
         if errors:
             worst = Severity.ERROR
         elif warnings and worst is not Severity.ERROR:
             worst = Severity.WARNING
         if args.as_json:
-            print(json.dumps({"target": name, "diagnostics": report.to_dicts()}))
+            print(json.dumps({
+                "target": name,
+                "errors": errors,
+                "warnings": warnings,
+                "diagnostics": report.to_dicts(),
+            }))
         else:
             status = "FAIL" if errors else "ok"
             print(f"{name}: {status} ({errors} errors, {warnings} warnings, "
@@ -151,6 +176,8 @@ def main(argv: list[str] | None = None) -> int:
         if errors:
             failed = True
 
+    if internal_error:
+        return 2
     if args.fail_on_warning and worst >= Severity.WARNING:
         return 1
     return 1 if failed else 0

@@ -1,0 +1,293 @@
+"""Runtime differential oracle for vectorization certificates.
+
+A :class:`~repro.cgra.verify.dependence.VectorizationCertificate` claims
+that every op in a *chunkable* segment may be evaluated over a whole
+``[T]``-iteration chunk at once.  This module puts that claim on trial:
+
+* **Pass A (reference)** runs the cycle-accurate interpreter for ``T``
+  iterations under pure, iteration-indexed IO handlers, recording the
+  per-iteration value of every computed node, the start-of-chunk value
+  of every loop-carried register, and every actuator write.
+* **Pass B (chunked)** re-evaluates each certified op as one vectorized
+  NumPy operation over ``[T]`` float arrays, walking segments in
+  certificate order: certified operands come from the chunk-computed
+  vectors (never the reference trace — a wrongly certified cycle must
+  *fail*, not silently fall back), sequential-boundary operands come
+  from the reference trace, and distance-1 carried reads are satisfied
+  by the shift trick ``[incoming, src_vec[:-1]]``.
+* The two executions must agree **bit-exactly** on every certified node
+  and every actuator write; any difference raises
+  :class:`~repro.errors.VerificationError`.
+
+The vector arithmetic mirrors the batched code emitter in
+:mod:`repro.cgra.engine` (elementwise float32 NumPy ops, proven
+bit-identical per lane to the scalar engine by the engine parity suite),
+so a passing oracle certifies exactly the execution model the future
+array-lowered engine will use.
+
+IO handlers are *pure* callables of the global iteration index:
+``readers[port](t) -> float`` and ``addr_readers[port](t, addr) ->
+float``.  This is the pure-handler contract the certificate is scoped
+to; closed-loop feedback through the bus is sequential by construction
+(see ``io-read-write-port`` refusals).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+import numpy as np
+
+from repro.cgra.ops import Op
+from repro.cgra.scheduler import Schedule
+from repro.cgra.sensor import SensorBus
+from repro.cgra.verify.dependence import (
+    VectorizationCertificate,
+    certify_vectorization,
+)
+from repro.cgra.verify.effects import summarize_effects
+from repro.errors import ExecutionError, VerificationError
+
+__all__ = ["OracleResult", "run_chunk_oracle"]
+
+
+@dataclass(frozen=True)
+class OracleResult:
+    """Summary of one oracle run (raises instead of reporting failure)."""
+
+    iterations: int
+    segments_checked: int
+    ops_checked: int
+    writes_checked: int
+
+
+def _reference_run(
+    schedule: Schedule,
+    params: dict[str, float],
+    readers: Mapping[int, Callable],
+    addr_readers: Mapping[int, Callable],
+    write_ports: tuple[int, ...],
+    n_iterations: int,
+    precision: str,
+) -> tuple[dict[int, list[float]], dict[int, float], dict[int, list[float]]]:
+    """Pass A: per-cycle interpreter run under iteration-indexed handlers."""
+    from repro.cgra.executor import CgraExecutor
+
+    bus = SensorBus()
+    cursor = {"t": 0}
+    for port, fn in readers.items():
+        bus.register_reader(port, lambda fn=fn: float(fn(cursor["t"])))
+    for port, fn in addr_readers.items():
+        bus.register_addr_reader(port, lambda addr, fn=fn: float(fn(cursor["t"], addr)))
+    writes: dict[int, list[float]] = {port: [] for port in write_ports}
+    for port in write_ports:
+        bus.register_writer(port, writes[port].append)
+
+    executor = CgraExecutor(schedule, bus, params, precision=precision,
+                            engine="interpreted")
+    phi_ids = [phi.node_id for phi in schedule.graph.phis()]
+    phi_start = {pid: executor.registers[pid] for pid in phi_ids}
+    trace: dict[int, list[float]] = {}
+    for t in range(n_iterations):
+        cursor["t"] = t
+        executor.run_iteration()
+        snapshot = executor.registers
+        for nid, value in snapshot.items():
+            trace.setdefault(nid, []).append(value)
+    return trace, phi_start, writes
+
+
+def run_chunk_oracle(
+    schedule: Schedule,
+    params: dict[str, float] | None = None,
+    readers: Mapping[int, Callable] | None = None,
+    addr_readers: Mapping[int, Callable] | None = None,
+    n_iterations: int = 64,
+    precision: str = "single",
+    certificate: VectorizationCertificate | None = None,
+) -> OracleResult:
+    """Differentially validate a certificate over one ``[T]`` chunk.
+
+    Runs the per-cycle reference, then re-executes every certified
+    segment chunk-wise and asserts bit-exact agreement on all certified
+    node values and actuator writes.  Pass ``certificate=`` to check a
+    hand-forged certificate (the negative-path tests prove the oracle
+    rejects wrongly certified accumulators).  Raises
+    :class:`~repro.errors.VerificationError` on the first divergence.
+    """
+    if n_iterations < 1:
+        raise VerificationError("oracle needs at least one iteration")
+    params = dict(params or {})
+    readers = dict(readers or {})
+    addr_readers = dict(addr_readers or {})
+    if certificate is None:
+        certificate = certify_vectorization(schedule).certificate
+    effects = summarize_effects(schedule)
+    graph = schedule.graph
+    carried_map = {c.phi_id: c for c in effects.carried}
+    entry_of = {e.node_id: e for e in effects.ops}
+    entries = {
+        nid: (tick, op, operands, io_id)
+        for tick, op, nid, operands, io_id in _merged(schedule)
+    }
+    ftype = np.float32 if precision == "single" else np.float64
+
+    trace, phi_start, writes = _reference_run(
+        schedule, params, readers, addr_readers,
+        effects.io_write_ports(), n_iterations, precision,
+    )
+
+    T = n_iterations
+    certified = certificate.certified_node_ids()
+    chunkvals: dict[int, np.ndarray] = {}
+    ops_checked = 0
+    writes_checked = 0
+    segments_checked = 0
+
+    def trace_vector(node_id: int) -> np.ndarray:
+        return np.asarray(trace[node_id], dtype=np.float64).astype(ftype)
+
+    def carried_vector(phi_id: int, consumer: int) -> np.ndarray:
+        reg = carried_map[phi_id]
+        if not reg.resolved or reg.distance != 1:
+            raise VerificationError(
+                f"certificate invalid: certified node {consumer} reads carried "
+                f"register {phi_id} that is not a resolved distance-1 dependence"
+            )
+        incoming = ftype(phi_start[phi_id])
+        if reg.source_kind in ("const", "param"):
+            node = graph.node(reg.source)
+            value = node.value if reg.source_kind == "const" else params[node.name]
+            tail = np.full(T - 1, ftype(value), dtype=ftype)
+        elif reg.source in certified:
+            if reg.source not in chunkvals:
+                raise VerificationError(
+                    f"certificate invalid: carried source {reg.source} of register "
+                    f"{phi_id} is certified but not yet computed — segment order "
+                    "violates the dependence topology"
+                )
+            tail = chunkvals[reg.source][: T - 1]
+        else:
+            tail = trace_vector(reg.source)[: T - 1]
+        return np.concatenate([np.asarray([incoming], dtype=ftype), tail])
+
+    def operand_vector(operand: int, consumer: int) -> np.ndarray:
+        node = graph.node(operand)
+        if operand in entry_of:
+            if operand in certified:
+                if operand not in chunkvals:
+                    raise VerificationError(
+                        f"certificate invalid: certified operand {operand} of node "
+                        f"{consumer} not yet computed — segment order violates the "
+                        "dependence topology"
+                    )
+                return chunkvals[operand]
+            return trace_vector(operand)
+        if node.op is Op.CONST:
+            return np.full(T, ftype(node.value), dtype=ftype)
+        if node.op is Op.PARAM:
+            return np.full(T, ftype(params[node.name]), dtype=ftype)
+        if node.op is Op.PHI:
+            return carried_vector(operand, consumer)
+        raise VerificationError(
+            f"node {operand} (op {node.op.name}) cannot feed a chunked op"
+        )
+
+    zero, one = ftype(0.0), ftype(1.0)
+
+    def compute(nid: int) -> np.ndarray:
+        _tick, op, operands, io_id = entries[nid]
+        if op is Op.SENSOR_READ:
+            fn = readers[io_id]
+            return np.asarray([ftype(float(fn(t))) for t in range(T)], dtype=ftype)
+        if op is Op.SENSOR_READ_ADDR:
+            fn = addr_readers[io_id]
+            addr = operand_vector(operands[0], nid)
+            return np.asarray(
+                [ftype(float(fn(t, float(addr[t])))) for t in range(T)], dtype=ftype
+            )
+        vectors = [operand_vector(operand, nid) for operand in operands]
+        if op is Op.ACTUATOR_WRITE:
+            return vectors[0]
+        a = vectors[0]
+        if op is Op.FADD:
+            return a + vectors[1]
+        if op is Op.FSUB:
+            return a - vectors[1]
+        if op is Op.FMUL:
+            return a * vectors[1]
+        if op is Op.FDIV:
+            if np.any(vectors[1] == 0.0):
+                raise ExecutionError(f"division by zero in node {nid}")
+            return a / vectors[1]
+        if op is Op.FSQRT:
+            if np.any(a < 0.0):
+                raise ExecutionError(f"sqrt of negative value in node {nid}")
+            return np.sqrt(a)
+        if op is Op.FNEG:
+            return -a
+        if op is Op.FMIN:
+            return np.minimum(a, vectors[1])
+        if op is Op.FMAX:
+            return np.maximum(a, vectors[1])
+        if op in (Op.CMP_LT, Op.CMP_LE):
+            mask = a < vectors[1] if op is Op.CMP_LT else a <= vectors[1]
+            return np.where(mask, one, zero)
+        if op is Op.SELECT:
+            return np.where(a != 0.0, vectors[1], vectors[2])
+        raise VerificationError(f"op {op.name} cannot be chunked")
+
+    with np.errstate(over="raise", invalid="raise", divide="raise"):
+        for segment in certificate.segments:
+            if segment.kind != "chunkable":
+                continue
+            segments_checked += 1
+            for nid in segment.node_ids:
+                vector = np.asarray(compute(nid), dtype=ftype)
+                if vector.ndim == 0:
+                    vector = np.full(T, vector, dtype=ftype)
+                op = entries[nid][1]
+                if op is Op.ACTUATOR_WRITE:
+                    port = entries[nid][3]
+                    recorded = writes[port]
+                    if len(recorded) != T:
+                        raise VerificationError(
+                            f"oracle mismatch: port {port} saw {len(recorded)} "
+                            f"writes in {T} iterations"
+                        )
+                    got = vector.astype(np.float64)
+                    ref = np.asarray(recorded, dtype=np.float64)
+                    if not np.array_equal(got, ref):
+                        bad = int(np.argmax(got != ref))
+                        raise VerificationError(
+                            f"oracle mismatch: chunked write to port {port} "
+                            f"diverges at iteration {bad}: "
+                            f"{got[bad]!r} != {ref[bad]!r}"
+                        )
+                    writes_checked += 1
+                else:
+                    chunkvals[nid] = vector
+                    got = vector.astype(np.float64)
+                    ref = np.asarray(trace[nid], dtype=np.float64)
+                    if not np.array_equal(got, ref):
+                        bad = int(np.argmax(got != ref))
+                        raise VerificationError(
+                            f"oracle mismatch: chunked node {nid} "
+                            f"({entries[nid][1].name}) diverges at iteration "
+                            f"{bad}: {got[bad]!r} != {ref[bad]!r}"
+                        )
+                ops_checked += 1
+
+    return OracleResult(
+        iterations=T,
+        segments_checked=segments_checked,
+        ops_checked=ops_checked,
+        writes_checked=writes_checked,
+    )
+
+
+def _merged(schedule: Schedule) -> list:
+    from repro.cgra.engine import merged_entries
+
+    return merged_entries(schedule)

@@ -1,0 +1,476 @@
+"""Loop-carried dependence analysis and vectorization certificates.
+
+The ROADMAP's next speed tier lowers verified schedules into vectorized
+NumPy kernels over *time chunks*: instead of stepping one iteration at a
+time, a chunked engine evaluates each op over ``[T]`` iterations at once.
+That transformation is only legal for program regions free of
+intra-chunk loop-carried dependence — an accumulator
+(``gamma_r ← gamma_r + x``) needs iteration ``t``'s value before it can
+produce ``t+1``'s, so it can never be widened.  This pass computes, per
+schedule, a machine-checkable partition of the flat compiled program
+into **chunkable** and **sequential** segments, emitted as a
+JSON-round-trippable :class:`VectorizationCertificate` that the future
+array-lowered engine consumes (exposed as
+:attr:`repro.cgra.engine.CompiledProgram.certificate`).
+
+The formulation is classic loop distribution (Allen–Kennedy):
+
+* build a dependence multigraph over the computed entries of the merged
+  program — distance-0 edges for same-iteration dataflow, distance-1
+  edges from each resolved loop-carried source to every consumer of the
+  PHI it feeds (see :func:`~repro.cgra.verify.effects.resolve_carried`);
+* conservative refusals become self-edges: consumers of PHIs whose
+  back-edge chain is unresolved (pure rotation) or whose observation
+  distance exceeds one (stale pipelined reads through PHI-of-PHI
+  chains) are pinned sequential — refusing is always sound;
+* condense with Tarjan's SCC algorithm.  A component containing a
+  carried edge (an accumulator cycle) or more than one node must run
+  iteration-by-iteration; every other component is a pure feed-forward
+  op that may be evaluated over a whole chunk, with forward carried
+  dependences honoured by a one-slot shift of the source vector
+  (``phi_vec = [incoming, src_vec[:-1]]``);
+* topologically order the condensation (ties broken by program order)
+  and merge consecutive components of the same kind into **maximal
+  segments**.
+
+IO follows the *pure-handler contract*: sensor reads/actuator writes
+are chunk-safe only when their handlers are pure functions of the
+iteration index (and address).  Ports with multiple writers, or ports
+both read and written by the kernel (closed-loop feedback through the
+bus), are forced sequential.  The runtime differential oracle
+(:mod:`repro.cgra.verify.chunk_oracle`) executes certified segments
+chunk-wise against the per-cycle interpreter and asserts bit-exactness.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+from dataclasses import dataclass, field
+
+from repro.cgra.dfg import DataflowGraph
+from repro.cgra.scheduler import Schedule
+from repro.cgra.verify.diagnostics import DiagnosticReport, Severity
+from repro.cgra.verify.effects import EffectSummary, summarize_effects
+from repro.errors import VerificationError
+
+__all__ = [
+    "PASS_ID",
+    "Segment",
+    "VectorizationCertificate",
+    "CertificationResult",
+    "certify_vectorization",
+]
+
+#: Diagnostic pass id of this analysis.
+PASS_ID = "dependence"
+
+_KINDS = ("chunkable", "sequential")
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One maximal run of the program with a uniform execution mode.
+
+    ``node_ids`` is in dependence-topological order — evaluating a
+    chunkable segment's ops in this order guarantees every operand
+    vector (including shifted carried sources) is available.  Segments
+    are ordered by the certificate, not by tick: the topological order
+    may legally interleave ticks across segments.
+
+    ``carried_in`` records the loop-carried registers the segment reads
+    as ``(phi_id, source_id, distance)`` triples (``source_id`` is
+    ``None`` when the register converges to a constant/parameter).
+    """
+
+    index: int
+    kind: str
+    node_ids: tuple[int, ...]
+    first_tick: int
+    last_tick: int
+    io_read_ports: tuple[int, ...] = ()
+    io_write_ports: tuple[int, ...] = ()
+    carried_in: tuple[tuple[int, int | None, int], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise VerificationError(
+                f"segment kind must be one of {_KINDS}, got {self.kind!r}"
+            )
+
+    @property
+    def width(self) -> int:
+        """Number of ops in the segment."""
+        return len(self.node_ids)
+
+    def to_dict(self) -> dict:
+        """JSON-friendly representation."""
+        return {
+            "index": self.index,
+            "kind": self.kind,
+            "node_ids": list(self.node_ids),
+            "first_tick": self.first_tick,
+            "last_tick": self.last_tick,
+            "io_read_ports": list(self.io_read_ports),
+            "io_write_ports": list(self.io_write_ports),
+            "carried_in": [list(c) for c in self.carried_in],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Segment":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            index=int(data["index"]),
+            kind=str(data["kind"]),
+            node_ids=tuple(int(n) for n in data["node_ids"]),
+            first_tick=int(data["first_tick"]),
+            last_tick=int(data["last_tick"]),
+            io_read_ports=tuple(int(p) for p in data.get("io_read_ports", ())),
+            io_write_ports=tuple(int(p) for p in data.get("io_write_ports", ())),
+            carried_in=tuple(
+                (int(c[0]), None if c[1] is None else int(c[1]), int(c[2]))
+                for c in data.get("carried_in", ())
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class VectorizationCertificate:
+    """Machine-checkable chunkability partition of one compiled program.
+
+    The certificate is the seam the future array-lowered engine
+    consumes: segments in order, each either ``"chunkable"`` (every op
+    may be evaluated over a whole ``[T]`` chunk, carried reads satisfied
+    by a one-slot shift) or ``"sequential"`` (must run per cycle).  The
+    chunkable claim assumes the pure-IO contract — sensor/actuator
+    handlers that are pure functions of the iteration index; closed-loop
+    feedback through the bus is outside the certificate.
+    """
+
+    kernel: str
+    n_ops: int
+    segments: tuple[Segment, ...]
+    version: int = 1
+
+    def chunkable_segments(self) -> tuple[Segment, ...]:
+        """Only the certified-chunkable segments."""
+        return tuple(s for s in self.segments if s.kind == "chunkable")
+
+    def certified_node_ids(self) -> frozenset[int]:
+        """Node ids of every certified-chunkable op."""
+        return frozenset(n for s in self.chunkable_segments() for n in s.node_ids)
+
+    def is_certified(self, node_id: int) -> bool:
+        """Whether one op is certified chunkable."""
+        return node_id in self.certified_node_ids()
+
+    def stats(self) -> dict:
+        """Chunkability statistics (the BENCH_engine.json baseline)."""
+        chunkable = self.chunkable_segments()
+        chunkable_ops = sum(s.width for s in chunkable)
+        return {
+            "n_ops": self.n_ops,
+            "n_segments": len(self.segments),
+            "n_chunkable_segments": len(chunkable),
+            "chunkable_ops": chunkable_ops,
+            "chunkable_fraction": (chunkable_ops / self.n_ops) if self.n_ops else 0.0,
+            "max_chunk_width": max((s.width for s in chunkable), default=0),
+        }
+
+    def to_dict(self) -> dict:
+        """JSON-friendly representation (stats included for tooling)."""
+        return {
+            "version": self.version,
+            "kernel": self.kernel,
+            "n_ops": self.n_ops,
+            "segments": [s.to_dict() for s in self.segments],
+            "stats": self.stats(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "VectorizationCertificate":
+        """Inverse of :meth:`to_dict` (``stats`` is derived, not read)."""
+        version = int(data.get("version", 1))
+        if version != 1:
+            raise VerificationError(
+                f"unsupported vectorization-certificate version {version}"
+            )
+        return cls(
+            kernel=str(data["kernel"]),
+            n_ops=int(data["n_ops"]),
+            segments=tuple(Segment.from_dict(s) for s in data["segments"]),
+            version=version,
+        )
+
+    def to_json(self) -> str:
+        """Serialize to a JSON string."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "VectorizationCertificate":
+        """Inverse of :meth:`to_json`."""
+        return cls.from_dict(json.loads(text))
+
+
+@dataclass
+class CertificationResult:
+    """Certificate plus the diagnostics and effects that justify it."""
+
+    certificate: VectorizationCertificate
+    report: DiagnosticReport = field(default_factory=DiagnosticReport)
+    effects: EffectSummary | None = None
+
+
+def _tarjan_scc(order: list[int], adj: dict[int, set[int]]) -> list[list[int]]:
+    """Iterative Tarjan SCC; components in reverse-topological order."""
+    index: dict[int, int] = {}
+    lowlink: dict[int, int] = {}
+    on_stack: set[int] = set()
+    stack: list[int] = []
+    components: list[list[int]] = []
+    counter = [0]
+
+    for root in order:
+        if root in index:
+            continue
+        work: list[tuple[int, int]] = [(root, 0)]
+        while work:
+            node, edge_i = work[-1]
+            if edge_i == 0:
+                index[node] = lowlink[node] = counter[0]
+                counter[0] += 1
+                stack.append(node)
+                on_stack.add(node)
+            successors = sorted(adj.get(node, ()))
+            advanced = False
+            while edge_i < len(successors):
+                succ = successors[edge_i]
+                edge_i += 1
+                if succ not in index:
+                    work[-1] = (node, edge_i)
+                    work.append((succ, 0))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component: list[int] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(component)
+    return components
+
+
+def _node_label(graph: DataflowGraph, node_id: int) -> str:
+    node = graph.node(node_id)
+    name = f" {node.name!r}" if node.name else ""
+    return f"%{node_id} ({node.op.value}{name})"
+
+
+def certify_vectorization(schedule: Schedule) -> CertificationResult:
+    """Partition one schedule's compiled program into certified segments.
+
+    Returns the :class:`VectorizationCertificate` together with the
+    INFO-severity diagnostics explaining every refusal (accumulator
+    cycles, unresolved/stale carried reads, IO port conflicts) under
+    pass id :data:`PASS_ID`.  Refusals are not defects — a fully
+    sequential program is simply certified as one sequential segment.
+    """
+    report = DiagnosticReport()
+    effects = summarize_effects(schedule)
+    graph = schedule.graph
+    carried_map = {c.phi_id: c for c in effects.carried}
+    entry_of = {e.node_id: e for e in effects.ops}
+    program_order = [e.node_id for e in effects.ops]
+
+    adj: dict[int, set[int]] = {nid: set() for nid in program_order}
+    carried_pairs: set[tuple[int, int]] = set()
+    pinned_sequential: set[int] = set()
+
+    def pin(node_id: int) -> None:
+        adj[node_id].add(node_id)
+        carried_pairs.add((node_id, node_id))
+        pinned_sequential.add(node_id)
+
+    for entry in effects.ops:
+        for operand in entry.reads:
+            adj[operand].add(entry.node_id)
+        for phi_id in entry.phi_reads:
+            reg = carried_map[phi_id]
+            if not reg.resolved:
+                pin(entry.node_id)
+                report.emit(
+                    Severity.INFO, PASS_ID, "phi-unresolved",
+                    f"{_node_label(graph, entry.node_id)} reads carried register "
+                    f"{_node_label(graph, phi_id)} with no defining computation "
+                    f"({reg.reason}); pinned sequential",
+                    node_id=entry.node_id, tick=entry.tick,
+                )
+            elif reg.distance != 1:
+                pin(entry.node_id)
+                report.emit(
+                    Severity.INFO, PASS_ID, "stale-carried-read",
+                    f"{_node_label(graph, entry.node_id)} observes "
+                    f"{_node_label(graph, reg.source)} at distance {reg.distance} "
+                    f"through carried register {_node_label(graph, phi_id)}; "
+                    "only distance-1 reads are chunkable — pinned sequential",
+                    node_id=entry.node_id, tick=entry.tick,
+                )
+            elif reg.source_kind == "computed":
+                adj[reg.source].add(entry.node_id)
+                carried_pairs.add((reg.source, entry.node_id))
+            # const/param sources are iteration invariant: no dependence.
+
+    # IO port conflicts break the pure-handler contract's independence
+    # assumptions: serialize all conflicting accessors.
+    readers_by_port: dict[int, list[int]] = {}
+    writers_by_port: dict[int, list[int]] = {}
+    for entry in effects.ops:
+        for port in entry.io_reads:
+            readers_by_port.setdefault(port, []).append(entry.node_id)
+        for port in entry.io_writes:
+            writers_by_port.setdefault(port, []).append(entry.node_id)
+    for port, writers in sorted(writers_by_port.items()):
+        conflict: list[int] = []
+        if len(writers) > 1:
+            conflict = list(writers)
+            report.emit(
+                Severity.INFO, PASS_ID, "io-multi-writer",
+                f"port {port} has {len(writers)} writers — chunked execution "
+                "would reorder their interleaving; pinned sequential",
+            )
+        if port in readers_by_port:
+            conflict = sorted(set(conflict) | set(writers) | set(readers_by_port[port]))
+            report.emit(
+                Severity.INFO, PASS_ID, "io-read-write-port",
+                f"port {port} is both read and written by the kernel (bus "
+                "feedback outside the pure-handler contract); pinned sequential",
+            )
+        for a in conflict:
+            for b in conflict:
+                if a != b:
+                    adj[a].add(b)
+            pinned_sequential.add(a)
+            carried_pairs.add((a, a))
+            adj[a].add(a)
+
+    components = _tarjan_scc(program_order, adj)
+    comp_of: dict[int, int] = {}
+    for comp_index, members in enumerate(components):
+        for member in members:
+            comp_of[member] = comp_index
+
+    comp_kind: list[str] = []
+    for comp_index, members in enumerate(components):
+        member_set = set(members)
+        has_cycle = len(members) > 1 or any(
+            (u, v) in carried_pairs
+            for u in members for v in adj.get(u, ())
+            if v in member_set
+        )
+        comp_kind.append("sequential" if has_cycle else "chunkable")
+        if has_cycle and not member_set & pinned_sequential:
+            names = ", ".join(
+                _node_label(graph, nid)
+                for nid in sorted(members, key=lambda n: (entry_of[n].tick, n))
+            )
+            report.emit(
+                Severity.INFO, PASS_ID, "carried-cycle",
+                f"loop-carried dependence cycle through {names}: "
+                "must execute iteration-by-iteration",
+                node_id=min(members),
+            )
+
+    # Topological order of the condensation, ties broken by program
+    # position so the certificate is deterministic and tick-faithful
+    # wherever dependences allow.
+    comp_edges: dict[int, set[int]] = {i: set() for i in range(len(components))}
+    indegree = [0] * len(components)
+    for u, targets in adj.items():
+        for v in targets:
+            cu, cv = comp_of[u], comp_of[v]
+            if cu != cv and cv not in comp_edges[cu]:
+                comp_edges[cu].add(cv)
+                indegree[cv] += 1
+    position = {nid: i for i, nid in enumerate(program_order)}
+
+    def comp_key(comp_index: int) -> tuple[int, int]:
+        members = components[comp_index]
+        return (min(position[m] for m in members), comp_index)
+
+    heap = [
+        (comp_key(i), i) for i in range(len(components)) if indegree[i] == 0
+    ]
+    heapq.heapify(heap)
+    topo: list[int] = []
+    while heap:
+        _key, comp_index = heapq.heappop(heap)
+        topo.append(comp_index)
+        for succ in sorted(comp_edges[comp_index]):
+            indegree[succ] -= 1
+            if indegree[succ] == 0:
+                heapq.heappush(heap, (comp_key(succ), succ))
+    if len(topo) != len(components):  # pragma: no cover - SCC DAG is acyclic
+        raise VerificationError("condensation ordering failed: cycle among SCCs")
+
+    segments: list[Segment] = []
+    run: list[int] = []
+    run_kind: str | None = None
+
+    def close_run() -> None:
+        if not run:
+            return
+        node_ids = tuple(run)
+        entries = [entry_of[n] for n in node_ids]
+        carried_in = sorted(
+            {
+                (
+                    phi_id,
+                    carried_map[phi_id].source
+                    if carried_map[phi_id].source_kind == "computed"
+                    else None,
+                    carried_map[phi_id].distance,
+                )
+                for e in entries
+                for phi_id in e.phi_reads
+            },
+            key=lambda c: c[0],
+        )
+        segments.append(
+            Segment(
+                index=len(segments),
+                kind=run_kind or "sequential",
+                node_ids=node_ids,
+                first_tick=min(e.tick for e in entries),
+                last_tick=max(e.tick for e in entries),
+                io_read_ports=tuple(sorted({p for e in entries for p in e.io_reads})),
+                io_write_ports=tuple(sorted({p for e in entries for p in e.io_writes})),
+                carried_in=tuple(carried_in),
+            )
+        )
+        run.clear()
+
+    for comp_index in topo:
+        kind = comp_kind[comp_index]
+        if kind != run_kind:
+            close_run()
+            run_kind = kind
+        run.extend(sorted(components[comp_index], key=lambda n: position[n]))
+    close_run()
+
+    certificate = VectorizationCertificate(
+        kernel=graph.name,
+        n_ops=len(effects.ops),
+        segments=tuple(segments),
+    )
+    return CertificationResult(certificate=certificate, report=report, effects=effects)

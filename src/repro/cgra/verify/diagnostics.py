@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import Any, Iterator
 
 from repro.obs import get_registry
 from repro.obs._state import STATE as _OBS
@@ -96,10 +96,15 @@ class Diagnostic:
         return f"{prefix}{loc}: {self.message}"
 
     def to_dict(self) -> dict:
-        """JSON-friendly representation (CLI ``--json`` output)."""
+        """JSON-friendly representation (CLI ``--json`` output).
+
+        ``analyzer`` duplicates ``pass`` under the stable tooling-facing
+        name; every diagnostic class carries both it and ``severity``.
+        """
         out: dict = {
             "severity": str(self.severity),
             "pass": self.pass_id,
+            "analyzer": self.pass_id,
             "code": self.code,
             "message": self.message,
         }
@@ -136,7 +141,7 @@ class DiagnosticReport:
         pass_id: str,
         code: str,
         message: str,
-        **kw,
+        **kw: Any,
     ) -> Diagnostic:
         """Construct and append in one call (keyword args as in :class:`Diagnostic`)."""
         return self.add(

@@ -1,0 +1,337 @@
+"""Per-op read/write effect summaries of a compiled CGRA program.
+
+The dependence pass (:mod:`repro.cgra.verify.dependence`) needs to know,
+for every entry of the flat compiled program
+(:func:`repro.cgra.engine.merged_entries`), exactly which register slots
+it reads and writes, which of those reads are *loop-carried* (PHI
+registers latched at the end of the previous iteration), and which
+ADC/DAC/IO ports it touches.  This module derives those summaries
+statically from the dataflow graph plus the merged program — no
+execution involved.
+
+The subtle part is resolving **where a loop-carried read actually comes
+from**.  PHI registers latch sequentially at iteration end, in graph
+order, reading *live* register slots (see ``_CodeEmitter`` in
+:mod:`repro.cgra.engine`): a PHI whose back edge is another PHI observes
+that PHI's *new* value when it latches earlier in the sequence and its
+*previous-iteration* value when it latches later.  :func:`resolve_carried`
+walks each PHI chain with those latch-order semantics and reports the
+terminal non-PHI source together with the observation **distance** — a
+read of the PHI during iteration ``t`` observes the source value
+computed in iteration ``t − distance``.  Distance-1 reads of a computed
+source are the shape a chunked (vectorized) execution can honour with a
+one-slot shift; everything else must stay sequential.
+
+Everything here is a frozen dataclass with a ``to_dict``/``from_dict``
+JSON round trip, so effect summaries can ship inside the
+:class:`~repro.cgra.verify.dependence.VectorizationCertificate` tooling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cgra.dfg import DataflowGraph
+from repro.cgra.ops import Op
+from repro.cgra.scheduler import Schedule
+from repro.errors import VerificationError
+
+__all__ = [
+    "OpEffects",
+    "CarriedRegister",
+    "EffectSummary",
+    "resolve_carried",
+    "summarize_effects",
+]
+
+
+@dataclass(frozen=True)
+class OpEffects:
+    """Effect summary of one computed entry of the flat program.
+
+    Attributes
+    ----------
+    node_id / op / tick:
+        Identity of the entry (``op`` is the :class:`~repro.cgra.ops.Op`
+        name, e.g. ``"FADD"``).
+    reads:
+        Same-iteration register reads — operands computed earlier in the
+        same program order.
+    const_reads:
+        Reads of preloaded ``CONST``/``PARAM`` slots (iteration
+        invariant).
+    phi_reads:
+        Reads of loop-carried ``PHI`` register slots (values latched at
+        the end of the previous iteration).
+    writes:
+        Register slots written; ``(node_id,)`` for value-producing ops,
+        empty for ``ACTUATOR_WRITE`` (its only effect is the port write).
+    io_reads / io_writes:
+        Sensor ports read / actuator ports written.
+    """
+
+    node_id: int
+    op: str
+    tick: int
+    reads: tuple[int, ...] = ()
+    const_reads: tuple[int, ...] = ()
+    phi_reads: tuple[int, ...] = ()
+    writes: tuple[int, ...] = ()
+    io_reads: tuple[int, ...] = ()
+    io_writes: tuple[int, ...] = ()
+
+    def to_dict(self) -> dict:
+        """JSON-friendly representation."""
+        return {
+            "node_id": self.node_id,
+            "op": self.op,
+            "tick": self.tick,
+            "reads": list(self.reads),
+            "const_reads": list(self.const_reads),
+            "phi_reads": list(self.phi_reads),
+            "writes": list(self.writes),
+            "io_reads": list(self.io_reads),
+            "io_writes": list(self.io_writes),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "OpEffects":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            node_id=int(data["node_id"]),
+            op=str(data["op"]),
+            tick=int(data["tick"]),
+            reads=tuple(data.get("reads", ())),
+            const_reads=tuple(data.get("const_reads", ())),
+            phi_reads=tuple(data.get("phi_reads", ())),
+            writes=tuple(data.get("writes", ())),
+            io_reads=tuple(data.get("io_reads", ())),
+            io_writes=tuple(data.get("io_writes", ())),
+        )
+
+
+@dataclass(frozen=True)
+class CarriedRegister:
+    """Resolved loop-carried dependence of one PHI register.
+
+    ``source_kind`` is ``"computed"`` (the terminal source is a computed
+    program entry), ``"const"``/``"param"`` (the register converges to a
+    preloaded value), or ``"unresolved"`` (the back-edge chain is a pure
+    PHI cycle — a rotation network with no defining computation).
+
+    ``distance`` is the observation distance: a read of the PHI during
+    iteration ``t`` observes the source value of iteration
+    ``t − distance`` (≥ 1; 0 only when unresolved).  ``via`` lists the
+    intermediate PHIs the latch chain walks through.
+    """
+
+    phi_id: int
+    name: str
+    back_edge: int
+    source: int | None
+    source_kind: str
+    distance: int
+    via: tuple[int, ...] = ()
+    reason: str = ""
+
+    @property
+    def resolved(self) -> bool:
+        """Whether the chain terminates in a non-PHI definition."""
+        return self.source_kind != "unresolved"
+
+    def to_dict(self) -> dict:
+        """JSON-friendly representation."""
+        out: dict = {
+            "phi_id": self.phi_id,
+            "name": self.name,
+            "back_edge": self.back_edge,
+            "source": self.source,
+            "source_kind": self.source_kind,
+            "distance": self.distance,
+            "via": list(self.via),
+        }
+        if self.reason:
+            out["reason"] = self.reason
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CarriedRegister":
+        """Inverse of :meth:`to_dict`."""
+        source = data.get("source")
+        return cls(
+            phi_id=int(data["phi_id"]),
+            name=str(data.get("name", "")),
+            back_edge=int(data["back_edge"]),
+            source=None if source is None else int(source),
+            source_kind=str(data["source_kind"]),
+            distance=int(data["distance"]),
+            via=tuple(data.get("via", ())),
+            reason=str(data.get("reason", "")),
+        )
+
+
+@dataclass(frozen=True)
+class EffectSummary:
+    """Whole-program effect summary of one schedule.
+
+    ``ops`` follows the merged program order (tick order, ties by node
+    id) — the order both engines execute.  ``carried`` is in latch order
+    (ascending PHI node id).
+    """
+
+    kernel: str
+    schedule_length: int
+    ops: tuple[OpEffects, ...]
+    carried: tuple[CarriedRegister, ...]
+
+    def op(self, node_id: int) -> OpEffects:
+        """Effects of one entry by node id."""
+        for effects in self.ops:
+            if effects.node_id == node_id:
+                return effects
+        raise VerificationError(f"no computed entry for node {node_id}")
+
+    def carried_for(self, phi_id: int) -> CarriedRegister:
+        """Resolved carried dependence of one PHI by node id."""
+        for reg in self.carried:
+            if reg.phi_id == phi_id:
+                return reg
+        raise VerificationError(f"no loop-carried register {phi_id}")
+
+    def io_read_ports(self) -> tuple[int, ...]:
+        """All sensor ports the program reads, sorted."""
+        return tuple(sorted({p for e in self.ops for p in e.io_reads}))
+
+    def io_write_ports(self) -> tuple[int, ...]:
+        """All actuator ports the program writes, sorted."""
+        return tuple(sorted({p for e in self.ops for p in e.io_writes}))
+
+    def to_dict(self) -> dict:
+        """JSON-friendly representation."""
+        return {
+            "kernel": self.kernel,
+            "schedule_length": self.schedule_length,
+            "ops": [e.to_dict() for e in self.ops],
+            "carried": [c.to_dict() for c in self.carried],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "EffectSummary":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            kernel=str(data["kernel"]),
+            schedule_length=int(data["schedule_length"]),
+            ops=tuple(OpEffects.from_dict(e) for e in data["ops"]),
+            carried=tuple(CarriedRegister.from_dict(c) for c in data["carried"]),
+        )
+
+
+def resolve_carried(graph: DataflowGraph) -> dict[int, CarriedRegister]:
+    """Resolve every PHI's back-edge chain with latch-order semantics.
+
+    Latches run sequentially in ascending node-id order.  Walking from a
+    PHI toward its defining computation, stepping through an intermediate
+    PHI that latches *later* in the sequence (larger node id) crosses one
+    extra iteration boundary; stepping through one that already latched
+    (smaller node id) observes its freshly latched value and keeps the
+    distance unchanged.  A chain that revisits a PHI is a pure rotation
+    with no defining computation — reported unresolved.
+    """
+    out: dict[int, CarriedRegister] = {}
+    for phi in graph.phis():
+        distance = 1
+        via: list[int] = []
+        visited = {phi.node_id}
+        last = phi
+        current = graph.node(phi.back_edge)  # back edge is bound (validated)
+        unresolved_reason = ""
+        while current.op is Op.PHI:
+            if current.node_id in visited:
+                unresolved_reason = (
+                    f"back-edge chain of %{phi.node_id} revisits %{current.node_id}: "
+                    "pure PHI rotation with no defining computation"
+                )
+                break
+            if current.node_id > last.node_id:
+                distance += 1  # reads the not-yet-latched (previous-iteration) value
+            via.append(current.node_id)
+            visited.add(current.node_id)
+            last = current
+            current = graph.node(current.back_edge)
+        if unresolved_reason:
+            out[phi.node_id] = CarriedRegister(
+                phi_id=phi.node_id,
+                name=phi.name,
+                back_edge=phi.back_edge,
+                source=None,
+                source_kind="unresolved",
+                distance=0,
+                via=tuple(via),
+                reason=unresolved_reason,
+            )
+            continue
+        if current.op is Op.CONST:
+            kind = "const"
+        elif current.op is Op.PARAM:
+            kind = "param"
+        else:
+            kind = "computed"
+        out[phi.node_id] = CarriedRegister(
+            phi_id=phi.node_id,
+            name=phi.name,
+            back_edge=phi.back_edge,
+            source=current.node_id,
+            source_kind=kind,
+            distance=distance,
+            via=tuple(via),
+        )
+    return out
+
+
+def summarize_effects(schedule: Schedule) -> EffectSummary:
+    """Derive the whole-program effect summary of one verified schedule."""
+    from repro.cgra.engine import merged_entries
+
+    graph = schedule.graph
+    entries = merged_entries(schedule)
+    computed = {nid for _tick, _op, nid, _operands, _io in entries}
+    ops: list[OpEffects] = []
+    for tick, op, nid, operands, io_id in entries:
+        reads: list[int] = []
+        const_reads: list[int] = []
+        phi_reads: list[int] = []
+        for operand in operands:
+            if operand in computed:
+                reads.append(operand)
+            elif graph.node(operand).op is Op.PHI:
+                phi_reads.append(operand)
+            else:
+                const_reads.append(operand)
+        io_reads: tuple[int, ...] = ()
+        io_writes: tuple[int, ...] = ()
+        writes: tuple[int, ...] = (nid,)
+        if op in (Op.SENSOR_READ, Op.SENSOR_READ_ADDR):
+            io_reads = (int(io_id),)
+        elif op is Op.ACTUATOR_WRITE:
+            io_writes = (int(io_id),)
+            writes = ()
+        ops.append(
+            OpEffects(
+                node_id=nid,
+                op=op.name,
+                tick=tick,
+                reads=tuple(reads),
+                const_reads=tuple(const_reads),
+                phi_reads=tuple(phi_reads),
+                writes=writes,
+                io_reads=io_reads,
+                io_writes=io_writes,
+            )
+        )
+    carried = resolve_carried(graph)
+    return EffectSummary(
+        kernel=graph.name,
+        schedule_length=schedule.length,
+        ops=tuple(ops),
+        carried=tuple(carried[pid] for pid in sorted(carried)),
+    )

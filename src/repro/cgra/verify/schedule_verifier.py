@@ -41,7 +41,7 @@ from repro.cgra.context import ContextImage, build_context_images
 from repro.cgra.dfg import DataflowGraph
 from repro.cgra.fabric import CgraFabric
 from repro.cgra.modulo import ModuloSchedule
-from repro.cgra.ops import Op
+from repro.cgra.ops import Op, OperatorLatencies
 from repro.cgra.scheduler import ListScheduler, Schedule
 from repro.cgra.verify.diagnostics import DiagnosticReport, Severity
 from repro.errors import CgraError
@@ -54,7 +54,7 @@ _PASS = "schedule"
 _F32_MAX = float(np.finfo(np.float32).max)
 
 
-def _occupancy(latencies, op: Op, io_issue_ticks: int) -> int:
+def _occupancy(latencies: OperatorLatencies, op: Op, io_issue_ticks: int) -> int:
     if op in (Op.SENSOR_READ, Op.SENSOR_READ_ADDR, Op.ACTUATOR_WRITE):
         return io_issue_ticks
     return max(1, latencies.of(op))

@@ -76,3 +76,17 @@ class ParallelExecutionError(ReproError):
     records (shard index, exception type, message, traceback), so a single
     faulting lane surfaces with full context instead of killing the pool.
     """
+
+
+class FaultError(ReproError):
+    """Fault-injection campaign wiring or run-time error."""
+
+
+class FaultSpecError(FaultError):
+    """A fault specification failed validation.
+
+    Raised by :class:`repro.faults.FaultSpec` when a spec's kind,
+    magnitude window, timing or target is inconsistent — specs are
+    validated at construction so campaign sweeps fail fast, before any
+    shard is dispatched.
+    """

@@ -481,6 +481,12 @@ def main(argv: list[str] | None = None) -> int:
                         help="statically verify the built-in CGRA kernels "
                              "(lint, schedule legality, value ranges) before "
                              "running; abort on any error")
+    parser.add_argument("--analyze", action="store_true",
+                        help="run the whole-program static analyses "
+                             "(shard-safety lint of the experiment/fault "
+                             "modules, dependence certification of the "
+                             "built-in kernels) before running; abort on "
+                             "any error")
     parser.add_argument("--engine", choices=("interpreted", "compiled"),
                         help="CGRA execution engine for this run "
                              "(default: session default, 'interpreted')")
@@ -519,6 +525,16 @@ def main(argv: list[str] | None = None) -> int:
             logger.error("static verification of the built-in kernels failed")
             return rc
         logger.info("static verification passed for all built-in kernels")
+
+    if args.analyze:
+        from repro.analysis import main as analysis_main
+
+        rc = analysis_main(["--all", "--fail-on-error", "-q"])
+        if rc != 0:
+            logger.error("static analysis preflight failed (rc=%d)", rc)
+            return rc
+        logger.info("static analysis preflight passed "
+                    "(shardlint + vectorization certificates)")
 
     want_trace = args.trace or args.trace_out is not None
     telemetry = args.metrics or want_trace or args.profile

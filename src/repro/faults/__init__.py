@@ -5,8 +5,17 @@ model RF-station and hardware-level faults against the closed loop and
 sweep fault type × magnitude × onset time as batched/sharded runs,
 reporting loop stability margins.
 
-Planned modules (none implemented yet — importing them raises
-``ImportError`` until the corresponding PR lands):
+Implemented so far:
+
+``spec``
+    Typed :class:`FaultSpec`/:class:`FaultKind` fault descriptions with
+    construction-time validation (:class:`repro.errors.FaultSpecError`)
+    and a JSON round trip — plain data by design, so campaign sweeps
+    pickle cleanly to worker shards and pass the shard-safety lint
+    (:mod:`repro.analysis.shardlint`) that guards this package.
+
+Planned modules (importing them raises ``ImportError`` until the
+corresponding PR lands):
 
 ``station``
     RF-station faults: cavity failure with compensation/rematch,
@@ -28,4 +37,6 @@ cost per phase (see docs/OBSERVABILITY.md).
 
 from __future__ import annotations
 
-__all__: list[str] = []
+from repro.faults.spec import MAGNITUDE_WINDOWS, FaultKind, FaultSpec
+
+__all__ = ["FaultKind", "FaultSpec", "MAGNITUDE_WINDOWS"]

@@ -1,0 +1,115 @@
+"""The ``python -m repro.analysis`` CLI: output shape and exit codes."""
+
+import json
+
+import pytest
+
+from repro.analysis import main
+
+BAD_MODULE = """\
+import random
+import time
+
+def shard(task):
+    jitter = random.random()
+    return {"stamp": time.time(), "jitter": jitter}
+"""
+
+CLEAN_MODULE = """\
+import numpy as np
+
+def shard(task):
+    rng = np.random.default_rng(task.seed)
+    return {"value": float(rng.normal())}
+"""
+
+
+class TestExitCodes:
+    def test_clean_module_exits_zero(self, tmp_path):
+        f = tmp_path / "clean.py"
+        f.write_text(CLEAN_MODULE)
+        assert main([str(f)]) == 0
+
+    def test_errors_exit_one(self, tmp_path):
+        f = tmp_path / "bad.py"
+        f.write_text(BAD_MODULE)
+        assert main([str(f)]) == 1
+
+    def test_warning_gate(self, tmp_path):
+        f = tmp_path / "warn.py"
+        f.write_text("import time\nstamp = time.time()\n")
+        assert main([str(f)]) == 0  # warnings pass by default
+        assert main([str(f), "--fail-on-warning"]) == 1
+
+    def test_missing_file_is_internal_error(self, tmp_path, capsys):
+        assert main([str(tmp_path / "nope.py")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_internal_error_wins_over_diagnostics(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text(BAD_MODULE)
+        assert main([str(bad), str(tmp_path / "nope.py")]) == 2
+
+    def test_no_target_is_usage_error(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestJsonOutput:
+    def test_per_target_payload(self, tmp_path, capsys):
+        f = tmp_path / "bad.py"
+        f.write_text(BAD_MODULE)
+        main([str(f), "--json"])
+        payload = json.loads(capsys.readouterr().out.strip())
+        assert payload["target"] == str(f)
+        assert payload["analyzer"] == "shardlint"
+        assert payload["errors"] == 1 and payload["warnings"] == 1
+        for d in payload["diagnostics"]:
+            assert d["analyzer"] == "shardlint"
+            assert d["severity"] in ("error", "warning")
+            assert d["code"].startswith("SHARD")
+            assert "line" in d
+
+    def test_directory_target(self, tmp_path, capsys):
+        (tmp_path / "a.py").write_text(CLEAN_MODULE)
+        (tmp_path / "b.py").write_text(BAD_MODULE)
+        assert main([str(tmp_path), "--json"]) == 1
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 2
+
+
+class TestAllSweep:
+    def test_all_is_clean_and_emits_certificates(self, capsys):
+        """The CI gate: shardlint over the real task modules plus
+        dependence certificates for every built-in kernel, exit 0."""
+        assert main(["--all", "--fail-on-warning", "--json"]) == 0
+        payloads = [
+            json.loads(line) for line in capsys.readouterr().out.strip().splitlines()
+        ]
+        analyzers = {p["analyzer"] for p in payloads}
+        assert analyzers == {"shardlint", "dependence"}
+        certs = [p for p in payloads if p["analyzer"] == "dependence"]
+        assert len(certs) == 6  # 3 bunch counts x pipelined/plain
+        for payload in certs:
+            stats = payload["certificate"]
+            assert stats["n_chunkable_segments"] >= 1
+            assert 0.0 < stats["chunkable_fraction"] < 1.0
+            # Refusal diagnostics surface with analyzer + severity.
+            assert any(
+                d["analyzer"] == "dependence" and d["code"] == "carried-cycle"
+                for d in payload["diagnostics"]
+            )
+
+    def test_module_entrypoint(self):
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        repo = Path(__file__).resolve().parents[2]
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.analysis", "--all", "-q"],
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": str(repo / "src"), "PATH": "/usr/bin:/bin"},
+        )
+        assert proc.returncode == 0, proc.stderr

@@ -1,0 +1,213 @@
+"""Shard-safety lint: known-bad fixtures flagged, real modules clean."""
+
+from pathlib import Path
+
+from repro.analysis import default_targets, lint_shard_source
+from repro.analysis.shardlint import HANDLE_TYPES, RULES
+from repro.cgra.verify import Severity
+
+
+def codes(report):
+    return [d.code for d in report]
+
+
+class TestShard001UnseededRng:
+    def test_global_numpy_rng_flagged(self):
+        report = lint_shard_source(
+            "import numpy as np\n"
+            "def f():\n"
+            "    return np.random.normal(0.0, 1.0)\n"
+        )
+        assert codes(report) == ["SHARD001"]
+        assert report.diagnostics[0].severity is Severity.ERROR
+        assert report.diagnostics[0].pass_id == "shardlint"
+
+    def test_unseeded_default_rng_flagged(self):
+        report = lint_shard_source(
+            "import numpy as np\nrng = np.random.default_rng()\n"
+        )
+        assert codes(report) == ["SHARD001"]
+
+    def test_seeded_default_rng_clean(self):
+        report = lint_shard_source(
+            "import numpy as np\n"
+            "def f(task):\n"
+            "    return np.random.default_rng(task.seed)\n"
+        )
+        assert len(report) == 0
+
+    def test_stdlib_random_flagged(self):
+        report = lint_shard_source("import random\nx = random.random()\n")
+        assert codes(report) == ["SHARD001"]
+
+    def test_stdlib_from_import_alias_flagged(self):
+        report = lint_shard_source(
+            "from random import shuffle as mix\nmix([1, 2])\n"
+        )
+        assert codes(report) == ["SHARD001"]
+
+    def test_numpy_random_module_alias_flagged(self):
+        report = lint_shard_source(
+            "import numpy.random as nr\nnr.seed(3)\n"
+        )
+        assert codes(report) == ["SHARD001"]
+
+    def test_seeded_stdlib_random_instance_clean(self):
+        report = lint_shard_source(
+            "import random\nrng = random.Random(42)\n"
+        )
+        assert len(report) == 0
+
+    def test_system_random_always_flagged(self):
+        report = lint_shard_source(
+            "import random\nrng = random.SystemRandom(1)\n"
+        )
+        assert codes(report) == ["SHARD001"]
+
+
+class TestShard002WallClock:
+    def test_time_time_flagged_as_warning(self):
+        report = lint_shard_source(
+            "import time\ndef f():\n    return {'stamp': time.time()}\n"
+        )
+        assert codes(report) == ["SHARD002"]
+        assert report.diagnostics[0].severity is Severity.WARNING
+
+    def test_datetime_now_flagged(self):
+        report = lint_shard_source(
+            "from datetime import datetime\nstamp = datetime.now()\n"
+        )
+        assert codes(report) == ["SHARD002"]
+
+    def test_perf_counter_allowed(self):
+        report = lint_shard_source(
+            "import time\n"
+            "def f():\n"
+            "    t0 = time.perf_counter()\n"
+            "    t1 = time.monotonic()\n"
+            "    return t1 - t0\n"
+        )
+        assert len(report) == 0
+
+
+class TestShard003HandleCapture:
+    def test_executor_field_flagged(self):
+        report = lint_shard_source(
+            "from dataclasses import dataclass\n"
+            "from repro.cgra.executor import CgraExecutor\n"
+            "@dataclass(frozen=True)\n"
+            "class Task:\n"
+            "    seed: int\n"
+            "    ex: CgraExecutor\n"
+        )
+        assert codes(report) == ["SHARD003"]
+        assert report.diagnostics[0].severity is Severity.ERROR
+
+    def test_optional_handle_annotation_flagged(self):
+        report = lint_shard_source(
+            "from dataclasses import dataclass\n"
+            "@dataclass\n"
+            "class Task:\n"
+            "    model: 'CompiledModel | None' = None\n"
+        )
+        assert codes(report) == ["SHARD003"]
+
+    def test_every_guarded_handle_type_detected(self):
+        for handle in sorted(HANDLE_TYPES):
+            report = lint_shard_source(
+                "from dataclasses import dataclass\n"
+                "@dataclass\n"
+                f"class Task:\n    h: {handle}\n"
+            )
+            assert codes(report) == ["SHARD003"], handle
+
+    def test_plain_data_task_clean(self):
+        report = lint_shard_source(
+            "from dataclasses import dataclass\n"
+            "@dataclass(frozen=True)\n"
+            "class Task:\n"
+            "    seed: int\n"
+            "    n_bunches: int\n"
+            "    jitter_ps: float\n"
+        )
+        assert len(report) == 0
+
+    def test_non_dataclass_class_not_flagged(self):
+        report = lint_shard_source(
+            "class Runner:\n    ex: 'CgraExecutor'\n"
+        )
+        assert len(report) == 0
+
+
+class TestShard004MutableDefaults:
+    def test_function_default_flagged(self):
+        report = lint_shard_source("def f(acc=[]):\n    return acc\n")
+        assert codes(report) == ["SHARD004"]
+        assert report.diagnostics[0].severity is Severity.WARNING
+
+    def test_dataclass_field_default_flagged(self):
+        report = lint_shard_source(
+            "from dataclasses import dataclass\n"
+            "@dataclass\n"
+            "class Task:\n"
+            "    rows: list = []\n"
+        )
+        assert codes(report) == ["SHARD004"]
+
+    def test_default_factory_clean(self):
+        report = lint_shard_source(
+            "from dataclasses import dataclass, field\n"
+            "@dataclass\n"
+            "class Task:\n"
+            "    rows: list = field(default_factory=list)\n"
+        )
+        assert len(report) == 0
+
+    def test_kwonly_default_flagged(self):
+        report = lint_shard_source("def f(*, acc={}):\n    return acc\n")
+        assert codes(report) == ["SHARD004"]
+
+
+class TestSuppression:
+    def test_disable_specific_code(self):
+        report = lint_shard_source(
+            "import random\n"
+            "x = random.random()  # shardlint: disable=SHARD001\n"
+        )
+        assert len(report) == 0
+
+    def test_disable_all(self):
+        report = lint_shard_source(
+            "import time\n"
+            "x = time.time()  # shardlint: disable=all\n"
+        )
+        assert len(report) == 0
+
+    def test_disable_other_code_does_not_suppress(self):
+        report = lint_shard_source(
+            "import random\n"
+            "x = random.random()  # shardlint: disable=SHARD002\n"
+        )
+        assert codes(report) == ["SHARD001"]
+
+
+class TestRealModules:
+    def test_zero_false_positives_on_experiments_and_faults(self):
+        """The acceptance gate: current task modules are shard-clean."""
+        targets = default_targets()
+        assert targets, "expected experiment modules to lint"
+        for path in targets:
+            report = lint_shard_source(Path(path).read_text(), str(path))
+            assert len(report) == 0, (
+                f"{path} flagged: " + "; ".join(d.render() for d in report)
+            )
+
+    def test_syntax_error_reported_not_raised(self):
+        report = lint_shard_source("def broken(:\n")
+        assert codes(report) == ["syntax-error"]
+        assert not report.ok
+
+    def test_rule_table_is_complete(self):
+        assert set(RULES) == {"SHARD001", "SHARD002", "SHARD003", "SHARD004"}
+        for severity, summary in RULES.values():
+            assert isinstance(severity, Severity) and summary

@@ -1,0 +1,329 @@
+"""Dependence analysis, vectorization certificates and the chunk oracle.
+
+The soundness gate of the analysis layer: for every kernel in the test
+corpus, every segment certified chunkable must pass the runtime
+differential oracle bit-exactly, and the known loop-carried constructs
+(the beam model's ``gamma_r`` accumulator and ``dt[i]``/``dgamma[i]``
+feedback registers) must be *refused* a certificate.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cgra.dfg import DataflowGraph
+from repro.cgra.fabric import CgraConfig, CgraFabric
+from repro.cgra.frontend import compile_c_to_dfg
+from repro.cgra.models import compile_beam_model
+from repro.cgra.ops import Op
+from repro.cgra.scheduler import ListScheduler
+from repro.cgra.sensor import (
+    SENSOR_GAP_BUFFER,
+    SENSOR_PERIOD,
+    SENSOR_REF_BUFFER,
+)
+from repro.cgra.verify import (
+    Segment,
+    VectorizationCertificate,
+    certify_vectorization,
+    run_chunk_oracle,
+)
+from repro.errors import VerificationError
+from repro.physics import KNOWN_IONS, SIS18
+
+#: The corpus: every kernel variant the fig1/fig2/fig5, jitter,
+#: reconfig, dual-harmonic and sweep experiments compile.
+CORPUS = [(n, pipelined) for n in (1, 2, 4, 8) for pipelined in (False, True)]
+
+
+def _beam_params(model):
+    return model.default_params(
+        gamma_r0=SIS18.gamma_from_revolution_frequency(800e3),
+        q_over_mc2=KNOWN_IONS["14N7+"].gamma_gain_per_volt(),
+        orbit_length=SIS18.circumference,
+        alpha_c=SIS18.alpha_c,
+        v_scale=4862.0,
+        v_scale_ref=4 * 4862.0,
+        f_sample=250e6,
+        harmonic=4,
+    )
+
+
+def _beam_handlers():
+    readers = {SENSOR_PERIOD: lambda t: 1.25e-6 * (1.0 + 1e-4 * (t % 7))}
+    addr_readers = {
+        SENSOR_REF_BUFFER: lambda t, a: float(np.sin(0.1 * a + 0.01 * t)),
+        SENSOR_GAP_BUFFER: lambda t, a: float(np.cos(0.05 * a)),
+    }
+    return readers, addr_readers
+
+
+def _schedule(source: str):
+    graph = compile_c_to_dfg(source)
+    return ListScheduler(CgraFabric(CgraConfig())).schedule(graph)
+
+
+class TestCertificate:
+    def test_beam_model_partition(self):
+        model = compile_beam_model(n_bunches=4, pipelined=False)
+        result = certify_vectorization(model.schedule)
+        cert = result.certificate
+        stats = cert.stats()
+        assert stats["n_ops"] == sum(
+            1 for node in model.graph.nodes.values() if not node.is_zero_time()
+        )
+        assert stats["n_chunkable_segments"] >= 1
+        assert 0.0 < stats["chunkable_fraction"] < 1.0
+        assert stats["max_chunk_width"] >= 1
+        # Segments partition the program exactly.
+        all_ids = [n for s in cert.segments for n in s.node_ids]
+        assert len(all_ids) == len(set(all_ids)) == stats["n_ops"]
+
+    @pytest.mark.parametrize("n_bunches,pipelined", CORPUS)
+    def test_corpus_refuses_loop_carried_constructs(self, n_bunches, pipelined):
+        """Every corpus schedule carries at least one accumulator
+        (gamma_r, Eq. 2) — the analysis must pin it sequential."""
+        model = compile_beam_model(n_bunches=n_bunches, pipelined=pipelined)
+        result = certify_vectorization(model.schedule)
+        assert result.report.has("carried-cycle")
+        cert = result.certificate
+        sequential = {
+            n for s in cert.segments if s.kind == "sequential" for n in s.node_ids
+        }
+        # The accumulator's defining op must be refused.
+        carried_sources = {
+            reg.source for reg in result.effects.carried
+            if reg.source_kind == "computed"
+        }
+        refused_sources = carried_sources & sequential
+        assert refused_sources, "no carried source was pinned sequential"
+        assert not refused_sources & cert.certified_node_ids()
+
+    def test_certificate_json_round_trip(self):
+        model = compile_beam_model(n_bunches=2, pipelined=True)
+        cert = certify_vectorization(model.schedule).certificate
+        assert VectorizationCertificate.from_json(cert.to_json()) == cert
+        assert VectorizationCertificate.from_dict(cert.to_dict()) == cert
+
+    def test_certificate_rejects_bad_inputs(self):
+        with pytest.raises(VerificationError):
+            Segment(index=0, kind="warp-speed", node_ids=(1,),
+                    first_tick=0, last_tick=0)
+        model = compile_beam_model(n_bunches=1, pipelined=False)
+        cert = certify_vectorization(model.schedule).certificate
+        payload = cert.to_dict()
+        payload["version"] = 2
+        with pytest.raises(VerificationError):
+            VectorizationCertificate.from_dict(payload)
+
+    def test_compiled_program_exposes_certificate(self):
+        from repro.cgra.engine import compile_program
+
+        model = compile_beam_model(n_bunches=1, pipelined=False)
+        program = compile_program(model.schedule)
+        cert = program.certificate
+        assert cert.kernel == model.graph.name
+        assert program.certificate is cert  # cached
+        assert cert.n_ops == len(program.entries)
+
+    def test_forward_carried_dependence_is_chunkable(self):
+        """A PHI fed by an independent computed op is the legal shift
+        shape: everything should be certified."""
+        schedule = _schedule(
+            """
+void k() {
+    float prev = 0.0;
+    while (1) {
+        float v = read_sensor(0);
+        write_actuator(16, prev * 0.5);
+        prev = v + 1.0;
+    }
+}
+"""
+        )
+        result = certify_vectorization(schedule)
+        cert = result.certificate
+        assert [s.kind for s in cert.segments] == ["chunkable"]
+        assert cert.stats()["chunkable_fraction"] == 1.0
+        # And the oracle agrees.
+        out = run_chunk_oracle(
+            schedule, {}, readers={0: lambda t: np.sin(0.3 * t)}, n_iterations=40
+        )
+        assert out.ops_checked == cert.n_ops
+
+    def test_multi_writer_port_is_sequential(self):
+        g = DataflowGraph("multiwrite")
+        s = g.add_sensor_read(0, name="s")
+        c = g.add_const(2.0)
+        m = g.add_op(Op.FMUL, [s.node_id, c.node_id], name="m")
+        g.add_actuator_write(16, s)
+        g.add_actuator_write(16, m)
+        g.validate()
+        schedule = ListScheduler(CgraFabric(CgraConfig())).schedule(g)
+        result = certify_vectorization(schedule)
+        assert result.report.has("io-multi-writer")
+        writes = {
+            e.node_id for e in result.effects.ops if e.op == "ACTUATOR_WRITE"
+        }
+        certified = result.certificate.certified_node_ids()
+        assert not writes & certified
+
+    def test_phi_rotation_refused(self):
+        g = DataflowGraph("rotation")
+        a = g.add_phi("a", init_value=1.0)
+        b = g.add_phi("b", init_value=2.0)
+        g.bind_phi(a, b)
+        g.bind_phi(b, a)
+        c = g.add_const(1.0)
+        use = g.add_op(Op.FADD, [a.node_id, c.node_id], name="use")
+        g.add_actuator_write(16, use)
+        g.validate()
+        schedule = ListScheduler(CgraFabric(CgraConfig())).schedule(g)
+        result = certify_vectorization(schedule)
+        assert result.report.has("phi-unresolved")
+        assert not result.certificate.is_certified(use.node_id)
+
+    def test_stale_pipelined_read_refused(self):
+        """Distance-2 reads through a PHI-of-PHI chain (the stale
+        pipelined-read shape) are conservatively sequential."""
+        g = DataflowGraph("stale")
+        p = g.add_phi("p", init_value=0.0)
+        q = g.add_phi("q", init_value=0.0)
+        s = g.add_sensor_read(0, name="s")
+        g.bind_phi(q, s)
+        g.bind_phi(p, q)  # q latches after p: p observes s at distance 2
+        c = g.add_const(1.0)
+        use = g.add_op(Op.FADD, [p.node_id, c.node_id], name="use")
+        g.add_actuator_write(16, use)
+        g.validate()
+        schedule = ListScheduler(CgraFabric(CgraConfig())).schedule(g)
+        result = certify_vectorization(schedule)
+        assert result.report.has("stale-carried-read")
+        assert not result.certificate.is_certified(use.node_id)
+        # The sensor read itself is still independent and chunkable.
+        assert result.certificate.is_certified(s.node_id)
+
+
+class TestChunkOracle:
+    @pytest.mark.parametrize("n_bunches,pipelined", CORPUS)
+    def test_soundness_gate_corpus(self, n_bunches, pipelined):
+        """Every certified segment of every corpus schedule executes
+        chunk-wise bit-exactly against the per-cycle interpreter."""
+        model = compile_beam_model(n_bunches=n_bunches, pipelined=pipelined)
+        readers, addr_readers = _beam_handlers()
+        out = run_chunk_oracle(
+            model.schedule, _beam_params(model), readers, addr_readers,
+            n_iterations=48,
+        )
+        assert out.segments_checked >= 1
+        assert out.ops_checked >= 1
+        assert out.writes_checked == n_bunches  # one Δt write per bunch
+
+    @pytest.mark.parametrize("precision", ["single", "double"])
+    def test_both_precisions(self, precision):
+        model = compile_beam_model(n_bunches=2, pipelined=False)
+        readers, addr_readers = _beam_handlers()
+        out = run_chunk_oracle(
+            model.schedule, _beam_params(model), readers, addr_readers,
+            n_iterations=32, precision=precision,
+        )
+        assert out.ops_checked >= 1
+
+    def test_oracle_rejects_forged_accumulator_certificate(self):
+        """The oracle must have teeth: certifying an accumulator as
+        chunkable is caught, not silently papered over with reference
+        values."""
+        schedule = _schedule(
+            """
+void k() {
+    float s = 0.0;
+    while (1) {
+        float v = read_sensor(0);
+        s = s + v * 0.25;
+        write_actuator(16, s);
+    }
+}
+"""
+        )
+        honest = certify_vectorization(schedule).certificate
+        assert any(s.kind == "sequential" for s in honest.segments)
+        # Forge: flip every segment to chunkable.
+        forged = VectorizationCertificate(
+            kernel=honest.kernel,
+            n_ops=honest.n_ops,
+            segments=tuple(
+                Segment(
+                    index=s.index, kind="chunkable", node_ids=s.node_ids,
+                    first_tick=s.first_tick, last_tick=s.last_tick,
+                    io_read_ports=s.io_read_ports,
+                    io_write_ports=s.io_write_ports,
+                    carried_in=s.carried_in,
+                )
+                for s in honest.segments
+            ),
+        )
+        with pytest.raises(VerificationError):
+            run_chunk_oracle(
+                schedule, {}, readers={0: lambda t: np.sin(0.3 * t)},
+                n_iterations=16, certificate=forged,
+            )
+
+    def test_oracle_rejects_wrong_segment_order(self):
+        """A certificate whose segment order violates the dependence
+        topology is reported invalid."""
+        schedule = _schedule(
+            """
+void k() {
+    float prev = 0.0;
+    while (1) {
+        float v = read_sensor(0);
+        write_actuator(16, prev * 0.5);
+        prev = v + 1.0;
+    }
+}
+"""
+        )
+        honest = certify_vectorization(schedule).certificate
+        (seg,) = honest.segments
+        reversed_cert = VectorizationCertificate(
+            kernel=honest.kernel,
+            n_ops=honest.n_ops,
+            segments=(
+                Segment(
+                    index=0, kind="chunkable",
+                    node_ids=tuple(reversed(seg.node_ids)),
+                    first_tick=seg.first_tick, last_tick=seg.last_tick,
+                    io_read_ports=seg.io_read_ports,
+                    io_write_ports=seg.io_write_ports,
+                    carried_in=seg.carried_in,
+                ),
+            ),
+        )
+        with pytest.raises(VerificationError):
+            run_chunk_oracle(
+                schedule, {}, readers={0: lambda t: np.sin(0.3 * t)},
+                n_iterations=8, certificate=reversed_cert,
+            )
+
+    def test_oracle_validates_iterations(self):
+        model = compile_beam_model(n_bunches=1, pipelined=False)
+        with pytest.raises(VerificationError):
+            run_chunk_oracle(model.schedule, _beam_params(model), n_iterations=0)
+
+    def test_const_source_phi_is_chunkable_and_exact(self):
+        """A carried register converging to a constant vectorizes as
+        [incoming, const, const, ...]."""
+        schedule = _schedule(
+            """
+void k() {
+    float p = 7.5;
+    while (1) {
+        write_actuator(16, p * 2.0);
+        p = 0.25;
+    }
+}
+"""
+        )
+        result = certify_vectorization(schedule)
+        assert [s.kind for s in result.certificate.segments] == ["chunkable"]
+        out = run_chunk_oracle(schedule, {}, n_iterations=12)
+        assert out.writes_checked == 1

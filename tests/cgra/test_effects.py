@@ -1,0 +1,171 @@
+"""Tests of the per-op effect summaries and carried-register resolution."""
+
+import pytest
+
+from repro.cgra.dfg import DataflowGraph
+from repro.cgra.fabric import CgraConfig, CgraFabric
+from repro.cgra.frontend import compile_c_to_dfg
+from repro.cgra.models import compile_beam_model
+from repro.cgra.ops import Op
+from repro.cgra.scheduler import ListScheduler
+from repro.cgra.verify import (
+    EffectSummary,
+    resolve_carried,
+    summarize_effects,
+)
+from repro.errors import VerificationError
+
+
+def _schedule(source: str):
+    graph = compile_c_to_dfg(source)
+    return ListScheduler(CgraFabric(CgraConfig())).schedule(graph)
+
+
+ACCUMULATOR = """
+void k() {
+    float s = 0.0;
+    while (1) {
+        float v = read_sensor(0);
+        s = s + v * 0.5;
+        write_actuator(16, s);
+    }
+}
+"""
+
+
+class TestOpEffects:
+    def test_classifies_reads(self):
+        schedule = _schedule(ACCUMULATOR)
+        effects = summarize_effects(schedule)
+        graph = schedule.graph
+        phi_ids = {phi.node_id for phi in graph.phis()}
+
+        adds = [e for e in effects.ops if e.op == "FADD"]
+        assert len(adds) == 1
+        add = adds[0]
+        # s + v*0.5 reads the carried register and the computed product.
+        assert set(add.phi_reads) == phi_ids
+        assert len(add.reads) == 1
+        assert add.writes == (add.node_id,)
+        assert add.io_reads == () and add.io_writes == ()
+
+        reads = [e for e in effects.ops if e.op == "SENSOR_READ"]
+        assert reads and reads[0].io_reads == (0,)
+
+        writes = [e for e in effects.ops if e.op == "ACTUATOR_WRITE"]
+        assert writes and writes[0].io_writes == (16,)
+        assert writes[0].writes == ()  # no register value produced
+
+        muls = [e for e in effects.ops if e.op == "FMUL"]
+        assert muls and len(muls[0].const_reads) == 1  # the 0.5 constant
+
+    def test_program_order_matches_engine(self):
+        from repro.cgra.engine import merged_entries
+
+        schedule = _schedule(ACCUMULATOR)
+        effects = summarize_effects(schedule)
+        assert [e.node_id for e in effects.ops] == [
+            nid for _t, _op, nid, _ops, _io in merged_entries(schedule)
+        ]
+        assert effects.schedule_length == schedule.length
+
+    def test_io_port_queries(self):
+        effects = summarize_effects(_schedule(ACCUMULATOR))
+        assert effects.io_read_ports() == (0,)
+        assert effects.io_write_ports() == (16,)
+
+    def test_lookup_helpers_raise_on_unknown(self):
+        effects = summarize_effects(_schedule(ACCUMULATOR))
+        with pytest.raises(VerificationError):
+            effects.op(99999)
+        with pytest.raises(VerificationError):
+            effects.carried_for(99999)
+
+    def test_json_round_trip(self):
+        effects = summarize_effects(_schedule(ACCUMULATOR))
+        assert EffectSummary.from_dict(effects.to_dict()) == effects
+
+
+class TestCarriedResolution:
+    def test_simple_accumulator_distance_one(self):
+        schedule = _schedule(ACCUMULATOR)
+        carried = resolve_carried(schedule.graph)
+        (reg,) = carried.values()
+        assert reg.resolved
+        assert reg.source_kind == "computed"
+        assert reg.distance == 1
+        assert reg.via == ()
+        assert schedule.graph.node(reg.source).op is Op.FADD
+
+    def test_phi_chain_latch_order_distances(self):
+        """PHI-of-PHI distances depend on latch order (ascending node id).
+
+        ``p`` (smaller id) feeding from ``q`` (larger id) reads q's
+        *previous-iteration* value: distance 2.  ``q`` feeding from the
+        computed source is the plain distance-1 case.
+        """
+        g = DataflowGraph("chain")
+        p = g.add_phi("p", init_value=0.0)
+        q = g.add_phi("q", init_value=0.0)
+        s = g.add_sensor_read(0, name="s")
+        g.add_actuator_write(16, s)
+        g.bind_phi(q, s)   # q <- s        (distance 1)
+        g.bind_phi(p, q)   # p <- q, q latches after p => distance 2
+        g.validate()
+        carried = resolve_carried(g)
+        assert carried[q.node_id].distance == 1
+        assert carried[q.node_id].source == s.node_id
+        assert carried[p.node_id].distance == 2
+        assert carried[p.node_id].source == s.node_id
+        assert carried[p.node_id].via == (q.node_id,)
+
+    def test_phi_chain_through_earlier_latch_keeps_distance(self):
+        """A PHI feeding from an *earlier-latching* PHI observes its fresh
+        value: the chain collapses to distance 1."""
+        g = DataflowGraph("fresh")
+        q = g.add_phi("q", init_value=0.0)
+        p = g.add_phi("p", init_value=0.0)  # larger id: latches after q
+        s = g.add_sensor_read(0, name="s")
+        g.add_actuator_write(16, s)
+        g.bind_phi(q, s)
+        g.bind_phi(p, q)  # q already latched s's fresh value
+        g.validate()
+        carried = resolve_carried(g)
+        assert carried[p.node_id].distance == 1
+        assert carried[p.node_id].source == s.node_id
+
+    def test_pure_rotation_is_unresolved(self):
+        g = DataflowGraph("rot")
+        a = g.add_phi("a", init_value=1.0)
+        b = g.add_phi("b", init_value=2.0)
+        g.bind_phi(a, b)
+        g.bind_phi(b, a)
+        s = g.add_sensor_read(0, name="s")
+        g.add_actuator_write(16, s)
+        g.validate()
+        carried = resolve_carried(g)
+        assert not carried[a.node_id].resolved
+        assert not carried[b.node_id].resolved
+        assert carried[a.node_id].source is None
+        assert "rotation" in carried[a.node_id].reason
+
+    def test_const_source(self):
+        g = DataflowGraph("const")
+        p = g.add_phi("p", init_value=0.0)
+        c = g.add_const(3.0, name="c")
+        g.bind_phi(p, c)
+        mul = g.add_op(Op.FMUL, [p.node_id, c.node_id], name="m")
+        g.add_actuator_write(16, mul)
+        g.validate()
+        carried = resolve_carried(g)
+        assert carried[p.node_id].source_kind == "const"
+        assert carried[p.node_id].distance == 1
+
+    def test_beam_model_carried_registers_resolve(self):
+        for pipelined in (False, True):
+            model = compile_beam_model(n_bunches=2, pipelined=pipelined)
+            effects = summarize_effects(model.schedule)
+            assert effects.carried, "beam model has loop-carried registers"
+            for reg in effects.carried:
+                assert reg.resolved
+                assert reg.distance >= 1

@@ -71,6 +71,30 @@ class TestCli:
         codes = {d["code"] for d in payload["diagnostics"]}
         assert "use-before-def" in codes
 
+    def test_json_carries_analyzer_and_severity_everywhere(self, tmp_path, capsys):
+        """Every diagnostic class names its analyzer and severity in --json."""
+        files = []
+        for name, src in (("bad.c", BAD_SEMANTIC), ("sat.c", BAD_RANGE)):
+            f = tmp_path / name
+            f.write_text(src)
+            files.append(str(f))
+        main([*files, "--json", "--all"])
+        out = capsys.readouterr().out
+        diags = [
+            d
+            for line in out.strip().splitlines()
+            for d in json.loads(line)["diagnostics"]
+        ]
+        assert diags, "expected diagnostics across the targets"
+        for d in diags:
+            assert d["analyzer"] in ("lint", "schedule", "range", "dependence")
+            assert d["analyzer"] == d["pass"]
+            assert d["severity"] in ("info", "warning", "error")
+        # Both front ends and error counts are surfaced per target.
+        payloads = [json.loads(line) for line in out.strip().splitlines()]
+        assert all("errors" in p and "warnings" in p for p in payloads)
+        assert {d["analyzer"] for d in diags} >= {"lint", "range"}
+
     def test_fail_on_warning(self, tmp_path):
         f = tmp_path / "warn.c"
         f.write_text(
@@ -86,9 +110,24 @@ void k() {
         assert main([str(f)]) == 0
         assert main([str(f), "--fail-on-warning"]) == 1
 
-    def test_missing_file_errors(self, tmp_path, capsys):
-        assert main([str(tmp_path / "nope.c")]) == 1
+    def test_missing_file_is_internal_error(self, tmp_path, capsys):
+        """Unreadable input is an analyzer problem (2), not 'found bugs' (1)."""
+        assert main([str(tmp_path / "nope.c")]) == 2
         assert "cannot read" in capsys.readouterr().err
+
+    def test_internal_error_beats_dirty_exit(self, tmp_path, capsys):
+        """Diagnostics + a broken target: exit 2 wins so CI surfaces the crash."""
+        bad = tmp_path / "bad.c"
+        bad.write_text(BAD_SEMANTIC)
+        assert main([str(bad), str(tmp_path / "nope.c")]) == 2
+        captured = capsys.readouterr()
+        assert "use-before-def" in captured.out
+        assert "cannot read" in captured.err
+
+    def test_diagnostics_found_still_exit_one(self, tmp_path):
+        bad = tmp_path / "bad.c"
+        bad.write_text(BAD_SEMANTIC)
+        assert main([str(bad)]) == 1
 
     def test_no_target_is_usage_error(self):
         with pytest.raises(SystemExit):

@@ -1,0 +1,281 @@
+"""Property suite for vectorization certificates.
+
+Property: for *any* kernel the frontend accepts, the dependence
+analysis must produce a certificate whose chunkable segments are
+bit-exactly replayable in vector form — the chunk oracle re-executes
+the program chunk-wise against a per-cycle reference run.  A certified
+segment that diverges is a soundness bug in the analyser, never an
+acceptable outcome.
+
+Random kernels mirror the differential-execution strategy: loop-carried
+accumulators, straight-line float arithmetic with guarded div/sqrt,
+optional sensor reads, actuator writes.  Sensor handlers here are pure
+functions of the iteration index (the certificate's validity contract).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cgra.fabric import CgraConfig, CgraFabric
+from repro.cgra.frontend import compile_c_to_dfg
+from repro.cgra.scheduler import ListScheduler
+from repro.cgra.verify import certify_vectorization, run_chunk_oracle
+from repro.errors import VerificationError
+
+
+@st.composite
+def kernels(draw):
+    """Generate a random mini-C kernel source (see module docstring)."""
+    n_vars = draw(st.integers(min_value=1, max_value=4))
+    names = [f"v{i}" for i in range(n_vars)]
+    inits = [draw(st.floats(min_value=-4.0, max_value=4.0).map(lambda x: round(x, 3)))
+             for _ in names]
+    n_stmts = draw(st.integers(min_value=1, max_value=8))
+    use_sensor = draw(st.booleans())
+
+    body: list[str] = []
+    if use_sensor:
+        body.append("float s0 = read_sensor(0) * 0.25;")
+
+    def operand(rng_draw):
+        choice = rng_draw(
+            st.integers(min_value=0, max_value=len(names) + (1 if use_sensor else 0))
+        )
+        if use_sensor and choice == len(names):
+            return "s0"
+        if choice < len(names):
+            return names[choice]
+        return "s0" if use_sensor else names[0]
+
+    for _ in range(n_stmts):
+        target = draw(st.sampled_from(names))
+        kind = draw(st.sampled_from(["add", "mul", "sub", "div", "sqrt", "minmax", "select"]))
+        a = operand(draw)
+        b = operand(draw)
+        c = draw(st.floats(min_value=-2.0, max_value=2.0).map(lambda x: round(x, 3)))
+        if kind == "add":
+            stmt = f"{target} = {a} + {b} * 0.125 + {c};"
+        elif kind == "mul":
+            stmt = f"{target} = {a} * 0.5 + {b} * 0.25;"
+        elif kind == "sub":
+            stmt = f"{target} = {a} - {b} * 0.5;"
+        elif kind == "div":
+            stmt = f"{target} = {a} / fmax({b} * {b} + 1.0, 1.0);"
+        elif kind == "sqrt":
+            stmt = f"{target} = sqrt(fmax({a}, 0.0) + 1.0) - 1.0;"
+        elif kind == "minmax":
+            stmt = f"{target} = fmin(fmax({a}, -8.0), 8.0) + {c} * 0.01;"
+        else:
+            stmt = f"{target} = {a} < {b} ? {a} * 0.5 : {b} * 0.5;"
+        body.append(stmt)
+    body.append(f"write_actuator(16, {names[0]});")
+
+    decls = "\n    ".join(f"float {n} = {v};" for n, v in zip(names, inits))
+    body_text = "\n        ".join(body)
+    source = f"""
+void kernel() {{
+    {decls}
+    while (1) {{
+        {body_text}
+    }}
+}}
+"""
+    return source
+
+
+READERS = {0: lambda t: float(np.sin((t + 1) * 0.37))}
+
+
+def _schedule(source, rows=2):
+    graph = compile_c_to_dfg(source)
+    return ListScheduler(CgraFabric(CgraConfig(rows=rows, cols=rows))).schedule(graph)
+
+
+class TestCertificateSoundness:
+    @settings(max_examples=50, deadline=None)
+    @given(source=kernels(), rows=st.integers(min_value=1, max_value=3),
+           precision=st.sampled_from(["single", "double"]))
+    def test_certified_segments_replay_bit_exactly(self, source, rows, precision):
+        schedule = _schedule(source, rows=rows)
+        result = certify_vectorization(schedule)
+        cert = result.certificate
+        # The partition is always total, whatever the kernel shape.
+        assert cert.stats()["n_ops"] == sum(
+            1 for node in schedule.graph.nodes.values() if not node.is_zero_time()
+        )
+        oracle = run_chunk_oracle(
+            schedule, {}, READERS, {}, n_iterations=24,
+            precision=precision, certificate=cert,
+        )
+        assert oracle.iterations == 24
+        assert oracle.segments_checked == len(cert.chunkable_segments())
+
+    @settings(max_examples=50, deadline=None)
+    @given(source=kernels())
+    def test_accumulator_feedback_never_certified(self, source):
+        """Any op on a path from a PHI back to its own bound source is
+        loop-carried and must land in a sequential segment."""
+        schedule = _schedule(source)
+        graph = schedule.graph
+        cert = certify_vectorization(schedule).certificate
+        certified = set(cert.certified_node_ids())
+        for phi in graph.phis():
+            src = phi.back_edge
+            if src is None or graph.node(src).is_zero_time():
+                continue
+            # Walk forward from the PHI; if we can reach the bound source,
+            # every node on such a path participates in a carried cycle.
+            on_cycle = _nodes_on_paths(graph, phi.node_id, src)
+            assert not (on_cycle & certified), (
+                f"carried-cycle nodes certified chunkable: {on_cycle & certified}"
+            )
+
+    @settings(max_examples=25, deadline=None)
+    @given(source=kernels())
+    def test_certificate_json_round_trip(self, source):
+        from repro.cgra.verify import VectorizationCertificate
+
+        cert = certify_vectorization(_schedule(source)).certificate
+        assert VectorizationCertificate.from_json(cert.to_json()) == cert
+
+    @settings(max_examples=20, deadline=None)
+    @given(source=kernels())
+    def test_forged_all_chunkable_certificate_rejected(self, source):
+        """Marking every sequential segment chunkable must either trip the
+        oracle or be a no-op because the kernel truly has no carried
+        dependence."""
+        from repro.cgra.verify import Segment, VectorizationCertificate
+
+        schedule = _schedule(source)
+        cert = certify_vectorization(schedule).certificate
+        if all(seg.kind == "chunkable" for seg in cert.segments):
+            return  # nothing to forge
+        forged = VectorizationCertificate(
+            kernel=cert.kernel,
+            n_ops=cert.n_ops,
+            segments=tuple(
+                Segment(
+                    index=seg.index,
+                    kind="chunkable",
+                    node_ids=seg.node_ids,
+                    first_tick=seg.first_tick,
+                    last_tick=seg.last_tick,
+                    io_read_ports=seg.io_read_ports,
+                    io_write_ports=seg.io_write_ports,
+                    carried_in=seg.carried_in,
+                )
+                for seg in cert.segments
+            ),
+        )
+        with pytest.raises(VerificationError):
+            run_chunk_oracle(
+                schedule, {}, READERS, {}, n_iterations=24, certificate=forged
+            )
+
+
+def _nodes_on_paths(graph, start, goal):
+    """Node ids lying on any forward dataflow path start → goal
+    (excluding zero-time nodes), or empty set if goal is unreachable."""
+    consumers: dict[int, list[int]] = {}
+    for node in graph.nodes.values():
+        for operand in node.operands:
+            consumers.setdefault(operand, []).append(node.node_id)
+
+    # Reachable-from-start via forward edges.
+    fwd = set()
+    stack = [start]
+    while stack:
+        nid = stack.pop()
+        for c in consumers.get(nid, ()):  # PHIs consume via binding, skip
+            if graph.node(c).op.name == "PHI":
+                continue
+            if c not in fwd:
+                fwd.add(c)
+                stack.append(c)
+    if goal not in fwd:
+        return set()
+
+    # Reaches-goal via backward edges.
+    bwd = {goal}
+    stack = [goal]
+    while stack:
+        nid = stack.pop()
+        for operand in graph.node(nid).operands:
+            if operand not in bwd and operand != start:
+                bwd.add(operand)
+                stack.append(operand)
+    return {
+        nid for nid in fwd & bwd if not graph.node(nid).is_zero_time()
+    }
+
+
+class TestNegativeConstructions:
+    """Deterministic refusal cases the random strategy cannot target."""
+
+    def test_phi_feedback_rotation_refused(self):
+        from repro.cgra.dfg import DataflowGraph
+
+        from repro.cgra.ops import Op
+
+        g = DataflowGraph("rot")
+        a = g.add_phi("a", init_value=1.0)
+        b = g.add_phi("b", init_value=2.0)
+        g.bind_phi(a, b)
+        g.bind_phi(b, a)
+        s = g.add_sensor_read(0, name="s")
+        mixed = g.add_op(Op.FMUL, [a.node_id, s.node_id], name="mixed")
+        g.add_actuator_write(16, mixed)
+        g.validate()
+        schedule = ListScheduler(CgraFabric(CgraConfig())).schedule(g)
+        result = certify_vectorization(schedule)
+        assert result.report.has("phi-unresolved")
+
+    def test_stale_pipelined_read_refused(self):
+        """A distance-2 carried read (PHI-of-PHI, later latch) must not be
+        chunked even though it is not a cycle."""
+        from repro.cgra.dfg import DataflowGraph
+        from repro.cgra.ops import Op
+
+        g = DataflowGraph("stale")
+        p = g.add_phi("p", init_value=0.0)
+        q = g.add_phi("q", init_value=0.0)
+        s = g.add_sensor_read(0, name="s")
+        scaled = g.add_op(Op.FMUL, [p.node_id, s.node_id], name="scaled")
+        g.add_actuator_write(16, scaled)
+        g.bind_phi(q, s)
+        g.bind_phi(p, q)
+        g.validate()
+        schedule = ListScheduler(CgraFabric(CgraConfig())).schedule(g)
+        result = certify_vectorization(schedule)
+        assert result.report.has("stale-carried-read")
+        certified = set(result.certificate.certified_node_ids())
+        assert scaled.node_id not in certified
+        # The oracle still validates whatever was certified.
+        run_chunk_oracle(
+            schedule, {}, READERS, {}, n_iterations=16,
+            certificate=result.certificate,
+        )
+
+    def test_plain_accumulator_sequential_but_sensor_chunked(self):
+        source = """
+void k() {
+    float s = 0.0;
+    while (1) {
+        float v = read_sensor(0);
+        s = s + v * 0.5;
+        write_actuator(16, s);
+    }
+}
+"""
+        schedule = _schedule(source)
+        result = certify_vectorization(schedule)
+        cert = result.certificate
+        assert result.report.has("carried-cycle")
+        kinds = {seg.kind for seg in cert.segments}
+        assert kinds == {"chunkable", "sequential"}
+        run_chunk_oracle(
+            schedule, {}, READERS, {}, n_iterations=32, certificate=cert
+        )
