@@ -45,6 +45,8 @@ from repro.cgra.models import (
     beam_model_source,
     clear_cache,
     compile_beam_model,
+    compile_monitor_model,
+    monitor_model_source,
     CompiledModel,
 )
 from repro.cgra.verify import (
@@ -88,6 +90,8 @@ __all__ = [
     "beam_model_source",
     "clear_cache",
     "compile_beam_model",
+    "compile_monitor_model",
+    "monitor_model_source",
     "CompiledModel",
     "Diagnostic",
     "DiagnosticReport",

@@ -74,7 +74,7 @@ _ITERS_PER_SECOND = get_registry().gauge(
     "cgra_iterations_per_second", "most recent bulk-run iteration throughput"
 )
 
-_ENGINES = ("interpreted", "compiled")
+_ENGINES = ("interpreted", "compiled", "vector")
 
 #: Session-wide default used when an executor is constructed with
 #: ``engine=None`` (the CLI's ``--engine`` flag sets this).
@@ -392,6 +392,7 @@ class BatchedCgraExecutor:
         params: dict | None = None,
         precision: str = "single",
         verify: bool = False,
+        engine: str | None = None,
     ) -> None:
         if verify:
             from repro.cgra.verify import Severity, verify_schedule
@@ -408,6 +409,11 @@ class BatchedCgraExecutor:
         self.bus = bus
         self.batch = int(bus.batch)
         self.precision = precision
+        # The batched executor is inherently compiled; the engine seam
+        # only selects whether time is chunked on top ("vector") or
+        # stepped per cycle (anything else, including the session
+        # default "interpreted", which has no batched counterpart).
+        self.engine = "vector" if resolve_engine(engine) == "vector" else "compiled"
         self._program = compile_program(schedule, precision)
         self._ftype = self._program.ftype
         params = dict(params or {})
@@ -511,6 +517,63 @@ class BatchedCgraExecutor:
             raise ExecutionError("n_iterations must be non-negative")
         if n_iterations == 0:
             return
+        if self.engine == "vector":
+            self._run_vector(n_iterations)
+            return
+        self._run_batched(n_iterations)
+
+    def _run_vector(self, n_iterations: int) -> None:
+        """Chunked ``[B, T]`` run; falls back to per-cycle batched steps
+        for uncertified programs, small runs and chunk tails."""
+        from repro.cgra.engine_vector import MIN_CHUNK, get_vector_program
+
+        vp = get_vector_program(self._program)
+        if vp.ok and not vp._oracle_done:
+            # The oracle's reference run is scalar: lane-0 parameters.
+            vp.ensure_oracle(
+                {k: float(np.asarray(v).reshape(-1)[0]) for k, v in self._params.items()}
+            )
+        if not vp.ok or n_iterations < MIN_CHUNK:
+            self._run_batched(n_iterations)
+            return
+        max_t = vp.max_chunk(self.batch)
+        done = 0
+        chunks = 0
+        import time as _time
+
+        t0 = _time.perf_counter()
+        try:
+            while n_iterations - done >= MIN_CHUNK:
+                T = min(max_t, n_iterations - done)
+                progress = [0]
+                try:
+                    vp.run_chunk(
+                        self._slots, self.bus, T, self.iterations + done,
+                        progress, batched=True, batch=self.batch,
+                    )
+                finally:
+                    done += progress[0]
+                chunks += 1
+        finally:
+            self.iterations += done
+            if done:
+                self.actuator_write_ticks = dict(self._program.actuator_write_ticks)
+            if _OBS.enabled and done:
+                elapsed = _time.perf_counter() - t0
+                _ENGINE_ITERATIONS.inc(done * self.batch, engine="vector")
+                if elapsed > 0.0:
+                    _ITERS_PER_SECOND.set(done * self.batch / elapsed, engine="vector")
+                if _OBS.profile:
+                    record_program(
+                        self.graph.name, "vector", done, elapsed,
+                        self._program.op_class_counts, lanes=self.batch,
+                        segments=vp.segment_units(done, chunks),
+                    )
+        remainder = n_iterations - done
+        if remainder:
+            self._run_batched(remainder)
+
+    def _run_batched(self, n_iterations: int) -> None:
         step = self._program.step_batched
         R = self._slots
         read, read_addr, write = self.bus.read, self.bus.read_addr, self.bus.write

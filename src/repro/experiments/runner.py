@@ -487,7 +487,7 @@ def main(argv: list[str] | None = None) -> int:
                              "modules, dependence certification of the "
                              "built-in kernels) before running; abort on "
                              "any error")
-    parser.add_argument("--engine", choices=("interpreted", "compiled"),
+    parser.add_argument("--engine", choices=("interpreted", "compiled", "vector"),
                         help="CGRA execution engine for this run "
                              "(default: session default, 'interpreted')")
     parser.add_argument("--batch", type=int, default=8,

@@ -71,9 +71,10 @@ class SampleAccurateBenchConfig:
             raise ConfigurationError("detector window must be >= 1 revolution")
         if self.harmonic < 1:
             raise ConfigurationError("harmonic must be >= 1")
-        if self.engine not in (None, "interpreted", "compiled"):
+        if self.engine not in (None, "interpreted", "compiled", "vector"):
             raise ConfigurationError(
-                f"engine must be None, 'interpreted' or 'compiled', got {self.engine!r}"
+                "engine must be None, 'interpreted', 'compiled' or 'vector', "
+                f"got {self.engine!r}"
             )
 
 

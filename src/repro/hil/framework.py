@@ -113,9 +113,10 @@ class FrameworkConfig:
             )
         if self.gap_volts_per_adc_volt <= 0 or self.ref_volts_per_adc_volt <= 0:
             raise ConfigurationError("voltage scales must be positive")
-        if self.engine not in (None, "interpreted", "compiled"):
+        if self.engine not in (None, "interpreted", "compiled", "vector"):
             raise ConfigurationError(
-                f"engine must be None, 'interpreted' or 'compiled', got {self.engine!r}"
+                "engine must be None, 'interpreted', 'compiled' or 'vector', "
+                f"got {self.engine!r}"
             )
 
 

@@ -30,6 +30,17 @@ Design points, in the order the ISSUE states them:
   subtree re-attaches under the dispatch site on merge: a ``--jobs N``
   run exports one coherent span tree with a single trace id.
 
+* **Zero-copy result transport.**  With ``transport="shm"`` (the
+  default ``"auto"`` picks it whenever POSIX shared memory works and
+  the pool is actually multi-process), workers park large result arrays
+  in named shared-memory blocks (:mod:`repro.parallel.shm`) and return
+  only ``(offset, shape, dtype)`` descriptors; the parent rebuilds the
+  arrays with one copy each and unlinks every block at merge time.
+  Blocks are parent-named, so a worker that dies mid-task can never
+  leak one — the broken-pool path unlinks every outstanding name.
+  Values are identical either way (transport moves bytes, it never
+  re-encodes them); ``transport="pickle"`` forces the in-band path.
+
 Work functions and items must be picklable (module-level functions,
 plain-data items).  Results must be plain data as well: returning
 process-local CGRA handles (compiled models, schedules, executors) is
@@ -39,6 +50,7 @@ whose caches and weakrefs are meaningless in another process.
 
 from __future__ import annotations
 
+import itertools
 import multiprocessing
 import os
 import time
@@ -89,6 +101,10 @@ def prime_compile_caches() -> None:
 #: Primers every pool runs unless told otherwise.
 DEFAULT_PRIMERS: tuple[Callable[[], None], ...] = (prime_compile_caches,)
 
+#: Process-wide dispatch counter: shared-memory block names stay unique
+#: across map calls and across pools within one parent process.
+_DISPATCH_SEQ = itertools.count(1)
+
 
 @dataclass(frozen=True)
 class ShardFailure:
@@ -124,6 +140,10 @@ class ShardResult:
     worker_pid: int = -1
     #: Worker-side wall-clock seconds spent on the shard.
     elapsed_s: float = 0.0
+    #: Name of the shared-memory block holding this shard's large result
+    #: arrays, or None when the value travelled in-band.  Consumed (and
+    #: cleared) by the parent's merge; user code never sees it set.
+    shm: str | None = None
 
     @property
     def ok(self) -> bool:
@@ -248,8 +268,16 @@ def _execute_instrumented(index: int, fn, item, ctx: tuple | None) -> tuple:
 
 def _run_shard(payload: tuple) -> ShardResult:
     """Worker-side task wrapper: run, then snapshot-and-reset telemetry."""
-    index, fn, item, ctx = payload
+    index, fn, item, ctx, shm_name = payload
     value, failure, elapsed = _execute_instrumented(index, fn, item, ctx)
+    used_shm = False
+    if shm_name is not None and failure is None and value is not None:
+        from repro.parallel.shm import offload_arrays
+
+        # Graceful: offload_arrays returns the untouched value when the
+        # arrays are small or the block cannot be created — the result
+        # then simply travels in-band.
+        value, used_shm = offload_arrays(value, shm_name)
     telemetry = None
     if _WORKER_STATE["obs"]:
         _SHARD_SECONDS.observe(elapsed)
@@ -261,6 +289,7 @@ def _run_shard(payload: tuple) -> ShardResult:
         telemetry=telemetry,
         worker_pid=os.getpid(),
         elapsed_s=elapsed,
+        shm=shm_name if used_shm else None,
     )
 
 
@@ -297,13 +326,28 @@ class WorkerPool:
         jobs: int,
         primers: Sequence[Callable[[], None]] = DEFAULT_PRIMERS,
         start_method: str | None = None,
+        transport: str = "auto",
     ) -> None:
         if jobs < 1:
             raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+        if transport not in ("auto", "shm", "pickle"):
+            raise ConfigurationError(
+                f"transport must be 'auto', 'shm' or 'pickle', got {transport!r}"
+            )
         self.jobs = int(jobs)
         self._primers = tuple(primers)
         self._start_method = start_method
+        self._transport = transport
         self._executor: ProcessPoolExecutor | None = None
+
+    @property
+    def transport(self) -> str:
+        """The resolved result transport: ``"shm"`` or ``"pickle"``."""
+        if self._transport == "auto":
+            from repro.parallel.shm import shm_available
+
+            return "shm" if self.jobs > 1 and shm_available() else "pickle"
+        return self._transport
 
     # lifecycle --------------------------------------------------------
 
@@ -389,25 +433,49 @@ class WorkerPool:
         # Freeze the dispatching span's context once: every shard of
         # this map call is its child, whatever worker it lands on.
         ctx = current_context()
+        # Parent-assigned block names: the parent can always clean up a
+        # block, even for a shard whose worker died before returning.
+        seq = next(_DISPATCH_SEQ)
+        if self.transport == "shm":
+            names: list[str | None] = [
+                f"repro{os.getpid()}_{seq}_{index}" for index in range(len(items))
+            ]
+        else:
+            names = [None] * len(items)
         futures = [
-            executor.submit(_run_shard, (index, fn, item, ctx))
+            executor.submit(_run_shard, (index, fn, item, ctx, names[index]))
             for index, item in enumerate(items)
         ]
         results: list[ShardResult] = []
         broken = False
+        failed: list[int] = []
         for index, future in enumerate(futures):
             try:
-                results.append(future.result())
+                # _restore_shard consumes (and always unlinks) the
+                # shard's block, so a restored result never holds one.
+                results.append(_restore_shard(future.result()))
             except BrokenExecutor as exc:
                 broken = True
+                failed.append(index)
                 results.append(_infrastructure_failure(index, fn, exc))
-            except Exception as exc:  # pickling errors and kin
+            except Exception as exc:  # pickling/restore errors and kin
+                failed.append(index)
                 results.append(_infrastructure_failure(index, fn, exc))
         if broken:
             # A dead worker poisons the whole executor; drop it so the
             # next dispatch starts a fresh pool instead of failing fast.
             self._executor.shutdown(wait=False)
             self._executor = None
+        leftovers = [names[i] for i in failed if names[i] is not None]
+        if leftovers:
+            # Shards that failed between block creation and merge (dead
+            # worker, torn result): reclaim their blocks best-effort —
+            # a worker that never got as far as creating the block makes
+            # this a no-op.
+            from repro.parallel.shm import unlink_block
+
+            for name in leftovers:
+                unlink_block(name)
         results.sort(key=lambda r: r.index)
         # Order-stable telemetry merge: shard-index order makes gauge
         # last-writes land exactly as the serial run would leave them.
@@ -415,6 +483,21 @@ class WorkerPool:
             if result.telemetry is not None:
                 merge_snapshot(result.telemetry, worker=result.worker_pid)
         return results
+
+
+def _restore_shard(result: ShardResult) -> ShardResult:
+    """Rebuild a shard value whose arrays travelled via shared memory.
+
+    Attaching, copying out and unlinking happen here, at merge time in
+    the parent; a raise (missing/torn block) surfaces to ``_map_pooled``
+    as a shard infrastructure failure.
+    """
+    if result.shm is not None:
+        from repro.parallel.shm import restore_arrays
+
+        result.value = restore_arrays(result.value, result.shm)
+        result.shm = None
+    return result
 
 
 def _infrastructure_failure(index, fn, exc: BaseException) -> ShardResult:
@@ -437,13 +520,16 @@ def run_sharded(
     jobs: int = 1,
     primers: Sequence[Callable[[], None]] = DEFAULT_PRIMERS,
     start_method: str | None = None,
+    transport: str = "auto",
 ) -> list[ShardResult]:
     """One-shot convenience: pool up, map, tear down.
 
     For repeated dispatches hold a :class:`WorkerPool` instead — its
     workers stay warm between calls.
     """
-    with WorkerPool(jobs, primers=primers, start_method=start_method) as pool:
+    with WorkerPool(
+        jobs, primers=primers, start_method=start_method, transport=transport
+    ) as pool:
         return pool.map_sharded(fn, items)
 
 

@@ -1,0 +1,262 @@
+"""Zero-copy shard result transport over POSIX shared memory.
+
+The default path for shard results is pickling through the
+``ProcessPoolExecutor`` result queue — every float of every result
+array is serialised in the worker, shipped through a pipe and
+deserialised in the parent.  For result-heavy experiments (sweep phase
+traces, long monitor records) that serialisation dominates merge time.
+
+This module implements the alternative the pool's ``transport="shm"``
+mode uses:
+
+* the **parent** assigns each task a deterministic block name
+  (``repro<pid>_<seq>_<index>``) so it can always find — and clean up —
+  the block, even when the worker died mid-task;
+* the **worker** packs every large result array into one
+  :class:`multiprocessing.shared_memory.SharedMemory` block under that
+  name and replaces the arrays with tiny :class:`ShmArrayRef`
+  descriptors ``(offset, shape, dtype)``, so the pickled result carries
+  descriptors instead of data;
+* the **parent** attaches the block, rebuilds the arrays as zero-copy
+  views into the mapping and unlinks the block at merge time (the pages
+  live on until the result arrays are garbage-collected).
+
+**Resource-tracker discipline** (CPython 3.11 registers a block in
+*both* the create and the attach path): the worker unregisters the
+block right after creating it — ownership passes to the parent with the
+task result — and the parent's attach/unlink pair balances itself.  Net
+effect: exactly one tracked owner at any time and no "leaked
+shared_memory" warnings at interpreter exit.
+
+Everything degrades gracefully: workers fall back to in-band pickling
+when the platform has no usable shared memory, when the arrays are
+small (under :data:`SHM_MIN_BYTES` the descriptor machinery costs more
+than pickling saves), or when block creation fails mid-flight
+(``/dev/shm`` full).  The parent treats a missing or torn block as a
+shard infrastructure failure, never as silent data loss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, is_dataclass, replace
+from typing import Any
+
+import numpy as np
+
+__all__ = [
+    "SHM_MIN_BYTES",
+    "ShmArrayRef",
+    "shm_available",
+    "offload_arrays",
+    "restore_arrays",
+    "unlink_block",
+]
+
+#: Arrays smaller than this stay in the pickled result — descriptor +
+#: attach overhead only pays off for bulk data (one 4 KiB page is
+#: nothing; 16 KiB is where shm reliably wins on a warm pool).
+SHM_MIN_BYTES = 16 * 1024
+
+_availability: bool | None = None
+
+
+def shm_available() -> bool:
+    """Whether POSIX shared memory actually works here (probed once).
+
+    Importability is not enough — containers without ``/dev/shm`` (or
+    with it mounted read-only) fail at block creation, so the probe
+    creates and unlinks a one-page block.
+    """
+    global _availability
+    if _availability is None:
+        try:
+            from multiprocessing import shared_memory
+
+            probe = shared_memory.SharedMemory(create=True, size=1)
+            probe.close()
+            probe.unlink()
+            _availability = True
+        except Exception:
+            _availability = False
+    return _availability
+
+
+@dataclass(frozen=True)
+class ShmArrayRef:
+    """Placeholder for one array parked in a shared block (picklable)."""
+
+    offset: int
+    shape: tuple
+    dtype: str
+
+
+def _is_large_array(obj: Any) -> bool:
+    return (
+        isinstance(obj, np.ndarray)
+        and obj.nbytes >= SHM_MIN_BYTES
+        # Object arrays have no flat byte image; leave them to pickle.
+        and obj.dtype != object
+    )
+
+
+def _swap(value: Any, convert) -> Any:
+    """Rebuild ``value`` with ``convert`` applied to every array slot.
+
+    Mirrors the one-container-level traversal of the pool's
+    ``_guard_value``: the top-level object, list/tuple members, dict
+    values and dataclass fields.  Deeper nesting stays in-band (pickle),
+    which is always correct — just not zero-copy.
+    """
+    if _is_large_array(value) or isinstance(value, ShmArrayRef):
+        return convert(value)
+    if isinstance(value, list):
+        return [convert(m) for m in value]
+    if isinstance(value, tuple):
+        return tuple(convert(m) for m in value)
+    if isinstance(value, dict):
+        return {k: convert(m) for k, m in value.items()}
+    if is_dataclass(value) and not isinstance(value, type):
+        updates = {
+            f.name: convert(getattr(value, f.name))
+            for f in fields(value)
+            if f.init
+        }
+        changed = {
+            k: v for k, v in updates.items() if v is not getattr(value, k)
+        }
+        return replace(value, **changed) if changed else value
+    return value
+
+
+# -- worker side ----------------------------------------------------------
+
+
+def offload_arrays(value: Any, name: str) -> tuple[Any, bool]:
+    """Park ``value``'s large arrays in shared block ``name``.
+
+    Returns ``(transformed_value, used_shm)``.  When no array clears the
+    size threshold — or block creation fails — the original value is
+    returned untouched with ``used_shm=False`` and the result travels
+    in-band.  On success the worker has already closed its mapping and
+    unregistered the block: the parent owns cleanup from here on.
+    """
+    plan: list[np.ndarray] = []
+
+    def collect(obj: Any) -> Any:
+        if _is_large_array(obj):
+            plan.append(obj)
+        return obj
+
+    _swap(value, collect)
+    if not plan:
+        return value, False
+
+    align = 64  # cache-line alignment for each parked array
+    offsets: list[int] = []
+    total = 0
+    for arr in plan:
+        offsets.append(total)
+        total += (arr.nbytes + align - 1) // align * align
+
+    try:
+        from multiprocessing import resource_tracker, shared_memory
+
+        block = shared_memory.SharedMemory(name=name, create=True, size=total)
+    except Exception:
+        return value, False
+    try:
+        # Ownership passes to the parent with the result; without this
+        # unregister the same name would be tracker-registered twice
+        # (worker create + parent attach) but unlinked once.
+        try:
+            resource_tracker.unregister(block._name, "shared_memory")
+        except Exception:
+            pass
+        cursor = iter(zip(plan, offsets))
+        refs: dict[int, ShmArrayRef] = {}
+        for arr, offset in cursor:
+            dest = np.ndarray(arr.shape, dtype=arr.dtype, buffer=block.buf, offset=offset)
+            dest[...] = arr
+            refs[id(arr)] = ShmArrayRef(
+                offset=offset, shape=tuple(arr.shape), dtype=arr.dtype.str
+            )
+
+        def to_ref(obj: Any) -> Any:
+            ref = refs.get(id(obj)) if isinstance(obj, np.ndarray) else None
+            return ref if ref is not None else obj
+
+        transformed = _swap(value, to_ref)
+    finally:
+        block.close()
+    return transformed, True
+
+
+# -- parent side ----------------------------------------------------------
+
+
+def restore_arrays(value: Any, name: str) -> Any:
+    """Rebuild a shard value whose arrays were parked in block ``name``.
+
+    Attaches and returns **zero-copy views** into the mapping, then
+    unlinks the block: the ``/dev/shm`` entry disappears immediately,
+    but POSIX keeps the pages alive until the last mapping goes away —
+    each view pins ``block.buf``, so the memory is released exactly when
+    the result arrays are garbage-collected.  No parent-side copy ever
+    happens.  Raises on a missing or torn block — the pool converts that
+    into a shard infrastructure failure.
+    """
+    import weakref
+    from multiprocessing import shared_memory
+
+    block = shared_memory.SharedMemory(name=name)
+    views: list[np.ndarray] = []
+    try:
+        def from_ref(obj: Any) -> Any:
+            if isinstance(obj, ShmArrayRef):
+                view = np.ndarray(
+                    obj.shape,
+                    dtype=np.dtype(obj.dtype),
+                    buffer=block.buf,
+                    offset=obj.offset,
+                )
+                views.append(view)
+                return view
+            return obj
+
+        result = _swap(value, from_ref)
+    except Exception:
+        block.close()
+        block.unlink()
+        raise
+    # Deliberately no block.close(): ``SharedMemory.__del__`` unmaps the
+    # pages, and the ndarray views above do not hold a live buffer
+    # export that would stop it — so the block must stay referenced for
+    # as long as any view is alive.  Each finalizer below pins it to one
+    # view's lifetime; when the last view is collected the block object
+    # follows and its ``__del__`` unmaps.  ``unlink`` drops the
+    # ``/dev/shm`` entry now (POSIX keeps the pages until last unmap)
+    # and balances the attach's resource-tracker registration.
+    block.unlink()
+    for view in views:
+        weakref.finalize(view, _keep_until_collected, block)
+    if not views:
+        block.close()
+    return result
+
+
+def _keep_until_collected(block) -> None:
+    """No-op finalizer target: its bound ``block`` argument is the point
+    — the finalize registry holds it until the watched view dies."""
+
+
+def unlink_block(name: str) -> None:
+    """Best-effort cleanup of a block that never reached the merge
+    (worker died, dispatch aborted).  Missing blocks are fine."""
+    try:
+        from multiprocessing import shared_memory
+
+        block = shared_memory.SharedMemory(name=name)
+        block.close()
+        block.unlink()
+    except Exception:
+        pass

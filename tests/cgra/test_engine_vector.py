@@ -1,0 +1,418 @@
+"""Parity tests for the vector execution tier (repro.cgra.engine_vector).
+
+The vector tier consumes the dependence analysis' vectorization
+certificate and lowers chunkable segments into fused NumPy kernels over
+time-chunk arrays.  Its contract is the same as the compiled engine's:
+**bit-exactness** against the cycle-accurate interpreter — registers,
+actuator write streams, fault text and iteration counts — plus graceful
+fallback to the compiled per-cycle program whenever the certificate
+cannot prove a chunk safe.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.cgra import (
+    BatchSensorBus,
+    BatchedCgraExecutor,
+    CgraExecutor,
+    PipelinedExecutor,
+    SensorBus,
+    compile_beam_model,
+    compile_monitor_model,
+    get_default_engine,
+    set_default_engine,
+)
+from repro.cgra.engine import compile_program
+from repro.cgra.engine_vector import MIN_CHUNK, get_vector_program
+from repro.cgra.fabric import CgraConfig, CgraFabric
+from repro.cgra.frontend import compile_c_to_dfg
+from repro.cgra.scheduler import ListScheduler
+from repro.cgra.sensor import (
+    ACTUATOR_DELTA_T,
+    ACTUATOR_MONITOR,
+    SENSOR_GAP_BUFFER,
+    SENSOR_PERIOD,
+    SENSOR_REF_BUFFER,
+)
+from repro.errors import ExecutionError
+from repro.physics import KNOWN_IONS, SIS18
+
+
+@pytest.fixture(autouse=True)
+def _restore_default_engine():
+    saved = get_default_engine()
+    yield
+    set_default_engine(saved)
+
+
+def _beam_params(model):
+    gamma0 = SIS18.gamma_from_revolution_frequency(800e3)
+    return model.default_params(
+        gamma_r0=gamma0,
+        q_over_mc2=KNOWN_IONS["14N7+"].gamma_gain_per_volt(),
+        orbit_length=SIS18.circumference,
+        alpha_c=SIS18.alpha_c,
+        v_scale=4862.0,
+        v_scale_ref=4 * 4862.0,
+        f_sample=250e6,
+        harmonic=4,
+    )
+
+
+def _scalar_bus(n_bunches):
+    bus = SensorBus()
+    bus.register_reader(SENSOR_PERIOD, lambda: 1.25e-6)
+    bus.register_addr_reader(
+        SENSOR_REF_BUFFER, lambda a: math.sin(2 * math.pi * 800e3 * a / 250e6)
+    )
+    bus.register_addr_reader(
+        SENSOR_GAP_BUFFER,
+        lambda a: math.sin(2 * math.pi * 3.2e6 * a / 250e6 + 0.14),
+    )
+    outs: list[float] = []
+    for i in range(n_bunches):
+        bus.register_writer(ACTUATOR_DELTA_T + i, outs.append)
+    return bus, outs
+
+
+def _stateful_bus(n_bunches):
+    """A bus whose plain reader depends on its own call count — the
+    hardest transport case for chunking (per-iteration call-stream order
+    must be preserved exactly)."""
+    bus = SensorBus()
+    calls = [0]
+
+    def period():
+        calls[0] += 1
+        return 1.25e-6 * (1.0 + 1e-3 * math.sin(0.31 * calls[0]))
+
+    bus.register_reader(SENSOR_PERIOD, period)
+    bus.register_addr_reader(
+        SENSOR_REF_BUFFER, lambda a: math.sin(2 * math.pi * 800e3 * a / 250e6)
+    )
+    bus.register_addr_reader(
+        SENSOR_GAP_BUFFER,
+        lambda a: math.sin(2 * math.pi * 3.2e6 * a / 250e6 + 0.14),
+    )
+    outs: list[float] = []
+    for i in range(n_bunches):
+        bus.register_writer(ACTUATOR_DELTA_T + i, outs.append)
+    return bus, outs
+
+
+def _monitor_params():
+    gamma0 = SIS18.gamma_from_revolution_frequency(800e3)
+    return {
+        "GAMMA_R0": gamma0,
+        "L_R": SIS18.circumference,
+        "ALPHA_C": SIS18.alpha_c,
+        "F_SYNC": 3.1e3,
+        "T_NOM": 1.25e-6,
+        "K_SMOOTH": 0.7,
+        "LIMIT": 0.5,
+    }
+
+
+def _monitor_bus():
+    bus = SensorBus()
+    calls = [0]
+
+    def period():
+        calls[0] += 1
+        return 1.25e-6 * (1.0 + 2e-4 * math.sin(0.17 * calls[0]))
+
+    bus.register_reader(SENSOR_PERIOD, period)
+    outs: list[float] = []
+    bus.register_writer(ACTUATOR_MONITOR, outs.append)
+    return bus, outs
+
+
+class TestBeamModelParity:
+    """Vector vs interpreter on every built-in beam model shape."""
+
+    @pytest.mark.parametrize("n_bunches", [1, 2, 4])
+    @pytest.mark.parametrize("pipelined", [False, True])
+    def test_bit_exact_registers_and_writes(self, n_bunches, pipelined):
+        model = compile_beam_model(n_bunches=n_bunches, pipelined=pipelined)
+        params = _beam_params(model)
+        bus_i, outs_i = _scalar_bus(n_bunches)
+        bus_v, outs_v = _scalar_bus(n_bunches)
+        ex_i = CgraExecutor(model.schedule, bus_i, params, engine="interpreted")
+        ex_v = CgraExecutor(model.schedule, bus_v, params, engine="vector")
+        # Mixed run sizes: below MIN_CHUNK, chunk-aligned, tail remainder.
+        for n in (3, 32, 7, 50):
+            ex_i.run(n)
+            ex_v.run(n)
+            assert ex_v.registers == ex_i.registers
+        assert outs_v == outs_i
+        assert ex_v.iterations == ex_i.iterations == 92
+        assert ex_v.actuator_write_ticks == ex_i.actuator_write_ticks
+
+    def test_stateful_plain_reader(self):
+        """Call-count-dependent handlers see the exact per-iteration
+        call stream the interpreter would issue."""
+        model = compile_beam_model(n_bunches=2, pipelined=True)
+        params = _beam_params(model)
+        bus_i, outs_i = _stateful_bus(2)
+        bus_v, outs_v = _stateful_bus(2)
+        CgraExecutor(model.schedule, bus_i, params, engine="interpreted").run(70)
+        CgraExecutor(model.schedule, bus_v, params, engine="vector").run(70)
+        assert outs_v == outs_i
+
+    def test_run_iteration_stays_per_cycle(self):
+        """Single-iteration stepping (the HIL closed loop) is served by
+        the compiled path and matches the interpreter exactly."""
+        model = compile_beam_model(n_bunches=1, pipelined=True)
+        params = _beam_params(model)
+        bus_i, outs_i = _scalar_bus(1)
+        bus_v, outs_v = _scalar_bus(1)
+        ex_i = CgraExecutor(model.schedule, bus_i, params, engine="interpreted")
+        ex_v = CgraExecutor(model.schedule, bus_v, params, engine="vector")
+        for _ in range(20):
+            ex_i.run_iteration()
+            ex_v.run_iteration()
+            assert ex_v.registers == ex_i.registers
+        assert outs_v == outs_i
+
+    def test_host_interface_between_runs(self):
+        """set_param / set_register between chunked runs behave exactly
+        as they do on the interpreter."""
+        model = compile_beam_model(n_bunches=1, pipelined=True)
+        params = _beam_params(model)
+        bus_i, outs_i = _scalar_bus(1)
+        bus_v, outs_v = _scalar_bus(1)
+        ex_i = CgraExecutor(model.schedule, bus_i, params, engine="interpreted")
+        ex_v = CgraExecutor(model.schedule, bus_v, params, engine="vector")
+        for ex in (ex_i, ex_v):
+            ex.run(24)
+            ex.set_param("V_SCALE", 5100.0)
+            ex.set_register("dt[0]", 2.5e-9)
+            ex.run(24)
+        assert ex_v.registers == ex_i.registers
+        assert outs_v == outs_i
+
+    @pytest.mark.parametrize("precision", ["single", "double"])
+    def test_precisions(self, precision):
+        model = compile_beam_model(n_bunches=1, pipelined=True)
+        params = _beam_params(model)
+        bus_i, outs_i = _scalar_bus(1)
+        bus_v, outs_v = _scalar_bus(1)
+        CgraExecutor(model.schedule, bus_i, params,
+                     precision=precision, engine="interpreted").run(48)
+        CgraExecutor(model.schedule, bus_v, params,
+                     precision=precision, engine="vector").run(48)
+        assert outs_v == outs_i
+
+
+class TestMonitorModelParity:
+    """The feed-forward monitor kernel: the vector tier's best case."""
+
+    def test_fully_chunkable(self):
+        model = compile_monitor_model()
+        program = compile_program(model.schedule)
+        vp = get_vector_program(program)
+        assert vp.ok, vp.reason
+        assert all(kind == "chunkable" for _l, kind, _w in vp.segment_meta)
+
+    def test_bit_exact(self):
+        model = compile_monitor_model()
+        params = _monitor_params()
+        bus_i, outs_i = _monitor_bus()
+        bus_v, outs_v = _monitor_bus()
+        CgraExecutor(model.schedule, bus_i, params, engine="interpreted").run(96)
+        CgraExecutor(model.schedule, bus_v, params, engine="vector").run(96)
+        assert outs_v == outs_i
+        assert len(outs_v) == 96
+
+
+class TestFaultParity:
+    """Faults inside a chunk are replayed per-cycle: same error text,
+    same iteration count, same partial write stream as the interpreter."""
+
+    def _pair(self, source, params):
+        graph = compile_c_to_dfg(source)
+        schedule = ListScheduler(CgraFabric(CgraConfig(rows=2, cols=2))).schedule(graph)
+        ex_i = CgraExecutor(schedule, SensorBus(), dict(params), engine="interpreted")
+        ex_v = CgraExecutor(schedule, SensorBus(), dict(params), engine="vector")
+        return ex_i, ex_v
+
+    def test_division_by_zero_first_iteration(self):
+        source = "void k(float p) { float x = 1.0; while (1) { x = x / p; } }"
+        ex_i, ex_v = self._pair(source, {"p": 0.0})
+        with pytest.raises(ExecutionError) as err_i:
+            ex_i.run(40)
+        with pytest.raises(ExecutionError) as err_v:
+            ex_v.run(40)
+        assert str(err_v.value) == str(err_i.value)
+        assert "division by zero in node" in str(err_v.value)
+        assert ex_v.iterations == ex_i.iterations
+
+    def test_mid_chunk_fault(self):
+        """A fault deep inside a chunk: the replay must stop at exactly
+        the interpreter's iteration with identical partial output."""
+        source = ("void k(float p) { float c = 14.0; float x = 0.0; "
+                  "while (1) { c = c - p; x = 1.0 / c; "
+                  "write_actuator(16, x); } }")
+        outs_i: list[float] = []
+        outs_v: list[float] = []
+        graph = compile_c_to_dfg(source)
+        schedule = ListScheduler(CgraFabric(CgraConfig(rows=2, cols=2))).schedule(graph)
+        bus_i, bus_v = SensorBus(), SensorBus()
+        bus_i.register_writer(16, outs_i.append)
+        bus_v.register_writer(16, outs_v.append)
+        ex_i = CgraExecutor(schedule, bus_i, {"p": 1.0}, engine="interpreted")
+        ex_v = CgraExecutor(schedule, bus_v, {"p": 1.0}, engine="vector")
+        with pytest.raises(ExecutionError) as err_i:
+            ex_i.run(40)
+        with pytest.raises(ExecutionError) as err_v:
+            ex_v.run(40)
+        assert str(err_v.value) == str(err_i.value)
+        assert ex_v.iterations == ex_i.iterations
+        assert outs_v == outs_i
+        assert len(outs_v) == ex_i.iterations
+
+    def test_sqrt_of_negative(self):
+        source = "void k(float p) { float x = 1.0; while (1) { x = sqrt(p); } }"
+        ex_i, ex_v = self._pair(source, {"p": -1.0})
+        with pytest.raises(ExecutionError) as err_i:
+            ex_i.run(16)
+        with pytest.raises(ExecutionError) as err_v:
+            ex_v.run(16)
+        assert str(err_v.value) == str(err_i.value)
+
+
+class TestBatchedVector:
+    """[B, T] chunks on the lockstep executor."""
+
+    BATCH = 4
+
+    def _batch_bus(self):
+        bus = BatchSensorBus(batch=self.BATCH)
+        bus.register_reader(SENSOR_PERIOD, lambda: 1.25e-6)
+        amps = np.asarray([0.2, 0.5, 0.9, 1.3])
+        bus.register_addr_reader(
+            SENSOR_REF_BUFFER,
+            lambda a: amps * (a * 1e-3) / (1.0 + np.abs(a) * 1e-3),
+        )
+        bus.register_addr_reader(
+            SENSOR_GAP_BUFFER,
+            lambda a: 0.5 * amps * (a * 1e-3) / (1.0 + np.abs(a) * 1e-3),
+        )
+        writes: list[np.ndarray] = []
+        bus.register_writer(ACTUATOR_DELTA_T, lambda v: writes.append(np.array(v)))
+        return bus, writes
+
+    def test_matches_batched_compiled(self):
+        model = compile_beam_model(n_bunches=1, pipelined=True)
+        params = _beam_params(model)
+        bus_c, writes_c = self._batch_bus()
+        bus_v, writes_v = self._batch_bus()
+        ex_c = BatchedCgraExecutor(model.schedule, bus_c, params, engine="compiled")
+        ex_v = BatchedCgraExecutor(model.schedule, bus_v, params, engine="vector")
+        for n in (5, 40, 19):
+            ex_c.run(n)
+            ex_v.run(n)
+            for lane in range(self.BATCH):
+                assert ex_v.lane_registers(lane) == ex_c.lane_registers(lane)
+        assert len(writes_v) == len(writes_c)
+        for wv, wc in zip(writes_v, writes_c):
+            assert np.array_equal(wv, wc)
+
+    def test_defaults_to_compiled(self):
+        model = compile_beam_model(n_bunches=1, pipelined=True)
+        bus, _ = self._batch_bus()
+        ex = BatchedCgraExecutor(model.schedule, bus, _beam_params(model))
+        assert ex.engine == "compiled"
+
+
+class TestFallback:
+    """Uncertifiable programs silently take the compiled per-cycle path."""
+
+    def _schedule(self, source):
+        graph = compile_c_to_dfg(source)
+        return ListScheduler(CgraFabric(CgraConfig(rows=2, cols=2))).schedule(graph)
+
+    def test_bus_feedback_kernel_falls_back(self):
+        # Port 5 is both read and written: buffered chunk writes would
+        # break a handler pair that feeds the actuator back to the
+        # sensor, so the lowering refuses and the executor delegates.
+        source = ("void k(float p) { while (1) { "
+                  "float s = read_sensor(5); write_actuator(5, s * p); } }")
+        schedule = self._schedule(source)
+        vp = get_vector_program(compile_program(schedule))
+        assert not vp.ok
+        assert vp.reason
+
+        def feedback_bus():
+            state = [1.0]
+            bus = SensorBus()
+            bus.register_reader(5, lambda: state[0])
+            outs: list[float] = []
+
+            def sink(v):
+                state[0] = v
+                outs.append(v)
+
+            bus.register_writer(5, sink)
+            return bus, outs
+
+        bus_i, outs_i = feedback_bus()
+        bus_v, outs_v = feedback_bus()
+        CgraExecutor(schedule, bus_i, {"p": 0.5}, engine="interpreted").run(40)
+        CgraExecutor(schedule, bus_v, {"p": 0.5}, engine="vector").run(40)
+        assert outs_v == outs_i
+
+    def test_vector_program_cached_per_program(self):
+        model = compile_beam_model(n_bunches=1, pipelined=True)
+        program = compile_program(model.schedule)
+        assert get_vector_program(program) is get_vector_program(program)
+
+    def test_oracle_runs_once(self):
+        model = compile_beam_model(n_bunches=1, pipelined=True)
+        params = _beam_params(model)
+        bus, _ = _scalar_bus(1)
+        ex = CgraExecutor(model.schedule, bus, params, engine="vector")
+        ex.run(2 * MIN_CHUNK)
+        vp = get_vector_program(compile_program(model.schedule))
+        assert vp._oracle_done
+        assert vp.ok, vp.reason
+
+
+class TestPipelinedVector:
+    """The modulo-scheduled executor interleaves in-flight iterations, so
+    ``engine="vector"`` degrades to the compiled per-cycle program."""
+
+    def test_accepts_and_degrades(self):
+        model = compile_beam_model(n_bunches=1, pipelined=True)
+        params = _beam_params(model)
+        bus, _ = _scalar_bus(1)
+        from repro.cgra.modulo import ModuloScheduler
+
+        mschedule = ModuloScheduler(CgraFabric(CgraConfig())).schedule(model.graph)
+        ex = PipelinedExecutor(mschedule, bus, params, engine="vector")
+        assert ex.engine == "compiled"
+
+
+class TestProfilerSegments:
+    def test_segment_entries_recorded(self):
+        model = compile_monitor_model()
+        params = _monitor_params()
+        bus, _ = _monitor_bus()
+        obs.enable(profile=True)
+        try:
+            from repro.obs.profile import get_profiler
+
+            get_profiler().reset()
+            CgraExecutor(model.schedule, bus, params, engine="vector").run(64)
+            names = list(get_profiler().entries())
+            assert any(n.startswith("segment.vector.") for n in names), names
+            assert any(n.startswith("engine.vector.") for n in names), names
+        finally:
+            obs.disable()
+            obs.reset()

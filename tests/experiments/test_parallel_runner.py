@@ -40,6 +40,29 @@ class TestCsvBytePinning:
             pooled / "jitter.csv"
         ).read_bytes()
 
+    def test_jitter_csv_identical_across_engines(self, tmp_path):
+        """The engine seam never changes results: bit-exact tiers means
+        byte-identical CSVs for every --engine choice (and the vector
+        tier composes with --jobs without changing a byte either)."""
+        from repro.cgra import get_default_engine, set_default_engine
+
+        saved = get_default_engine()
+        try:
+            outputs = {}
+            for engine in ("interpreted", "compiled", "vector"):
+                out = tmp_path / engine
+                assert main(["jitter", "--out", str(out), "--quick",
+                             "--engine", engine]) == 0
+                outputs[engine] = (out / "jitter.csv").read_bytes()
+            assert outputs["compiled"] == outputs["interpreted"]
+            assert outputs["vector"] == outputs["interpreted"]
+            pooled = tmp_path / "vector_pooled"
+            assert main(["jitter", "--out", str(pooled), "--quick",
+                         "--engine", "vector", "--jobs", "2"]) == 0
+            assert (pooled / "jitter.csv").read_bytes() == outputs["interpreted"]
+        finally:
+            set_default_engine(saved)
+
     def test_reconfig_is_the_documented_exception(self):
         from repro.experiments import reconfig
 

@@ -156,8 +156,10 @@ class TestPooledDispatch:
         with WorkerPool(jobs=2, primers=()) as pool:
             first = {r.value for r in pool.map_sharded(_pid_of, range(8))}
             second = {r.value for r in pool.map_sharded(_pid_of, range(8))}
-        assert first == second  # same processes served both dispatches
-        assert 1 <= len(first) <= 2
+        # The same two processes serve both dispatches (either dispatch
+        # may be drained by one worker under load, so compare the union
+        # rather than demanding identical per-dispatch sets).
+        assert 1 <= len(first | second) <= 2
 
     def test_compile_cache_primed_in_workers(self):
         """Satellite regression: workers see a primed per-process cache

@@ -1,0 +1,166 @@
+"""Zero-copy shard transport: offload/restore, pool wiring, lifecycle.
+
+Pooled tests fork real workers but ship small task payloads; the result
+arrays are sized just over :data:`~repro.parallel.shm.SHM_MIN_BYTES` so
+the shared-memory path engages without bulk copies.
+"""
+
+import dataclasses
+import glob
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.parallel import WorkerPool, run_sharded
+from repro.parallel.shm import (
+    SHM_MIN_BYTES,
+    ShmArrayRef,
+    offload_arrays,
+    restore_arrays,
+    shm_available,
+    unlink_block,
+)
+
+pytestmark = pytest.mark.skipif(
+    not shm_available(), reason="POSIX shared memory unavailable"
+)
+
+_BIG = SHM_MIN_BYTES // 8 + 16  # float64 elements comfortably over threshold
+
+
+def _leftover_blocks() -> set:
+    return set(glob.glob("/dev/shm/repro*"))
+
+
+@dataclasses.dataclass
+class _Payload:
+    big: np.ndarray
+    small: np.ndarray
+    meta: str
+
+
+# -- module-level work functions (must pickle by reference) ---------------
+
+
+def _trace_of(seed):
+    rng = np.random.default_rng(seed)
+    return {"trace": rng.standard_normal(_BIG), "tag": seed}
+
+
+def _payload_of(seed):
+    rng = np.random.default_rng(seed)
+    return _Payload(
+        big=rng.standard_normal(_BIG),
+        small=np.arange(4, dtype=np.int32),
+        meta=f"seed{seed}",
+    )
+
+
+def _tiny_of(seed):
+    return {"trace": np.arange(8, dtype=np.float64) * seed}
+
+
+def _boom(_):
+    raise ValueError("shard boom")
+
+
+class TestOffloadRestore:
+    def test_round_trip_dataclass(self):
+        value = _payload_of(7)
+        out, used = offload_arrays(value, "reprotest_rt_dc")
+        assert used
+        assert isinstance(out.big, ShmArrayRef)
+        # Below-threshold arrays stay in-band.
+        assert isinstance(out.small, np.ndarray)
+        back = restore_arrays(out, "reprotest_rt_dc")
+        assert np.array_equal(back.big, value.big)
+        assert back.big.dtype == value.big.dtype
+        assert np.array_equal(back.small, value.small)
+        assert back.meta == value.meta
+
+    def test_restore_unlinks_block(self):
+        out, used = offload_arrays(_trace_of(1), "reprotest_rt_unlink")
+        assert used
+        restore_arrays(out, "reprotest_rt_unlink")
+        # A second attach must fail: the block is gone.
+        with pytest.raises(Exception):
+            restore_arrays(out, "reprotest_rt_unlink")
+
+    def test_containers(self):
+        big = np.random.default_rng(0).standard_normal(_BIG)
+        for container in ([big, big * 2], (big, "s"), {"k": big, "j": 1}):
+            out, used = offload_arrays(container, "reprotest_rt_cont")
+            assert used
+            back = restore_arrays(out, "reprotest_rt_cont")
+            assert type(back) is type(container)
+            if isinstance(container, dict):
+                assert np.array_equal(back["k"], big)
+                assert back["j"] == 1
+            else:
+                assert np.array_equal(back[0], big)
+
+    def test_small_arrays_stay_in_band(self):
+        value = {"a": np.arange(4)}
+        out, used = offload_arrays(value, "reprotest_rt_small")
+        assert not used
+        assert out is value
+
+    def test_object_arrays_stay_in_band(self):
+        value = np.array([None] * (_BIG * 2), dtype=object)
+        out, used = offload_arrays(value, "reprotest_rt_obj")
+        assert not used
+
+    def test_unlink_block_tolerates_missing(self):
+        unlink_block("reprotest_never_created")  # must not raise
+
+
+class TestPoolTransport:
+    def test_transport_validation(self):
+        with pytest.raises(ConfigurationError):
+            WorkerPool(jobs=2, transport="carrier-pigeon")
+
+    def test_auto_resolution(self):
+        assert WorkerPool(jobs=1, primers=()).transport == "pickle"
+        assert WorkerPool(jobs=2, primers=()).transport == "shm"
+        assert WorkerPool(jobs=2, primers=(), transport="pickle").transport == "pickle"
+
+    def test_shm_pickle_parity(self):
+        before = _leftover_blocks()
+        with WorkerPool(jobs=2, primers=(), transport="shm") as pool:
+            via_shm = pool.map_sharded(_trace_of, [1, 2, 3])
+        with WorkerPool(jobs=2, primers=(), transport="pickle") as pool:
+            via_pickle = pool.map_sharded(_trace_of, [1, 2, 3])
+        for a, b in zip(via_shm, via_pickle):
+            assert a.ok and b.ok
+            assert a.shm is None  # consumed at merge time
+            assert a.value["tag"] == b.value["tag"]
+            assert np.array_equal(a.value["trace"], b.value["trace"])
+            assert a.value["trace"].dtype == b.value["trace"].dtype
+        assert _leftover_blocks() == before
+
+    def test_dataclass_results_round_trip(self):
+        results = run_sharded(
+            _payload_of, [4, 5], jobs=2, primers=(), transport="shm"
+        )
+        for seed, result in zip([4, 5], results):
+            expected = _payload_of(seed)
+            assert np.array_equal(result.value.big, expected.big)
+            assert result.value.meta == expected.meta
+
+    def test_small_results_fall_back_in_band(self):
+        results = run_sharded(_tiny_of, [1, 2], jobs=2, primers=(), transport="shm")
+        assert all(r.ok and r.shm is None for r in results)
+        assert np.array_equal(results[1].value["trace"], _tiny_of(2)["trace"])
+
+    def test_failures_leak_no_blocks(self):
+        before = _leftover_blocks()
+        with WorkerPool(jobs=2, primers=(), transport="shm") as pool:
+            results = pool.map_sharded(_boom, [1, 2])
+        assert all(not r.ok and "shard boom" in r.failure.message for r in results)
+        assert _leftover_blocks() == before
+
+    def test_inline_jobs_ignore_shm(self):
+        results = run_sharded(_trace_of, [9], jobs=1, primers=(), transport="shm")
+        assert results[0].ok and results[0].shm is None
+        assert np.array_equal(results[0].value["trace"], _trace_of(9)["trace"])
