@@ -15,12 +15,22 @@ parity + perf land in one process):
 
     PYTHONPATH=src python -m pytest -q benchmarks/test_engine_parity_perf.py
 
-The parity gate is unconditional (it hard-fails anywhere).  The speedup
-thresholds — compiled >= 10x interpreted, batched >= 50x aggregate at
-B = 64, vector >= 3x compiled on the monitor kernel at T >= 256 — are
-asserted only on machines with at least two usable cores: a loaded
-single-core container cannot express them honestly, but it still runs
-the full gate and reports real numbers.
+Two kinds of gate:
+
+* **Unconditional** — the parity gate (bit-exactness hard-fails
+  anywhere) and the expected-winner gate: the autotune cost model under
+  a pinned :data:`REFERENCE_PROFILE` must pick the engine each kernel
+  is actually fastest on (compiled for the sequential beam recurrence,
+  vector for the chunkable monitor kernel) at B = 1 and B = 64.  This
+  replaces the old blanket "vector beats compiled" floor, which the
+  beam kernel legitimately fails — the planner's job is to route around
+  that, not to pretend it away.
+* **Core-gated** (>= 2 usable cores) — wall-clock floors: compiled
+  >= 10x interpreted, batched >= 50x aggregate at B = 64, vector >= 3x
+  compiled on the monitor kernel, and ``engine="auto"`` within 5% of
+  the best static tier on every benchmarked kernel.  A loaded
+  single-core container cannot express these honestly, but it still
+  runs the full gates and reports real numbers.
 """
 
 from __future__ import annotations
@@ -37,10 +47,13 @@ from repro.cgra import (
     BatchSensorBus,
     BatchedCgraExecutor,
     CgraExecutor,
+    MachineProfile,
     SensorBus,
     compile_beam_model,
     compile_monitor_model,
+    plan_for,
 )
+from repro.cgra.engine import compile_program
 from repro.cgra.sensor import (
     ACTUATOR_DELTA_T,
     ACTUATOR_MONITOR,
@@ -61,6 +74,18 @@ BATCH = 64
 #: Vector-tier timings run well past this so every measurement exercises
 #: full-size chunks (the acceptance floor is T >= 256).
 VECTOR_T = 256
+
+#: A pinned mid-range machine profile: the expected-winner gate asserts
+#: against the cost model's decision under *this* profile, which is a
+#: pure function — true on every machine regardless of load (the same
+#: profile anchors tests/cgra/test_autotune.py).
+REFERENCE_PROFILE = MachineProfile(
+    scalar_op_ns=400.0,
+    array_op_ns=450.0,
+    array_elem_ns=1.0,
+    call_ns=80.0,
+    chunk_elems=32768,
+)
 
 
 def _params(model):
@@ -120,6 +145,13 @@ def _batch_bus():
         SENSOR_GAP_BUFFER, lambda a: np.sin(2 * np.pi * 3.2e6 * a / 250e6 + 0.14)
     )
     bus.register_writer(ACTUATOR_DELTA_T, lambda v: None)
+    return bus
+
+
+def _batch_monitor_bus():
+    bus = BatchSensorBus(batch=BATCH)
+    bus.register_reader(SENSOR_PERIOD, lambda: 1.25e-6)
+    bus.register_writer(ACTUATOR_MONITOR, lambda v: None)
     return bus
 
 
@@ -186,6 +218,63 @@ def test_engine_parity_and_throughput():
     t_batch_iter = _time_run(batched, 2000)
     t_lane = t_batch_iter / BATCH
 
+    mon_batch_c = BatchedCgraExecutor(monitor.schedule, _batch_monitor_bus(),
+                                      mparams, engine="compiled")
+    mon_batch_c.run(100)
+    t_mon_batch_c = _time_run(mon_batch_c, 4000)
+
+    mon_batch_v = BatchedCgraExecutor(monitor.schedule, _batch_monitor_bus(),
+                                      mparams, engine="vector")
+    mon_batch_v.run(512)
+    t_mon_batch_v = _time_run(mon_batch_v, 16_384)
+
+    # -- the adaptive tier, on every kernel at B in {1, 64} ------------
+    auto = CgraExecutor(model.schedule, _scalar_bus(), params, engine="auto")
+    auto.run(512)
+    t_auto = _time_run(auto, 16_384)
+
+    mon_auto = CgraExecutor(monitor.schedule, _monitor_bus(), mparams,
+                            engine="auto")
+    mon_auto.run(512)
+    t_mon_auto = _time_run(mon_auto, 65_536)
+
+    batched_auto = BatchedCgraExecutor(model.schedule, _batch_bus(), params,
+                                       engine="auto")
+    batched_auto.run(100)
+    t_batch_auto = _time_run(batched_auto, 2000)
+
+    mon_batch_auto = BatchedCgraExecutor(monitor.schedule, _batch_monitor_bus(),
+                                         mparams, engine="auto")
+    mon_batch_auto.run(512)
+    t_mon_batch_auto = _time_run(mon_batch_auto, 16_384)
+
+    #: auto wall-clock over the best *measured* static tier, per kernel.
+    auto_vs_best = {
+        "beam_b1": t_auto / min(t_comp, t_vec),
+        "monitor_b1": t_mon_auto / min(t_mon_comp, t_mon_vec),
+        f"beam_b{BATCH}": t_batch_auto / t_batch_iter,
+        f"monitor_b{BATCH}": t_mon_batch_auto / min(t_mon_batch_c, t_mon_batch_v),
+    }
+
+    # -- expected-winner gate: unconditional, machine-independent ------
+    # The cost model under the pinned profile must route each kernel to
+    # the engine it is actually fastest on.  This is the per-kernel
+    # replacement for the old blanket vector floor: the sequential beam
+    # recurrence is *supposed* to stay compiled.
+    beam_prog = compile_program(model.schedule)
+    mon_prog = compile_program(monitor.schedule)
+    winners = {}
+    for label, prog, want in (("beam", beam_prog, "compiled"),
+                              ("monitor", mon_prog, "vector")):
+        for b in (1, BATCH):
+            plan = plan_for(prog, batch=b, horizon=16_384,
+                            profile=REFERENCE_PROFILE)
+            winners[f"{label}_b{b}"] = plan.engine
+            assert plan.engine == want, (
+                f"expected winner for {label} at B={b} is {want}, "
+                f"cost model chose {plan.engine}: {plan.reason}"
+            )
+
     single = t_interp / t_comp
     aggregate = t_interp / t_lane
     vec_speedup = t_comp / t_vec
@@ -198,6 +287,12 @@ def test_engine_parity_and_throughput():
         f"monitor vector:   {t_mon_vec * 1e6:7.2f} us/iter  "
         f"({mon_speedup:.1f}x vs compiled)",
         f"batched B={BATCH}: {t_lane * 1e6:7.2f} us/lane-iter  ({aggregate:.1f}x aggregate)",
+        "auto vs best static tier: " + ", ".join(
+            f"{k} {v:.2f}x" for k, v in auto_vs_best.items()
+        ),
+        "cost-model winners: " + ", ".join(
+            f"{k}={v}" for k, v in winners.items()
+        ),
     ]
     print("\n=== engine throughput (beam model, 1 bunch) ===")
     for row in rows:
@@ -239,6 +334,40 @@ def test_engine_parity_and_throughput():
                 "aggregate_speedup_vs_interpreted": aggregate,
             },
         },
+        {
+            "name": f"engine/monitor_batched_b{BATCH}",
+            "stats": {"mean": t_mon_batch_c, "rounds": 4000},
+            "extra_info": {
+                "batch": BATCH,
+                "vector_mean": t_mon_batch_v,
+                "speedup_vector_vs_compiled": t_mon_batch_c / t_mon_batch_v,
+            },
+        },
+        {
+            "name": "engine/auto",
+            "stats": {"mean": t_auto, "rounds": 16_384},
+            "extra_info": {"vs_best_static": auto_vs_best["beam_b1"]},
+        },
+        {
+            "name": "engine/monitor_auto",
+            "stats": {"mean": t_mon_auto, "rounds": 65_536},
+            "extra_info": {"vs_best_static": auto_vs_best["monitor_b1"]},
+        },
+        {
+            "name": f"engine/batched_auto_b{BATCH}",
+            "stats": {"mean": t_batch_auto / BATCH, "rounds": 2000 * BATCH},
+            "extra_info": {"vs_best_static": auto_vs_best[f"beam_b{BATCH}"]},
+        },
+        {
+            "name": f"engine/monitor_batched_auto_b{BATCH}",
+            "stats": {"mean": t_mon_batch_auto, "rounds": 16_384},
+            "extra_info": {"vs_best_static": auto_vs_best[f"monitor_b{BATCH}"]},
+        },
+        {
+            "name": "autotune/expected_winners",
+            "stats": {"mean": 0.0, "rounds": 1},
+            "extra_info": {"winners": winners, "auto_vs_best": auto_vs_best},
+        },
         *_certificate_entries(),
     ]
     _RESULTS.mkdir(exist_ok=True)
@@ -254,6 +383,11 @@ def test_engine_parity_and_throughput():
             f"vector speedup {mon_speedup:.1f}x below 3x target "
             f"(monitor kernel, T >= {VECTOR_T})"
         )
+        for kernel, ratio in auto_vs_best.items():
+            assert ratio <= 1.05, (
+                f"auto is {ratio:.2f}x the best static tier on {kernel} "
+                f"(must be within 5%)"
+            )
 
 
 def _certificate_entries() -> list[dict]:

@@ -29,6 +29,12 @@ from repro.cgra.sensor import BatchSensorBus, SensorBus
 from repro.cgra.frontend import compile_c_to_dfg
 from repro.cgra.scheduler import ListScheduler, Schedule, ScheduledOp
 from repro.cgra.modulo import ModuloScheduler, ModuloSchedule
+from repro.cgra.autotune import (
+    ExecutionPlan,
+    MachineProfile,
+    calibrate,
+    plan_for,
+)
 from repro.cgra.engine import (
     BatchedCgraExecutor,
     CompiledProgram,
@@ -77,6 +83,10 @@ __all__ = [
     "ModuloSchedule",
     "BatchedCgraExecutor",
     "CompiledProgram",
+    "ExecutionPlan",
+    "MachineProfile",
+    "calibrate",
+    "plan_for",
     "compile_program",
     "get_default_engine",
     "set_default_engine",

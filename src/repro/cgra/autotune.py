@@ -1,0 +1,411 @@
+"""Adaptive engine planning: the ``engine="auto"`` execution tier.
+
+The fastest execution tier is workload-dependent: the certificate-driven
+vector tier is a ~4.5x win on the fully chunkable monitor kernel but a
+*regression* on the beam kernel, whose sequential segments (32.5 % of
+the ops are chunkable) run per-iteration Python with vector indexing —
+slower than the flat compiled step.  Which side of that trade a kernel
+lands on depends on the certificate (chunkable fraction, op mix), the
+batch width, the run horizon *and* the machine (NumPy per-call overhead
+versus per-element throughput).
+
+This module turns the manual ``--engine`` choice into a measured
+decision:
+
+* :func:`calibrate` runs a one-shot on-machine probe (a few
+  milliseconds, cached per process) producing a :class:`MachineProfile`
+  — scalar-op cost, NumPy array-call overhead, per-element throughput
+  and the preferred chunk element budget;
+* :func:`plan_for` combines that profile with the program's
+  :class:`~repro.cgra.verify.dependence.VectorizationCertificate`
+  statistics in a static cost model and returns an
+  :class:`ExecutionPlan` (engine + chunk size), **falling back to
+  ``"compiled"`` whenever the predicted vector win is below the
+  uncertainty margin**, the horizon is too short for chunking, or the
+  vector lowering rejects the program;
+* decisions are memoised in a keyed plan cache
+  (``autotune_plan_cache_{hits,misses}_total`` counters,
+  dropped by :func:`repro.cgra.clear_cache`) whose keys are
+  *content-stable* — a hash of the generated program source, never an
+  ``id()`` — so :func:`export_plans`/:func:`import_plans` can ship the
+  parent's decisions to :mod:`repro.parallel` workers and every shard
+  plans identically.
+
+Selection never changes results — every tier is bit-exact — only speed;
+``plan_for`` is a pure function of ``(profile, certificate, batch,
+horizon)``, which the determinism tests pin by injecting a fixed
+profile.  Set ``REPRO_AUTOTUNE=0`` to skip the measurement probe and
+plan from conservative defaults (identical behaviour to the static
+``MAX_CHUNK`` heuristic).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from dataclasses import asdict, dataclass
+
+import numpy as np
+
+from repro.obs import get_registry
+from repro.obs._state import STATE as _OBS
+
+__all__ = [
+    "MachineProfile",
+    "ExecutionPlan",
+    "calibrate",
+    "chunk_elems_hint",
+    "plan_for",
+    "program_key",
+    "plan_cache_stats",
+    "clear_plan_cache",
+    "export_plans",
+    "import_plans",
+]
+
+_PLAN_HITS = get_registry().counter(
+    "autotune_plan_cache_hits_total", "engine plans served from the plan cache"
+)
+_PLAN_MISSES = get_registry().counter(
+    "autotune_plan_cache_misses_total", "engine plans computed by the cost model"
+)
+
+#: Horizons below this many iterations never plan "vector": the chunk
+#: path needs several MIN_CHUNK-sized chunks to amortise its setup.
+HORIZON_MIN = 32
+#: Predicted vector cost must undercut compiled by this factor before
+#: "auto" selects it — when uncertain, fall back to compiled.
+MARGIN = 0.9
+#: Sequential-segment ops inside the vector tier pay chunk-vector
+#: indexing on top of the scalar op; calibrated probes put the factor
+#: between 1.3 and 2.0 — the model uses a fixed mid estimate so plans
+#: stay deterministic for a given profile.
+SEQ_INDEX_OPS = 1.5
+
+#: Sizes probed for the preferred chunk element budget.
+_CHUNK_CANDIDATES = (8192, 16384, 32768, 65536)
+
+
+@dataclass(frozen=True)
+class MachineProfile:
+    """One machine's measured execution-cost parameters (nanoseconds).
+
+    ``plan_for`` is a pure function of this profile plus static program
+    facts; tests inject fixed profiles to pin decisions.
+    """
+
+    #: One NumPy scalar binary op, Python dispatch included.
+    scalar_op_ns: float
+    #: Fixed per-call overhead of one NumPy array op.
+    array_op_ns: float
+    #: Marginal per-element cost of one NumPy array op.
+    array_elem_ns: float
+    #: One Python function call (bus-handler dispatch unit).
+    call_ns: float
+    #: Preferred elements per vector chunk ([B] * T budget).
+    chunk_elems: int
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MachineProfile":
+        return cls(
+            scalar_op_ns=float(data["scalar_op_ns"]),
+            array_op_ns=float(data["array_op_ns"]),
+            array_elem_ns=float(data["array_elem_ns"]),
+            call_ns=float(data["call_ns"]),
+            chunk_elems=int(data["chunk_elems"]),
+        )
+
+
+#: Used when calibration is disabled (``REPRO_AUTOTUNE=0``) or fails:
+#: representative of a mid-range x86 core, with the historical static
+#: chunk budget so behaviour degrades to the pre-autotune heuristic.
+DEFAULT_PROFILE = MachineProfile(
+    scalar_op_ns=400.0,
+    array_op_ns=450.0,
+    array_elem_ns=1.0,
+    call_ns=80.0,
+    chunk_elems=32768,
+)
+
+_PROFILE: MachineProfile | None = None
+
+
+def _best_of(probe, repeats: int = 3) -> float:
+    """Minimum of ``repeats`` timings — the least-interfered sample."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        probe()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def calibrate(force: bool = False) -> MachineProfile:
+    """Measure this machine's profile (one-shot, cached per process).
+
+    The whole probe costs a few milliseconds; ``REPRO_AUTOTUNE=0``
+    skips it and returns :data:`DEFAULT_PROFILE`.
+    """
+    global _PROFILE
+    if _PROFILE is not None and not force:
+        return _PROFILE
+    if os.environ.get("REPRO_AUTOTUNE", "1") == "0":
+        _PROFILE = DEFAULT_PROFILE
+        return _PROFILE
+
+    n = 512
+    a32 = np.float32(1.1)
+    b32 = np.float32(0.9)
+
+    def scalar_probe() -> None:
+        x = a32
+        for _ in range(n):
+            x = x * b32
+
+    small = np.linspace(0.5, 1.5, 64, dtype=np.float32)
+    big = np.linspace(0.5, 1.5, 16384, dtype=np.float32)
+
+    def array_probe(arr):
+        def run() -> None:
+            for _ in range(64):
+                np.multiply(arr, np.float32(0.999))
+        return run
+
+    def call_probe() -> None:
+        fn = float
+        for _ in range(n):
+            fn(1)
+
+    scalar_op = _best_of(scalar_probe) / n * 1e9
+    t_small = _best_of(array_probe(small)) / 64
+    t_big = _best_of(array_probe(big)) / 64
+    elem = max(0.01, (t_big - t_small) / (big.size - small.size) * 1e9)
+    fixed = max(10.0, t_small * 1e9 - small.size * elem)
+    call = _best_of(call_probe) / n * 1e9
+
+    # Preferred chunk budget: smallest candidate whose per-element cost
+    # is within 10 % of the best — larger chunks buy nothing but memory.
+    per_elem: list[tuple[int, float]] = []
+    for size in _CHUNK_CANDIDATES:
+        arr = np.linspace(0.5, 1.5, size, dtype=np.float32)
+        t = _best_of(array_probe(arr), repeats=2) / 64
+        per_elem.append((size, t / size))
+    best = min(c for _s, c in per_elem)
+    chunk_elems = next(s for s, c in per_elem if c <= 1.1 * best)
+
+    _PROFILE = MachineProfile(
+        scalar_op_ns=scalar_op,
+        array_op_ns=fixed,
+        array_elem_ns=elem,
+        call_ns=call,
+        chunk_elems=chunk_elems,
+    )
+    return _PROFILE
+
+
+def chunk_elems_hint() -> int:
+    """The calibrated chunk element budget (vector tier chunk sizing)."""
+    return calibrate().chunk_elems
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """One planning decision for (program, batch, horizon bucket)."""
+
+    #: The tier to run: ``"compiled"`` or ``"vector"``.
+    engine: str
+    #: Chunk element budget for the vector tier (profile-calibrated).
+    chunk_elems: int
+    #: Why this tier was chosen (cost-model trace, human-readable).
+    reason: str
+    #: Predicted per-iteration cost of each tier, nanoseconds.
+    predicted_compiled_ns: float = 0.0
+    predicted_vector_ns: float = 0.0
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExecutionPlan":
+        return cls(
+            engine=str(data["engine"]),
+            chunk_elems=int(data["chunk_elems"]),
+            reason=str(data["reason"]),
+            predicted_compiled_ns=float(data.get("predicted_compiled_ns", 0.0)),
+            predicted_vector_ns=float(data.get("predicted_vector_ns", 0.0)),
+        )
+
+
+#: (program key, batch, horizon bucket) → ExecutionPlan.  Content-keyed,
+#: so identical programs plan identically in every process.
+_PLAN_CACHE: dict[tuple[str, int, int], ExecutionPlan] = {}
+
+
+def program_key(program) -> str:
+    """Content-stable identity of a compiled program.
+
+    Hashes the generated step source (which encodes the merged schedule,
+    operand resolution and op order) plus name and precision — equal
+    across processes for equal programs, unlike the engine's
+    ``id()``-keyed program cache.
+    """
+    h = hashlib.sha1()
+    h.update(program.graph.name.encode())
+    h.update(program.precision.encode())
+    h.update(program.source_fast.encode())
+    return h.hexdigest()
+
+
+def _horizon_bucket(horizon: int | None) -> int:
+    """Power-of-two horizon bucket: plans are reused across nearby
+    horizons instead of being recomputed per exact iteration count."""
+    if horizon is None:
+        return -1
+    return max(0, int(horizon)).bit_length()
+
+
+def _op_census(program) -> tuple[int, int, int]:
+    """(chunkable arith ops, sequential arith ops, io ops per iteration)."""
+    from repro.cgra.ops import Op
+
+    chunkable = set(program.certificate.certified_node_ids())
+    arith_chunk = arith_seq = io = 0
+    for _tick, op, nid, _ops, _io in program.entries:
+        if op in (Op.SENSOR_READ, Op.SENSOR_READ_ADDR, Op.ACTUATOR_WRITE):
+            io += 1
+        elif nid in chunkable:
+            arith_chunk += 1
+        else:
+            arith_seq += 1
+    return arith_chunk, arith_seq, io
+
+
+def _model_costs(
+    program, batch: int, profile: MachineProfile
+) -> tuple[float, float]:
+    """Predicted per-iteration cost (ns) of the compiled and vector tiers.
+
+    IO handler calls run per iteration in *both* tiers (the vector
+    prologue/commit preserve the per-iteration call stream), so they
+    appear symmetrically and the comparison is decided by the arithmetic.
+    """
+    s = profile.scalar_op_ns
+    a = profile.array_op_ns
+    e = profile.array_elem_ns
+    c = profile.call_ns
+    arith_chunk, arith_seq, io = _op_census(program)
+    batched_op = a + batch * e
+
+    io_cost = io * (c * 4 + (batched_op if batch > 1 else 0.0))
+    if batch > 1:
+        compiled_op = batched_op
+    else:
+        compiled_op = s
+    compiled = (arith_chunk + arith_seq) * compiled_op + io_cost
+
+    chunk_t = max(8, profile.chunk_elems // max(1, batch))
+    chunk_op = batch * e + a / chunk_t
+    seq_op = compiled_op + SEQ_INDEX_OPS * a
+    vector = arith_chunk * chunk_op + arith_seq * seq_op + io_cost
+    return compiled, vector
+
+
+def plan_for(
+    program,
+    batch: int = 1,
+    horizon: int | None = None,
+    profile: MachineProfile | None = None,
+) -> ExecutionPlan:
+    """Plan the execution tier for one (program, batch, horizon).
+
+    Pure function of ``(profile, certificate, batch, horizon bucket)``;
+    with ``profile=None`` the process's calibrated profile is used and
+    the decision is memoised in the keyed plan cache.  An explicitly
+    passed profile bypasses the cache (the determinism tests' seam).
+    """
+    key = (program_key(program), int(batch), _horizon_bucket(horizon))
+    if profile is None:
+        cached = _PLAN_CACHE.get(key)
+        if cached is not None:
+            if _OBS.enabled:
+                _PLAN_HITS.inc()
+            return cached
+        if _OBS.enabled:
+            _PLAN_MISSES.inc()
+        active = calibrate()
+    else:
+        active = profile
+
+    compiled_ns, vector_ns = _model_costs(program, batch, active)
+
+    def decide() -> tuple[str, str]:
+        if horizon is not None and horizon < HORIZON_MIN:
+            return "compiled", f"horizon {horizon} < {HORIZON_MIN} (chunking cannot amortise)"
+        if vector_ns >= MARGIN * compiled_ns:
+            return "compiled", (
+                f"cost model: vector {vector_ns:.0f} ns/iter vs compiled "
+                f"{compiled_ns:.0f} ns/iter (margin {MARGIN})"
+            )
+        # Only pay for the vector lowering once the model predicts a win.
+        from repro.cgra.engine_vector import get_vector_program
+
+        vp = get_vector_program(program)
+        if not vp.ok:
+            return "compiled", f"vector lowering rejected: {vp.reason}"
+        return "vector", (
+            f"cost model: vector {vector_ns:.0f} ns/iter beats compiled "
+            f"{compiled_ns:.0f} ns/iter"
+        )
+
+    engine, reason = decide()
+    plan = ExecutionPlan(
+        engine=engine,
+        chunk_elems=active.chunk_elems,
+        reason=reason,
+        predicted_compiled_ns=compiled_ns,
+        predicted_vector_ns=vector_ns,
+    )
+    if profile is None:
+        _PLAN_CACHE[key] = plan
+    return plan
+
+
+def plan_cache_stats() -> dict[str, int]:
+    """Size of the plan cache (counters live in the obs registry)."""
+    return {"plans": len(_PLAN_CACHE)}
+
+
+def clear_plan_cache() -> None:
+    """Drop all memoised plans and the calibrated profile."""
+    global _PROFILE
+    _PLAN_CACHE.clear()
+    _PROFILE = None
+
+
+def export_plans() -> dict:
+    """Snapshot the calibrated profile + plan cache as plain data.
+
+    Shipped to :mod:`repro.parallel` workers at pool start so every
+    shard makes the parent's decisions (same engine, same chunk size)
+    without re-running the probe.
+    """
+    return {
+        "profile": _PROFILE.to_dict() if _PROFILE is not None else None,
+        "plans": {key: plan.to_dict() for key, plan in _PLAN_CACHE.items()},
+    }
+
+
+def import_plans(bundle: dict | None) -> None:
+    """Adopt a parent process's exported profile and plans."""
+    global _PROFILE
+    if not bundle:
+        return
+    profile = bundle.get("profile")
+    if profile is not None:
+        _PROFILE = MachineProfile.from_dict(profile)
+    for key, plan in bundle.get("plans", {}).items():
+        _PLAN_CACHE[tuple(key)] = ExecutionPlan.from_dict(plan)

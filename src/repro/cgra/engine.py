@@ -74,7 +74,7 @@ _ITERS_PER_SECOND = get_registry().gauge(
     "cgra_iterations_per_second", "most recent bulk-run iteration throughput"
 )
 
-_ENGINES = ("interpreted", "compiled", "vector")
+_ENGINES = ("interpreted", "compiled", "vector", "auto")
 
 #: Session-wide default used when an executor is constructed with
 #: ``engine=None`` (the CLI's ``--engine`` flag sets this).
@@ -155,13 +155,20 @@ class _CodeEmitter:
             body.append(f"write({io_id}, {self._operand(operands[0])})")
         elif op is Op.FDIV:
             a, b = (self._operand(o) for o in operands)
-            zero = f"_any({b} == 0.0)" if self.batched else f"{b} == 0.0"
+            # Batched: ``not b.all()`` ≡ ``any(b == 0.0)`` without the
+            # temporary bool array (0.0 and -0.0 are falsy, NaN is
+            # truthy, matching ``NaN == 0.0 → False`` elementwise) —
+            # one C reduction instead of compare + any.
+            zero = f"not {b}.all()" if self.batched else f"{b} == 0.0"
             body.append(f"if {zero}:")
             body.append(f"    raise _EE('division by zero in node {nid}')")
             body.append(f"v{nid} = {a} / {b}")
         elif op is Op.FSQRT:
             a = self._operand(operands[0])
-            neg = f"_any({a} < 0.0)" if self.batched else f"{a} < 0.0"
+            # Batched: keep the elementwise compare (a min-reduction
+            # would miss a negative lane when another lane holds NaN);
+            # the ``.any()`` method skips ``np.any``'s dispatch overhead.
+            neg = f"({a} < 0.0).any()" if self.batched else f"{a} < 0.0"
             body.append(f"if {neg}:")
             body.append(f"    raise _EE('sqrt of negative value in node {nid}')")
             body.append(f"v{nid} = _sqrt({a})")
@@ -269,7 +276,9 @@ class CompiledProgram:
         self.step_fast = self._compile(self.source_fast, "fast", batched=False)
         self.step_traced = self._compile(self.source_traced, "traced", batched=False)
         self._step_batched = None
+        self._step_batched_fast = None
         self.source_batched: str | None = None
+        self.source_batched_fast: str | None = None
         self._certificate = None
         if _OBS.enabled:
             _PROGRAMS_COMPILED.inc(precision=precision)
@@ -298,6 +307,21 @@ class CompiledProgram:
             self.source_batched = emitter.emit(traced=True)
             self._step_batched = self._compile(self.source_batched, "batched", batched=True)
         return self._step_batched
+
+    @property
+    def step_batched_fast(self):
+        """The ``[B]``-array step storing only PHI latches (compiled on
+        first use).  Same fast/traced split as the scalar engine: loads
+        only ever come from CONST/PARAM/PHI slots, so running
+        ``(n−1)·fast + 1·traced`` leaves the register file identical to
+        tracing every step."""
+        if self._step_batched_fast is None:
+            emitter = _CodeEmitter(self.graph, self.entries, batched=True)
+            self.source_batched_fast = emitter.emit(traced=False)
+            self._step_batched_fast = self._compile(
+                self.source_batched_fast, "batched-fast", batched=True
+            )
+        return self._step_batched_fast
 
     @property
     def certificate(self):
@@ -410,10 +434,15 @@ class BatchedCgraExecutor:
         self.batch = int(bus.batch)
         self.precision = precision
         # The batched executor is inherently compiled; the engine seam
-        # only selects whether time is chunked on top ("vector") or
-        # stepped per cycle (anything else, including the session
-        # default "interpreted", which has no batched counterpart).
-        self.engine = "vector" if resolve_engine(engine) == "vector" else "compiled"
+        # only selects whether time is chunked on top ("vector"), planned
+        # per run ("auto") or stepped per cycle (anything else, including
+        # the session default "interpreted", which has no batched
+        # counterpart).
+        resolved = resolve_engine(engine)
+        self.engine = resolved if resolved in ("vector", "auto") else "compiled"
+        #: Most recent autotune decision ("auto" engine only).
+        self.last_plan = None
+        self._plan = None
         self._program = compile_program(schedule, precision)
         self._ftype = self._program.ftype
         params = dict(params or {})
@@ -520,6 +549,15 @@ class BatchedCgraExecutor:
         if self.engine == "vector":
             self._run_vector(n_iterations)
             return
+        if self.engine == "auto" and n_iterations >= 8:
+            from repro.cgra.autotune import plan_for
+
+            plan = plan_for(self._program, self.batch, n_iterations)
+            self.last_plan = plan
+            if plan.engine == "vector":
+                self._plan = plan
+                self._run_vector(n_iterations)
+                return
         self._run_batched(n_iterations)
 
     def _run_vector(self, n_iterations: int) -> None:
@@ -536,7 +574,13 @@ class BatchedCgraExecutor:
         if not vp.ok or n_iterations < MIN_CHUNK:
             self._run_batched(n_iterations)
             return
-        max_t = vp.max_chunk(self.batch)
+        if self._plan is not None:
+            hint = self._plan.chunk_elems
+        else:
+            from repro.cgra.autotune import chunk_elems_hint
+
+            hint = chunk_elems_hint()
+        max_t = vp.max_chunk(self.batch, hint)
         done = 0
         chunks = 0
         import time as _time
@@ -574,18 +618,26 @@ class BatchedCgraExecutor:
             self._run_batched(remainder)
 
     def _run_batched(self, n_iterations: int) -> None:
-        step = self._program.step_batched
+        # Same fast/traced split as the scalar engine: all but the last
+        # step store only PHI latches, the final traced step leaves the
+        # full register file observable.
+        step_fast = self._program.step_batched_fast
+        step_traced = self._program.step_batched
         R = self._slots
         read, read_addr, write = self.bus.read, self.bus.read_addr, self.bus.write
         done = 0
-        import time as _time
+        obs = _OBS.enabled
+        if obs:
+            import time as _time
 
-        t0 = _time.perf_counter()
+            t0 = _time.perf_counter()
         try:
             with np.errstate(over="raise", invalid="raise", divide="raise"):
-                for _ in range(n_iterations):
-                    step(R, read, read_addr, write)
+                for _ in range(n_iterations - 1):
+                    step_fast(R, read, read_addr, write)
                     done += 1
+                step_traced(R, read, read_addr, write)
+                done += 1
         except FloatingPointError as exc:
             raise ExecutionError(
                 f"non-finite value produced in iteration {self.iterations + done} "
@@ -595,7 +647,7 @@ class BatchedCgraExecutor:
             self.iterations += done
             if done:
                 self.actuator_write_ticks = dict(self._program.actuator_write_ticks)
-            if _OBS.enabled and done:
+            if obs and done:
                 elapsed = _time.perf_counter() - t0
                 _ENGINE_ITERATIONS.inc(done * self.batch, engine="batched")
                 if elapsed > 0.0:
@@ -605,3 +657,74 @@ class BatchedCgraExecutor:
                         self.graph.name, "batched", done, elapsed,
                         self._program.op_class_counts, lanes=self.batch,
                     )
+
+    def run_driven(self, n_iterations: int, pre=None, post=None) -> None:
+        """Advance ``n_iterations`` with host callbacks around each step,
+        under one errstate/telemetry envelope.
+
+        The closed-loop HIL driver: per iteration ``i`` (0-based) this
+        runs ``pre(i)``, one batched step, then ``post(i)`` — exactly the
+        call sequence of a Python loop over :meth:`run_iteration`, minus
+        its per-iteration ``np.errstate`` enter/exit and telemetry.  All
+        but the last step use the fast (PHI-only) variant, so callbacks
+        may observe loop-carried registers and actuator-write effects —
+        everything the closed loop reads back; after the call returns the
+        register file is fully traced, as after :meth:`run`.  Callbacks
+        execute under ``np.errstate(raise)``.
+        """
+        if n_iterations < 0:
+            raise ExecutionError("n_iterations must be non-negative")
+        if n_iterations == 0:
+            return
+        step_fast = self._program.step_batched_fast
+        step_traced = self._program.step_batched
+        R = self._slots
+        read, read_addr, write = self.bus.read, self.bus.read_addr, self.bus.write
+        done = 0
+        obs = _OBS.enabled
+        if obs:
+            import time as _time
+
+            t0 = _time.perf_counter()
+        try:
+            with np.errstate(over="raise", invalid="raise", divide="raise"):
+                last = n_iterations - 1
+                for i in range(n_iterations):
+                    if pre is not None:
+                        pre(i)
+                    if i < last:
+                        step_fast(R, read, read_addr, write)
+                    else:
+                        step_traced(R, read, read_addr, write)
+                    done += 1
+                    if post is not None:
+                        post(i)
+        except FloatingPointError as exc:
+            raise ExecutionError(
+                f"non-finite value produced in iteration {self.iterations + done} "
+                f"of the batched kernel: {exc}"
+            ) from exc
+        finally:
+            self.iterations += done
+            if done:
+                self.actuator_write_ticks = dict(self._program.actuator_write_ticks)
+            if obs and done:
+                elapsed = _time.perf_counter() - t0
+                _ENGINE_ITERATIONS.inc(done * self.batch, engine="batched")
+                if elapsed > 0.0:
+                    _ITERS_PER_SECOND.set(done * self.batch / elapsed, engine="batched")
+                if _OBS.profile:
+                    record_program(
+                        self.graph.name, "batched", done, elapsed,
+                        self._program.op_class_counts, lanes=self.batch,
+                    )
+
+    def register_view(self, name: str):
+        """Live value of a named loop-carried register — the current
+        slot, no copy, no broadcast (may be a lane-uniform scalar).
+        Read-only by contract; re-fetch after every step (slots rebind).
+        """
+        nid = self._phi_named.get(name)
+        if nid is None:
+            raise ExecutionError(f"no loop-carried register named {name!r}")
+        return self._slots[nid]

@@ -60,8 +60,10 @@ import numpy as np
 from repro.cgra.engine import CompiledProgram
 from repro.cgra.ops import Op
 from repro.errors import ExecutionError
+from repro.obs import get_registry
+from repro.obs._state import STATE as _OBS
 
-__all__ = ["VectorProgram", "get_vector_program"]
+__all__ = ["VectorProgram", "get_vector_program", "clear_kernel_cache"]
 
 #: Chunks below this length run on the per-cycle compiled path (the
 #: generated finalize needs T >= 2, and tiny chunks cost more in array
@@ -69,12 +71,37 @@ __all__ = ["VectorProgram", "get_vector_program"]
 #: always takes the compiled step — the HIL per-revolution loop keeps
 #: its exact closed-loop bus semantics under ``engine="vector"``.
 MIN_CHUNK = 8
-#: Upper bound on scalar chunk length (memory: every live op holds one
-#: ``[T]`` float32 vector while the chunk body runs).
+#: Default upper bound on scalar chunk length; a calibrated chunk hint
+#: (:func:`repro.cgra.autotune.chunk_elems_hint`) may raise T up to
+#: :data:`MAX_CHUNK_HARD` (memory: every live op holds one ``[T]``
+#: float32 vector while the chunk body runs).
 MAX_CHUNK = 2048
-#: Element budget for batched chunks: T is scaled down so B*T stays
-#: bounded (a [B, T] vector per live op).
+#: Absolute chunk-length ceiling, hint or not.
+MAX_CHUNK_HARD = 8192
+#: Default element budget for batched chunks: T is scaled down so B*T
+#: stays bounded (a [B, T] vector per live op).
 CHUNK_ELEMS = 32768
+
+_KERNEL_CACHE_HITS = get_registry().counter(
+    "cgra_vector_kernel_cache_hits_total",
+    "fused vector chunk kernels served from the source-keyed code cache",
+)
+_KERNEL_CACHE_MISSES = get_registry().counter(
+    "cgra_vector_kernel_cache_misses_total",
+    "fused vector chunk kernels compiled from generated source",
+)
+
+#: Generated chunk source → compiled code object.  The source text is a
+#: pure function of (certificate, entries, batched flag), so equal
+#: programs — including re-lowered ones after a cache clear or in a
+#: fresh worker that re-ran codegen — share one ``compile()`` per
+#: kernel; precision only affects the exec namespace, never the code.
+_KERNEL_CODE_CACHE: dict[str, object] = {}
+
+
+def clear_kernel_cache() -> None:
+    """Drop all cached fused chunk-kernel code objects."""
+    _KERNEL_CODE_CACHE.clear()
 
 _READ_OPS = (Op.SENSOR_READ, Op.SENSOR_READ_ADDR)
 
@@ -541,9 +568,16 @@ class VectorProgram:
             "_col": _col,
             "_EE": ExecutionError,
         }
-        code = compile(
-            source, f"<cgra-engine:{self.program.graph.name}:{variant}>", "exec"
-        )
+        code = _KERNEL_CODE_CACHE.get(source)
+        if code is None:
+            if _OBS.enabled:
+                _KERNEL_CACHE_MISSES.inc()
+            code = compile(
+                source, f"<cgra-engine:{self.program.graph.name}:{variant}>", "exec"
+            )
+            _KERNEL_CODE_CACHE[source] = code
+        elif _OBS.enabled:
+            _KERNEL_CACHE_HITS.inc()
         exec(code, ns)
         return ns["chunk"]
 
@@ -556,8 +590,15 @@ class VectorProgram:
             self._fn_batched = self._compile(self.source_batched, "vector-batched")
         return self._fn_batched
 
-    def max_chunk(self, batch: int = 1) -> int:
-        """Chunk length bound for a given lane count (memory budget)."""
+    def max_chunk(self, batch: int = 1, hint: int | None = None) -> int:
+        """Chunk length bound for a given lane count (memory budget).
+
+        ``hint`` is a calibrated element budget (``B * T``) from
+        :mod:`repro.cgra.autotune`; without one the static defaults
+        apply.  Chunk size never affects results — only how many
+        iterations each fused kernel call advances."""
+        if hint is not None:
+            return min(MAX_CHUNK_HARD, max(MIN_CHUNK, int(hint) // max(1, batch)))
         return min(MAX_CHUNK, max(MIN_CHUNK, CHUNK_ELEMS // max(1, batch)))
 
     def segment_units(self, iterations: int, chunks: int) -> list[tuple[str, int]]:
@@ -642,18 +683,29 @@ class VectorProgram:
             return
         progress[0] = T
         # Commit buffered actuator writes in global (t, tick, node)
-        # order — the interpreter's exact write stream.
+        # order — the interpreter's exact write stream.  The per-t values
+        # are materialised up front (time-varying vectors become
+        # contiguous per-t rows via one moveaxis copy) so the commit loop
+        # is a plain sequence walk instead of per-t fancy indexing.
         if wl:
             order = sorted(wl, key=lambda w: (w[0], w[1]))
             write = bus.write
-            for t in range(T):
-                for _tick, _nid, io, val, kind in order:
-                    if kind == 1:
-                        write(io, val[..., t])
-                    elif kind == 2:
-                        write(io, val[t])
-                    else:
-                        write(io, val)
+            commits = []
+            for _tick, _nid, io, val, kind in order:
+                if kind == 1:
+                    commits.append((io, np.ascontiguousarray(np.moveaxis(val, -1, 0))))
+                elif kind == 2:
+                    commits.append((io, val))
+                else:
+                    commits.append((io, (val,) * T))
+            if len(commits) == 1:
+                io, seq = commits[0]
+                for v in seq:
+                    write(io, v)
+            else:
+                for t in range(T):
+                    for io, seq in commits:
+                        write(io, seq[t])
 
     def _replay(
         self,

@@ -86,9 +86,12 @@ class CgraExecutor:
         load and raise :class:`~repro.errors.VerificationError` listing
         every diagnostic if it finds errors.
     engine:
-        ``"interpreted"`` (the per-op cycle-accurate interpreter) or
+        ``"interpreted"`` (the per-op cycle-accurate interpreter),
         ``"compiled"`` (the :mod:`repro.cgra.engine` fast path, bit-exact
-        with the interpreter).  ``None`` uses the session default
+        with the interpreter), ``"vector"`` (certificate-driven time
+        chunks) or ``"auto"`` (per-run planning via
+        :mod:`repro.cgra.autotune`, compiled when uncertain).  ``None``
+        uses the session default
         (:func:`repro.cgra.engine.get_default_engine`).
     """
 
@@ -145,10 +148,12 @@ class CgraExecutor:
         self._vector = None
         self._slots: list | None = None
         self._registers: dict[int, float] | None = None
-        if self.engine in ("compiled", "vector"):
+        if self.engine in ("compiled", "vector", "auto"):
             self._compiled = compile_program(schedule, precision)
             self._slots = self._compiled.initial_slots(params)
             self._program: list[_Entry] = []
+            #: Most recent autotune decision ("auto" engine only).
+            self.last_plan = None
         else:
             #: Register file: node id → current value.
             self._registers = {}
@@ -312,7 +317,14 @@ class CgraExecutor:
             raise ExecutionError("n_iterations must be non-negative")
         if self._compiled is not None:
             if n_iterations:
-                if self.engine == "vector":
+                engine = self.engine
+                if engine == "auto" and n_iterations >= 8:
+                    from repro.cgra.autotune import plan_for
+
+                    plan = plan_for(self._compiled, 1, n_iterations)
+                    self.last_plan = plan
+                    engine = plan.engine
+                if engine == "vector":
                     self._run_vector(n_iterations)
                 else:
                     self._run_compiled(n_iterations)
@@ -337,7 +349,9 @@ class CgraExecutor:
             self._run_compiled(n_iterations)
             return
         program = self._compiled
-        max_t = vp.max_chunk()
+        from repro.cgra.autotune import chunk_elems_hint
+
+        max_t = vp.max_chunk(hint=chunk_elems_hint())
         done = 0
         chunks = 0
         t0 = time.perf_counter()

@@ -356,8 +356,13 @@ def compile_monitor_model(
 
 
 def clear_cache() -> None:
-    """Drop all cached compiled models and compiled engine programs."""
+    """Drop all cached compiled models, compiled engine programs, fused
+    vector chunk kernels and autotune execution plans."""
+    from repro.cgra.autotune import clear_plan_cache
     from repro.cgra.engine import clear_program_cache
+    from repro.cgra.engine_vector import clear_kernel_cache
 
     _MODEL_CACHE.clear()
     clear_program_cache()
+    clear_kernel_cache()
+    clear_plan_cache()

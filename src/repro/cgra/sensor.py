@@ -23,6 +23,8 @@ import numpy as np
 
 from repro.errors import CgraError
 
+_F64 = np.dtype(np.float64)
+
 __all__ = [
     "SensorBus",
     "BatchSensorBus",
@@ -120,6 +122,7 @@ class BatchSensorBus:
         if batch < 1:
             raise CgraError(f"batch must be >= 1, got {batch}")
         self.batch = int(batch)
+        self._shape = (self.batch,)
         self._readers: dict[int, Callable] = {}
         self._addr_readers: dict[int, Callable] = {}
         self._writers: dict[int, Callable] = {}
@@ -139,6 +142,15 @@ class BatchSensorBus:
         self._writers[int(actuator_id)] = fn
 
     def _broadcast(self, value) -> np.ndarray:
+        # Fast path for the common hot-loop case: the value is already a
+        # float64 [batch] array — ``asarray`` would return it unchanged,
+        # so skip the conversion/shape ceremony entirely.
+        if (
+            type(value) is np.ndarray
+            and value.shape == self._shape
+            and value.dtype == _F64
+        ):
+            return value
         arr = np.asarray(value, dtype=float)
         if arr.ndim == 0:
             return np.broadcast_to(arr, (self.batch,))
@@ -169,9 +181,16 @@ class BatchSensorBus:
         except KeyError:
             raise CgraError(f"no addressed sensor registered for id {sensor_id}") from None
         self.read_counts[sensor_id] = self.read_counts.get(sensor_id, 0) + 1
-        addresses = np.broadcast_to(
-            np.asarray(addr, dtype=float), (self.batch,)
-        )
+        if (
+            type(addr) is np.ndarray
+            and addr.shape == self._shape
+            and addr.dtype == _F64
+        ):
+            addresses = addr
+        else:
+            addresses = np.asarray(addr, dtype=float)
+            if addresses.shape != self._shape:
+                addresses = np.broadcast_to(addresses, self._shape)
         return self._broadcast(fn(addresses))
 
     def write(self, actuator_id: int, value) -> None:

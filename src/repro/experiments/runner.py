@@ -59,7 +59,7 @@ logger = logging.getLogger(__name__)
 #: Runtime options set by CLI flags and read by individual experiments
 #: (the runner signature is fixed at ``fn(out, quick)``); ``pool`` holds
 #: the session :class:`repro.parallel.WorkerPool` when ``--jobs > 1``.
-_RUNNER_OPTIONS = {"batch": 8, "jobs": 1, "pool": None}
+_RUNNER_OPTIONS = {"batch": 8, "jobs": 1, "pool": None, "engine": None}
 
 
 def _dispatch(fn, items, what: str) -> list:
@@ -487,9 +487,11 @@ def main(argv: list[str] | None = None) -> int:
                              "modules, dependence certification of the "
                              "built-in kernels) before running; abort on "
                              "any error")
-    parser.add_argument("--engine", choices=("interpreted", "compiled", "vector"),
+    parser.add_argument("--engine",
+                        choices=("interpreted", "compiled", "vector", "auto"),
                         help="CGRA execution engine for this run "
-                             "(default: session default, 'interpreted')")
+                             "(default: session default, 'interpreted'; "
+                             "the sweep experiment defaults to 'auto')")
     parser.add_argument("--batch", type=int, default=8,
                         help="number of lockstep lanes for batched "
                              "experiments such as 'sweep' (default 8)")
@@ -507,10 +509,16 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     _RUNNER_OPTIONS["batch"] = args.batch
     _RUNNER_OPTIONS["jobs"] = args.jobs
-    if args.engine is not None:
+    engine = args.engine
+    if engine is None and args.experiment == "sweep":
+        # The sweep is the workload the adaptive planner exists for:
+        # let it pick compiled/vector per program and shape.
+        engine = "auto"
+    _RUNNER_OPTIONS["engine"] = engine
+    if engine is not None:
         from repro.cgra import set_default_engine
 
-        set_default_engine(args.engine)
+        set_default_engine(engine)
 
     if args.list or args.experiment is None:
         for name, (description, _) in EXPERIMENTS.items():

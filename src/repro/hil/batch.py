@@ -24,6 +24,7 @@ RF calibration are lane-uniform.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -176,6 +177,10 @@ class _VectorControlLoop:
         self._tick = 0
         self._last_output = np.zeros(batch)
         self.saturation_count = 0
+        # Scratch buffers for the allocation-free update below.
+        self._t1 = np.empty(batch)
+        self._t2 = np.empty(batch)
+        self._u = np.empty(batch)
 
     @property
     def last_output_deg(self) -> np.ndarray:
@@ -192,15 +197,23 @@ class _VectorControlLoop:
         if not run_now:
             return self._last_output
         x = np.asarray(measured_phase_deg, dtype=float)
-        u = self._r * self._y_prev + self._gc * (x - self._x_prev)
-        self._x_prev = x.copy()
-        self._y_prev = u.copy()
+        # In-place form of u = r*y_prev + gc*(x - x_prev): each elementwise
+        # op matches the allocating expression (scalar multiplies commute
+        # bit-exactly), so results are identical with zero per-call arrays.
+        t1, t2, u = self._t1, self._t2, self._u
+        np.multiply(self._y_prev, self._r, out=t1)
+        np.subtract(x, self._x_prev, out=t2)
+        np.multiply(t2, self._gc, out=t2)
+        np.add(t1, t2, out=u)
+        np.copyto(self._x_prev, x)
+        # y_prev feeds back the *unclipped* output, matching the scalar loop.
+        np.copyto(self._y_prev, u)
         limit = self.config.saturation_deg
         if limit is not None:
             saturated = int(np.count_nonzero(np.abs(u) > limit))
             if saturated:
                 self.saturation_count += saturated
-                u = np.clip(u, -limit, limit)
+                np.clip(u, -limit, limit, out=u)
         self._last_output = u
         return u
 
@@ -281,7 +294,11 @@ class BatchedCavityInTheLoop:
     def _build_executor(self) -> BatchedCgraExecutor:
         bus = BatchSensorBus(self.batch)
         t_rev = 1.0 / self.f_rev
-        bus.register_reader(SENSOR_PERIOD, lambda: t_rev)
+        # Pre-broadcast the lane-uniform period once; the bus passes a
+        # float64 [B] array straight through instead of re-broadcasting
+        # the scalar on every revolution.
+        t_rev_lanes = np.full(self.batch, t_rev)
+        bus.register_reader(SENSOR_PERIOD, lambda: t_rev_lanes)
         bus.register_addr_reader(SENSOR_REF_BUFFER, self._ref_adc_voltage)
         bus.register_addr_reader(SENSOR_GAP_BUFFER, self._gap_adc_voltage)
         for i in range(self.config.n_bunches):
@@ -321,8 +338,58 @@ class BatchedCavityInTheLoop:
         self._turn += 1
         self._time += 1.0 / self.f_rev
 
-    def run(self, duration: float) -> BatchHilRunResult:
-        """Run all lanes for ``duration`` seconds of machine time."""
+    def _run_fast(self, n_turns: int, t_rev: float, rec_every: int, record) -> None:
+        """Drive ``n_turns`` revolutions through the batched engine's
+        callback loop (:meth:`BatchedCgraExecutor.run_driven`).
+
+        Per turn this performs exactly the :meth:`step_revolution`
+        sequence — deadline check, gap-phase update, engine iteration,
+        control update, time advance, optional record — but with one
+        errstate/telemetry envelope for the whole run and the per-turn
+        arrays updated in place instead of reallocated (each elementwise
+        op matches the allocating expression bit for bit).
+        """
+        amps = self._jump_amps
+        gap = self._gap_phase_rad
+        ctrl = self.control
+        jump_unit = self._jump_unit
+        deadline = self.deadline
+        d2r = math.pi / 180.0
+        m = -360.0 * self.config.harmonic * self.f_rev
+        use_bunch0 = self.config.control_source == "bunch0"
+        dt0 = self._delta_t[:, 0]
+        mbuf = np.empty(self.batch)
+        tmp = np.empty(self.batch)
+
+        def pre(i: int) -> None:
+            deadline.check_revolution(t_rev)
+            jr = jump_unit.phase_rad_at(self._time)
+            np.multiply(amps, jr, out=gap)
+            np.multiply(ctrl.last_output_deg, d2r, out=tmp)
+            np.add(gap, tmp, out=gap)
+
+        def post(i: int) -> None:
+            if use_bunch0:
+                np.multiply(dt0, m, out=mbuf)
+                ctrl.update(mbuf)
+            else:
+                ctrl.update(self.measured_phase_deg())
+            self._turn += 1
+            self._time += t_rev
+            if (i + 1) % rec_every == 0:
+                record()
+
+        self._executor.run_driven(n_turns, pre=pre, post=post)
+
+    def run(self, duration: float, *, _fast: bool = True) -> BatchHilRunResult:
+        """Run all lanes for ``duration`` seconds of machine time.
+
+        ``_fast`` selects the driven batched-engine loop (one telemetry
+        envelope for the whole run, scratch buffers reused across turns);
+        ``_fast=False`` keeps the per-turn :meth:`step_revolution` loop.
+        Both produce bit-identical results — the slow form exists as the
+        parity reference for tests.
+        """
         if duration <= 0:
             raise HilError("duration must be positive")
         n_turns = int(round(duration * self.f_rev))
@@ -338,15 +405,27 @@ class BatchedCavityInTheLoop:
         gam = np.empty((n_rec, B))
         idx = 0
 
+        # Hot-loop constants.  ``m`` folds the phase-detector scale the
+        # same way measured_phase_deg evaluates it left to right, and
+        # ``dt0`` is a persistent view (the delta_t buffer is written in
+        # place by the actuator handlers, never rebound).
+        m = -360.0 * self.config.harmonic * self.f_rev
+        dt0 = self._delta_t[:, 0]
+        use_bunch0 = self.config.control_source == "bunch0"
+        amps = self._jump_amps
+
         def record() -> None:
             nonlocal idx
             time[idx] = self._time
-            phase[idx] = self.measured_phase_deg()
+            if use_bunch0:
+                np.multiply(dt0, m, out=phase[idx])
+            else:
+                phase[idx] = self.measured_phase_deg()
             corr[idx] = self.control.last_output_deg
-            jump[idx] = float(self._jump_unit.phase_deg_at(self._time)) * self._jump_amps
-            dts[idx] = self._delta_t[:, 0]
+            np.multiply(amps, self._jump_unit.phase_deg_at(self._time), out=jump[idx])
+            dts[idx] = dt0
             dts_all[idx] = self._delta_t
-            gam[idx] = self._executor.register_of("gamma_r")
+            gam[idx] = self._executor.register_view("gamma_r")
             idx += 1
 
         record()
@@ -360,11 +439,14 @@ class BatchedCavityInTheLoop:
             # One profiler phase for the whole lockstep loop (the
             # batched engine hook below it adds per-op-class detail).
             with get_profiler().phase("hil.run_batched"):
-                for n in range(n_turns):
-                    self.deadline.check_revolution(t_rev)
-                    self.step_revolution()
-                    if (n + 1) % rec_every == 0:
-                        record()
+                if _fast:
+                    self._run_fast(n_turns, t_rev, rec_every, record)
+                else:
+                    for n in range(n_turns):
+                        self.deadline.check_revolution(t_rev)
+                        self.step_revolution()
+                        if (n + 1) % rec_every == 0:
+                            record()
         stats = self.deadline.stats(allow_empty=True)
         if _OBS.enabled:
             _HIL_ITERATIONS.inc(n_turns, engine="batched")

@@ -71,9 +71,9 @@ class SampleAccurateBenchConfig:
             raise ConfigurationError("detector window must be >= 1 revolution")
         if self.harmonic < 1:
             raise ConfigurationError("harmonic must be >= 1")
-        if self.engine not in (None, "interpreted", "compiled", "vector"):
+        if self.engine not in (None, "interpreted", "compiled", "vector", "auto"):
             raise ConfigurationError(
-                "engine must be None, 'interpreted', 'compiled' or 'vector', "
+                "engine must be None, 'interpreted', 'compiled', 'vector' or 'auto', "
                 f"got {self.engine!r}"
             )
 

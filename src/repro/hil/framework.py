@@ -113,9 +113,9 @@ class FrameworkConfig:
             )
         if self.gap_volts_per_adc_volt <= 0 or self.ref_volts_per_adc_volt <= 0:
             raise ConfigurationError("voltage scales must be positive")
-        if self.engine not in (None, "interpreted", "compiled", "vector"):
+        if self.engine not in (None, "interpreted", "compiled", "vector", "auto"):
             raise ConfigurationError(
-                "engine must be None, 'interpreted', 'compiled' or 'vector', "
+                "engine must be None, 'interpreted', 'compiled', 'vector' or 'auto', "
                 f"got {self.engine!r}"
             )
 

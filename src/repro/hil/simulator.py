@@ -121,9 +121,9 @@ class HilConfig:
     def __post_init__(self) -> None:
         if self.engine not in ("python", "cgra"):
             raise ConfigurationError(f"engine must be 'python' or 'cgra', got {self.engine!r}")
-        if self.cgra_engine not in (None, "interpreted", "compiled", "vector"):
+        if self.cgra_engine not in (None, "interpreted", "compiled", "vector", "auto"):
             raise ConfigurationError(
-                "cgra_engine must be None, 'interpreted', 'compiled' or 'vector', "
+                "cgra_engine must be None, 'interpreted', 'compiled', 'vector' or 'auto', "
                 f"got {self.cgra_engine!r}"
             )
         if self.harmonic < 1:

@@ -38,6 +38,7 @@ shard infrastructure failure, never as silent data loss.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, fields, is_dataclass, replace
 from typing import Any
 
@@ -50,12 +51,46 @@ __all__ = [
     "offload_arrays",
     "restore_arrays",
     "unlink_block",
+    "get_shm_min_bytes",
+    "set_shm_min_bytes",
 ]
 
-#: Arrays smaller than this stay in the pickled result — descriptor +
-#: attach overhead only pays off for bulk data (one 4 KiB page is
-#: nothing; 16 KiB is where shm reliably wins on a warm pool).
-SHM_MIN_BYTES = 16 * 1024
+#: Default offload threshold: arrays smaller than this stay in the
+#: pickled result (descriptor + attach overhead only pays off for bulk
+#: data).  One 4 KiB page is already competitive on a warm pool; tune
+#: per deployment via ``REPRO_SHM_MIN_BYTES`` or :func:`set_shm_min_bytes`.
+SHM_MIN_BYTES = 4 * 1024
+
+
+def _threshold_from_env() -> int:
+    raw = os.environ.get("REPRO_SHM_MIN_BYTES")
+    if raw is None:
+        return SHM_MIN_BYTES
+    try:
+        value = int(raw)
+    except ValueError:
+        return SHM_MIN_BYTES
+    return value if value >= 0 else SHM_MIN_BYTES
+
+
+_shm_min_bytes = _threshold_from_env()
+
+
+def get_shm_min_bytes() -> int:
+    """The active offload threshold in bytes."""
+    return _shm_min_bytes
+
+
+def set_shm_min_bytes(n_bytes: int) -> None:
+    """Set the offload threshold (0 = offload every non-object array).
+
+    Process-local; workers inherit the parent's value over fork, spawn
+    platforms re-read ``REPRO_SHM_MIN_BYTES`` at import.
+    """
+    global _shm_min_bytes
+    if n_bytes < 0:
+        raise ValueError(f"threshold must be >= 0, got {n_bytes}")
+    _shm_min_bytes = int(n_bytes)
 
 _availability: bool | None = None
 
@@ -93,7 +128,7 @@ class ShmArrayRef:
 def _is_large_array(obj: Any) -> bool:
     return (
         isinstance(obj, np.ndarray)
-        and obj.nbytes >= SHM_MIN_BYTES
+        and obj.nbytes >= _shm_min_bytes
         # Object arrays have no flat byte image; leave them to pickle.
         and obj.dtype != object
     )

@@ -122,6 +122,7 @@ class MultiParticleTracker:
         # Scratch buffers reused every turn to avoid per-turn allocation
         # (the guides' "in-place operations / be easy on the memory" rule).
         self._scratch = np.empty_like(delta_t)
+        self._scratch2 = np.empty_like(delta_t)
         #: Collective-effect hooks: objects with
         #: ``voltages(delta_t, f_rev, turn) -> volts_array`` applied as
         #: additional per-particle kicks each turn (space charge, beam
@@ -209,12 +210,17 @@ class MultiParticleTracker:
 
         # Eq. 6 vectorised.  β of each particle differs; compute it from
         # γ = γ_R + Δγ (all particles stay far from γ=1 in valid runs).
-        gamma_async = self.gamma_ref + self.delta_gamma
-        if np.any(gamma_async < 1.0):
+        # The γ chain runs entirely in the second scratch buffer —
+        # elementwise identical to the allocating expressions.
+        gamma_async = np.add(self.delta_gamma, self.gamma_ref, out=self._scratch2)
+        if (gamma_async < 1.0).any():
             raise PhysicsError("a macro particle dropped below gamma=1")
         beta_ref = beta_from_gamma(self.gamma_ref)
         eta = self.ring.phase_slip(self.gamma_ref)
-        np.sqrt(1.0 - 1.0 / (gamma_async * gamma_async), out=self._scratch)  # beta_async
+        np.multiply(gamma_async, gamma_async, out=self._scratch)
+        np.divide(1.0, self._scratch, out=self._scratch)
+        np.subtract(1.0, self._scratch, out=self._scratch)
+        np.sqrt(self._scratch, out=self._scratch)  # beta_async
         coeff = self.ring.circumference * eta / (beta_ref * beta_ref * SPEED_OF_LIGHT)
         # delta_t += coeff / beta_async * delta_gamma / gamma_ref
         np.divide(self.delta_gamma, self._scratch, out=self._scratch)

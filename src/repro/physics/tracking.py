@@ -30,7 +30,6 @@ import numpy as np
 from repro.constants import SPEED_OF_LIGHT
 from repro.errors import PhysicsError
 from repro.physics.ion import IonSpecies
-from repro.physics.relativity import beta_from_gamma
 from repro.physics.rf import RFSystem
 from repro.physics.ring import SynchrotronRing
 
@@ -82,9 +81,13 @@ def delta_t_update(
         raise PhysicsError(
             f"asynchronous gamma dropped below 1 ({gamma_async})"
         )
-    beta_ref = beta_from_gamma(gamma_ref)
-    beta_async = beta_from_gamma(gamma_async)
-    eta = ring.phase_slip(gamma_ref)
+    # Scalar forms of beta_from_gamma / ring.phase_slip: same expressions
+    # without the ndarray round-trip (math.sqrt and np.sqrt are both
+    # correctly-rounded IEEE sqrt, so results are bit-identical).  γ_R ≥ 1
+    # is guaranteed by reference_gamma_update, γ checked above.
+    beta_ref = math.sqrt(1.0 - 1.0 / (gamma_ref * gamma_ref))
+    beta_async = math.sqrt(1.0 - 1.0 / (gamma_async * gamma_async))
+    eta = ring.alpha_c - 1.0 / (gamma_ref * gamma_ref)
     coeff = ring.circumference * eta / (beta_async * beta_ref * beta_ref * SPEED_OF_LIGHT)
     return delta_t + coeff * delta_gamma / gamma_ref
 
@@ -162,6 +165,9 @@ class MacroParticleTracker:
         self.rf = rf
         self._gap_voltage = gap_voltage
         self._reference_voltage = reference_voltage
+        # V̂·sin(φ_s) is a run constant (rf is bound at construction);
+        # hoisted out of the per-turn step.
+        self._v_ref_default = rf.voltage * math.sin(rf.synchronous_phase)
 
     def initial_state(self, f_rev: float, delta_gamma: float = 0.0, delta_t: float = 0.0) -> TrackingState:
         """Build the initial state from a measured revolution frequency.
@@ -195,7 +201,7 @@ class MacroParticleTracker:
         phase-jump offsets of the gap signal do not act on it — only the
         synchronous phase does.
         """
-        return self.rf.voltage * math.sin(self.rf.synchronous_phase)
+        return self._v_ref_default
 
     def step(self, state: TrackingState, f_rev: float | None = None) -> TrackingState:
         """Advance the state by one revolution (Eqs. 2, 3, 6 in order).

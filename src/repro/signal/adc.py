@@ -75,6 +75,12 @@ class ADC:
         self.noise_rms = float(noise_rms)
         self.aperture_jitter_rms = float(aperture_jitter_rms)
         self._rng = rng
+        # Cached conversion constants: convert() runs once per sensor
+        # read on the HIL hot path, so the derived values are computed
+        # once here instead of per call.
+        self._lsb = self.vpp / (2**self.bits)
+        self._code_min = -(2 ** (self.bits - 1))
+        self._code_max = 2 ** (self.bits - 1) - 1
 
     @property
     def full_scale(self) -> float:
@@ -84,36 +90,39 @@ class ADC:
     @property
     def lsb(self) -> float:
         """Voltage step of one code."""
-        return self.vpp / (2**self.bits)
+        return self._lsb
 
     @property
     def code_min(self) -> int:
         """Most negative output code (two's complement)."""
-        return -(2 ** (self.bits - 1))
+        return self._code_min
 
     @property
     def code_max(self) -> int:
         """Most positive output code."""
-        return 2 ** (self.bits - 1) - 1
+        return self._code_max
 
     def convert(self, volts) -> np.ndarray:
         """Convert voltages to integer codes (mid-tread, clipped at rails)."""
         v = np.asarray(volts, dtype=float)
         if self.noise_rms > 0.0:
             v = v + self._rng.normal(0.0, self.noise_rms, v.shape)
-        codes = np.round(v / self.lsb).astype(np.int64)
+        # rint == round(decimals=0) bit-for-bit on floats (both are
+        # round-half-even), without the decimals dispatch; the nested
+        # minimum/maximum is np.clip minus its per-call broadcasting setup.
+        codes = np.rint(v / self._lsb).astype(np.int64)
         if _OBS.enabled:
             _SAMPLES.inc(codes.size)
             clipped = int(
-                np.count_nonzero((codes < self.code_min) | (codes > self.code_max))
+                np.count_nonzero((codes < self._code_min) | (codes > self._code_max))
             )
             if clipped:
                 _CLIPS.inc(clipped)
-        return np.clip(codes, self.code_min, self.code_max)
+        return np.minimum(np.maximum(codes, self._code_min), self._code_max)
 
     def codes_to_volts(self, codes) -> np.ndarray:
         """Reconstruct voltages from codes (the value the FPGA works with)."""
-        return np.asarray(codes, dtype=float) * self.lsb
+        return np.asarray(codes, dtype=float) * self._lsb
 
     def quantize(self, volts) -> np.ndarray:
         """Convert to codes and back: the quantised voltage seen inside

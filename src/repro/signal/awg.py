@@ -48,6 +48,14 @@ class PhaseJumpPattern:
 
     def phase_deg_at(self, t) -> np.ndarray | float:
         """Drive value in degrees at time(s) ``t``."""
+        if type(t) is float or type(t) is int:
+            # Scalar fast path, bit-identical to the array form below:
+            # math.floor and np.floor agree on every IEEE double, and
+            # k >= 1 whenever t >= start_time so k % 2 is well-defined.
+            if t < self.start_time:
+                return 0.0
+            k = math.floor((t - self.start_time) / self.toggle_period) + 1
+            return self.jump_deg if k % 2 == 1 else 0.0
         t_arr = np.asarray(t, dtype=float)
         k = np.floor((t_arr - self.start_time) / self.toggle_period).astype(np.int64) + 1
         value = np.where(t_arr < self.start_time, 0.0, np.where(k % 2 == 1, self.jump_deg, 0.0))

@@ -49,17 +49,42 @@ class TestCsvBytePinning:
         saved = get_default_engine()
         try:
             outputs = {}
-            for engine in ("interpreted", "compiled", "vector"):
+            for engine in ("interpreted", "compiled", "vector", "auto"):
                 out = tmp_path / engine
                 assert main(["jitter", "--out", str(out), "--quick",
                              "--engine", engine]) == 0
                 outputs[engine] = (out / "jitter.csv").read_bytes()
             assert outputs["compiled"] == outputs["interpreted"]
             assert outputs["vector"] == outputs["interpreted"]
+            assert outputs["auto"] == outputs["interpreted"]
             pooled = tmp_path / "vector_pooled"
             assert main(["jitter", "--out", str(pooled), "--quick",
                          "--engine", "vector", "--jobs", "2"]) == 0
             assert (pooled / "jitter.csv").read_bytes() == outputs["interpreted"]
+        finally:
+            set_default_engine(saved)
+
+    def test_sweep_csv_identical_across_engines_and_jobs(self, tmp_path):
+        """The sweep defaults to engine=auto; the adaptive planner (and
+        the plan bundle shipped to pool workers) never changes bytes —
+        explicit compiled, explicit auto and the pooled default all
+        merge to the same CSV."""
+        from repro.cgra import get_default_engine, set_default_engine
+
+        saved = get_default_engine()
+        try:
+            ref = tmp_path / "ref"
+            assert main(["sweep", "--out", str(ref), "--quick",
+                         "--engine", "compiled"]) == 0
+            want = (ref / "sweep_jump_amplitude.csv").read_bytes()
+            for label, extra in (
+                ("auto_serial", ["--engine", "auto"]),
+                ("default_pooled", ["--jobs", "2"]),  # sweep default = auto
+            ):
+                out = tmp_path / label
+                assert main(["sweep", "--out", str(out), "--quick", *extra]) == 0
+                got = (out / "sweep_jump_amplitude.csv").read_bytes()
+                assert got == want, label
         finally:
             set_default_engine(saved)
 

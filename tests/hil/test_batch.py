@@ -65,6 +65,24 @@ class TestBatchedHil:
             assert np.array_equal(batched.delta_t_all[:, lane, :],
                                   scalar.delta_t_all)
 
+    def test_fast_loop_matches_reference_loop(self):
+        """run() drives the engine's callback loop (run_driven); the
+        ``_fast=False`` path keeps the original per-turn
+        ``step_revolution()`` loop as an executable reference.  Both
+        must produce bit-identical records and end state."""
+        cfg = _batch_config(n_bunches=2, record_every=3)
+        fast_bench = BatchedCavityInTheLoop(cfg)
+        slow_bench = BatchedCavityInTheLoop(cfg)
+        fast = fast_bench.run(0.004)
+        slow = slow_bench.run(0.004, _fast=False)
+        for name in ("time", "phase_deg", "correction_deg", "jump_deg",
+                     "delta_t", "delta_t_all", "gamma_ref"):
+            assert np.array_equal(getattr(fast, name), getattr(slow, name)), name
+        assert fast_bench._turn == slow_bench._turn
+        assert fast_bench._time == slow_bench._time
+        assert (fast_bench.control.saturation_count
+                == slow_bench.control.saturation_count)
+
     def test_control_damps_every_lane(self):
         cfg = _batch_config(jump_deg=(6.0, 10.0), jump_start_time=0.001)
         res = BatchedCavityInTheLoop(cfg).run(0.04)

@@ -13,11 +13,14 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.parallel import WorkerPool, run_sharded
+from repro.parallel import shm
 from repro.parallel.shm import (
     SHM_MIN_BYTES,
     ShmArrayRef,
+    get_shm_min_bytes,
     offload_arrays,
     restore_arrays,
+    set_shm_min_bytes,
     shm_available,
     unlink_block,
 )
@@ -113,6 +116,46 @@ class TestOffloadRestore:
 
     def test_unlink_block_tolerates_missing(self):
         unlink_block("reprotest_never_created")  # must not raise
+
+
+class TestConfigurableThreshold:
+    @pytest.fixture(autouse=True)
+    def _restore_threshold(self):
+        saved = get_shm_min_bytes()
+        yield
+        set_shm_min_bytes(saved)
+
+    def test_default_matches_constant(self):
+        assert get_shm_min_bytes() == SHM_MIN_BYTES == 4 * 1024
+
+    def test_zero_threshold_offloads_small_arrays(self):
+        set_shm_min_bytes(0)
+        value = {"a": np.arange(4, dtype=np.float64)}
+        out, used = offload_arrays(value, "reprotest_thr_zero")
+        assert used
+        assert isinstance(out["a"], ShmArrayRef)
+        back = restore_arrays(out, "reprotest_thr_zero")
+        assert np.array_equal(back["a"], value["a"])
+        assert back["a"].dtype == value["a"].dtype
+
+    def test_huge_threshold_keeps_everything_in_band(self):
+        set_shm_min_bytes(1 << 30)
+        out, used = offload_arrays(_trace_of(3), "reprotest_thr_huge")
+        assert not used
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            set_shm_min_bytes(-1)
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHM_MIN_BYTES", "123")
+        assert shm._threshold_from_env() == 123
+        monkeypatch.setenv("REPRO_SHM_MIN_BYTES", "junk")
+        assert shm._threshold_from_env() == SHM_MIN_BYTES
+        monkeypatch.setenv("REPRO_SHM_MIN_BYTES", "-5")
+        assert shm._threshold_from_env() == SHM_MIN_BYTES
+        monkeypatch.delenv("REPRO_SHM_MIN_BYTES")
+        assert shm._threshold_from_env() == SHM_MIN_BYTES
 
 
 class TestPoolTransport:
