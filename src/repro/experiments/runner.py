@@ -343,6 +343,19 @@ def _sweep(out: Path, quick: bool) -> list[str]:
     return lines
 
 
+def _faults(out: Path, quick: bool) -> list[str]:
+    from repro.faults.campaign import CampaignConfig, CampaignResult, run_campaign
+
+    config = CampaignConfig.quick() if quick else CampaignConfig()
+    result = run_campaign(config, pool=_RUNNER_OPTIONS.get("pool"))
+    _write_csv(
+        out / "faults_campaign.csv",
+        CampaignResult.CSV_HEADER,
+        result.csv_columns(),
+    )
+    return result.summary_lines()
+
+
 #: Experiment id → (description, runner).
 EXPERIMENTS: dict[str, tuple[str, Callable[[Path, bool], list[str]]]] = {
     "fig1": ("Fig. 1 — forces on a bunch", _fig1),
@@ -356,6 +369,7 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[Path, bool], list[str]]]] = {
     "landau": ("E10 — Landau damping vs. loop", _landau),
     "dual": ("E12 — dual-harmonic study", _dual),
     "sweep": ("Batched jump-amplitude sweep (lockstep lanes)", _sweep),
+    "faults": ("Fault-injection campaign (stability margins)", _faults),
 }
 
 
@@ -492,6 +506,12 @@ def main(argv: list[str] | None = None) -> int:
                         help="CGRA execution engine for this run "
                              "(default: session default, 'interpreted'; "
                              "the sweep experiment defaults to 'auto')")
+    parser.add_argument("--faults", metavar="PATH", default=None,
+                        help="arm ad-hoc fault injection for this run: PATH "
+                             "is a JSON list of FaultSpec dicts (see "
+                             "docs/FAULTS.md); every HIL bench the "
+                             "experiments build — in-process or in pool "
+                             "workers — runs with these faults armed")
     parser.add_argument("--batch", type=int, default=8,
                         help="number of lockstep lanes for batched "
                              "experiments such as 'sweep' (default 8)")
@@ -519,6 +539,25 @@ def main(argv: list[str] | None = None) -> int:
         from repro.cgra import set_default_engine
 
         set_default_engine(engine)
+
+    fault_payload = None
+    if args.faults is not None:
+        import json
+
+        from repro.errors import FaultSpecError
+        from repro.faults.session import arm_from_payload
+
+        try:
+            fault_payload = json.loads(Path(args.faults).read_text())
+            specs = arm_from_payload(fault_payload)
+        except (OSError, ValueError, FaultSpecError) as exc:
+            logger.error("--faults %s: %s", args.faults, exc)
+            return 2
+        logger.info(
+            "armed %d ad-hoc fault(s): %s",
+            len(specs),
+            ", ".join(s.label or s.kind.value for s in specs),
+        )
 
     if args.list or args.experiment is None:
         for name, (description, _) in EXPERIMENTS.items():
@@ -560,9 +599,20 @@ def main(argv: list[str] | None = None) -> int:
     # Created after obs.enable() so the workers inherit the telemetry
     # switches.
     if args.jobs > 1:
-        from repro.parallel import WorkerPool
+        import functools
 
-        _RUNNER_OPTIONS["pool"] = WorkerPool(jobs=args.jobs)
+        from repro.parallel import DEFAULT_PRIMERS, WorkerPool
+
+        primers = DEFAULT_PRIMERS
+        if fault_payload is not None:
+            # Session faults are process-wide state; re-arm them in every
+            # worker so pooled shards inject identically to inline runs.
+            from repro.faults.session import arm_from_payload
+
+            primers = primers + (
+                functools.partial(arm_from_payload, fault_payload),
+            )
+        _RUNNER_OPTIONS["pool"] = WorkerPool(jobs=args.jobs, primers=primers)
 
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     out_dir = Path(args.out)
@@ -613,6 +663,10 @@ def main(argv: list[str] | None = None) -> int:
         if pool is not None:
             pool.close()
             _RUNNER_OPTIONS["pool"] = None
+        if fault_payload is not None:
+            from repro.faults.session import clear_session_faults
+
+            clear_session_faults()
         if telemetry:
             from repro import obs
 

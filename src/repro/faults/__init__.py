@@ -1,11 +1,8 @@
-"""``repro.faults`` — fault-injection campaigns (package skeleton).
+"""``repro.faults`` — the fault-injection campaign engine.
 
-Reserved home of the fault-injection campaign engine (see ROADMAP.md):
-model RF-station and hardware-level faults against the closed loop and
-sweep fault type × magnitude × onset time as batched/sharded runs,
-reporting loop stability margins.
-
-Implemented so far:
+Models RF-station and hardware-level faults against the closed loop and
+sweeps fault kind × magnitude × onset time as batched/sharded runs,
+reporting loop stability margins (see ROADMAP.md and docs/FAULTS.md).
 
 ``spec``
     Typed :class:`FaultSpec`/:class:`FaultKind` fault descriptions with
@@ -13,30 +10,63 @@ Implemented so far:
     and a JSON round trip — plain data by design, so campaign sweeps
     pickle cleanly to worker shards and pass the shard-safety lint
     (:mod:`repro.analysis.shardlint`) that guards this package.
-
-Planned modules (importing them raises ``ImportError`` until the
-corresponding PR lands):
-
-``station``
-    RF-station faults: cavity failure with compensation/rematch,
-    microphonic detuning spectra, amplifier saturation, detuning
-    transients.
-``hardware``
-    Substrate-level faults the signal chain makes cheap to inject:
-    ADC stuck bits, DAC clipping, DDS phase glitches, CGRA context
-    corruption (detected by the ``repro.cgra.lint`` verifier).
+``inject``
+    The injectors: :class:`FaultProgram` compiles specs into
+    time-indexed perturbation channels the HIL benches consult once per
+    revolution (zero overhead when nothing is armed), plus the context-
+    image corruptor for substrate faults.
+``session``
+    Process-wide fault arming for ad-hoc injection on any experiment
+    (the runner's ``--faults`` flag); propagates into pool workers as a
+    primer.
+``engine``
+    Scenario execution: loop faults run as lockstep lanes of a batched
+    bench; context corruption runs as a detection experiment against
+    the static verifier.
 ``campaign``
-    Campaign runner sweeping fault type × magnitude × onset time
-    through the batched/sharded execution tiers; emits stability-margin
-    reports through :mod:`repro.obs`.
+    Deterministic campaign grid, sharded dispatch with failure
+    containment and single-lane retries, and the all-numeric CSV.
+``report``
+    Stability-margin classification: recovered / degraded / unstable /
+    detected, settle time and max excursion from the phase traces.
 
-Campaign runs are expected to lean on the flight recorder: traces carry
-fault onset as span events, and the profiler attributes the recovery
-cost per phase (see docs/OBSERVABILITY.md).
+Campaign runs lean on the flight recorder: benches tag their spans and
+:class:`~repro.obs.report.HilRunReport` entries with the armed fault
+label, which travels through :class:`~repro.obs.snapshot.ObsSnapshot`
+into ``repro.obs.view`` and the Perfetto export (docs/OBSERVABILITY.md).
 """
 
 from __future__ import annotations
 
+from repro.faults.campaign import (
+    CampaignConfig,
+    CampaignResult,
+    campaign_grid,
+    run_campaign,
+)
+from repro.faults.inject import FaultProgram, corrupt_context_images
+from repro.faults.report import Outcome, StabilityReport, classify_trace
+from repro.faults.session import (
+    arm_session_faults,
+    clear_session_faults,
+    session_faults,
+)
 from repro.faults.spec import MAGNITUDE_WINDOWS, FaultKind, FaultSpec
 
-__all__ = ["FaultKind", "FaultSpec", "MAGNITUDE_WINDOWS"]
+__all__ = [
+    "FaultKind",
+    "FaultSpec",
+    "MAGNITUDE_WINDOWS",
+    "FaultProgram",
+    "corrupt_context_images",
+    "Outcome",
+    "StabilityReport",
+    "classify_trace",
+    "CampaignConfig",
+    "CampaignResult",
+    "campaign_grid",
+    "run_campaign",
+    "arm_session_faults",
+    "clear_session_faults",
+    "session_faults",
+]

@@ -1,0 +1,66 @@
+"""Session-wide fault arming (the runner's ``--faults`` flag).
+
+A bench constructed with an explicit ``faults=...`` config always wins;
+when its config carries no faults it consults this module, so one CLI
+flag can inject a scenario into *any* existing experiment without
+threading a parameter through every config layer.
+
+The armed specs are plain data, which keeps propagation to worker
+processes trivial: the runner appends
+``functools.partial(arm_from_payload, payload)`` to the pool's primer
+list, so forked workers inherit the armed state and spawned workers
+re-arm from the pickled JSON payload in their initializer.
+"""
+
+from __future__ import annotations
+
+from repro.faults.spec import FaultSpec
+
+__all__ = [
+    "arm_session_faults",
+    "arm_from_payload",
+    "clear_session_faults",
+    "session_faults",
+]
+
+_SESSION_FAULTS: tuple[FaultSpec, ...] = ()
+
+
+def arm_session_faults(specs: tuple[FaultSpec, ...] | list[FaultSpec]) -> None:
+    """Arm faults for every bench built in this process from now on."""
+    global _SESSION_FAULTS
+    _SESSION_FAULTS = tuple(specs)
+
+
+def arm_from_payload(payload) -> tuple[FaultSpec, ...]:
+    """Arm from ``FaultSpec.to_dict`` payloads (worker-pool primer).
+
+    ``payload`` must be a JSON-style list of spec dicts; returns the
+    validated specs (re-validation happens in :meth:`FaultSpec.from_dict`).
+    """
+    from repro.errors import FaultSpecError
+
+    if not isinstance(payload, (list, tuple)):
+        raise FaultSpecError(
+            f"fault payload must be a list of FaultSpec dicts, "
+            f"got {type(payload).__name__}"
+        )
+    for entry in payload:
+        if not isinstance(entry, dict):
+            raise FaultSpecError(
+                f"fault payload entries must be dicts, got {type(entry).__name__}"
+            )
+    specs = tuple(FaultSpec.from_dict(d) for d in payload)
+    arm_session_faults(specs)
+    return specs
+
+
+def clear_session_faults() -> None:
+    """Disarm (benches built afterwards run clean)."""
+    global _SESSION_FAULTS
+    _SESSION_FAULTS = ()
+
+
+def session_faults() -> tuple[FaultSpec, ...]:
+    """The currently armed session faults (empty tuple when disarmed)."""
+    return _SESSION_FAULTS

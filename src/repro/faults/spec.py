@@ -52,7 +52,7 @@ MAGNITUDE_WINDOWS: dict[FaultKind, tuple[float, float, bool]] = {
     FaultKind.MICROPHONIC_DETUNING: (0.0, math.inf, False),  # Hz RMS
     FaultKind.AMPLIFIER_SATURATION: (0.0, math.inf, False),  # clip level, V
     FaultKind.DETUNING_TRANSIENT: (-math.inf, math.inf, False),  # Hz step
-    FaultKind.ADC_STUCK_BIT: (0.0, 31.0, True),         # bit index
+    FaultKind.ADC_STUCK_BIT: (0.0, 13.0, True),         # bit index (14-bit ADC)
     FaultKind.DAC_CLIPPING: (0.0, 1.0, False),          # fraction of full scale
     FaultKind.DDS_PHASE_GLITCH: (-math.pi, math.pi, False),  # radians
     FaultKind.CGRA_CONTEXT_CORRUPTION: (0.0, math.inf, True),  # context slot

@@ -42,6 +42,7 @@ from repro.cgra.sensor import (
 from repro.constants import TWO_PI, deg_to_rad
 from repro.control import ControlLoopConfig
 from repro.errors import ConfigurationError, HilError
+from repro.faults.spec import FaultSpec
 from repro.hil.realtime import DeadlineMonitor, JitterStats
 from repro.obs import get_registry, get_tracer, record_hil_run
 from repro.obs._state import STATE as _OBS
@@ -92,6 +93,11 @@ class BatchHilConfig:
     #: of that lane; None = all lanes start on their zero crossings.
     initial_delta_t: tuple[float, ...] | None = None
     control_source: str = "bunch0"
+    #: Faults to arm; each spec's ``target`` selects the lane it acts
+    #: on (see :mod:`repro.faults.inject`).  The empty default also
+    #: consults the session faults armed by the runner's ``--faults``
+    #: flag.
+    faults: tuple[FaultSpec, ...] = ()
 
     def __post_init__(self) -> None:
         if len(self.jump_deg) < 1:
@@ -119,6 +125,11 @@ class BatchHilConfig:
             raise ConfigurationError(
                 f"control_source must be 'bunch0' or 'mean', got {self.control_source!r}"
             )
+        for s in self.faults:
+            if not isinstance(s, FaultSpec):
+                raise ConfigurationError(
+                    f"faults must be FaultSpec instances, got {type(s).__name__}"
+                )
 
     @property
     def batch(self) -> int:
@@ -250,6 +261,26 @@ class BatchedCavityInTheLoop:
         self.ref_scale = config.harmonic * self.gap_voltage_amplitude / config.adc_amplitude
         self._adc = ADC(bits=14, vpp=2.0, sample_rate=250e6)
 
+        # Fault injection (same contract as the scalar bench): per-lane
+        # faults via each spec's target index, None when disarmed.
+        faults = config.faults
+        if not faults:
+            from repro.faults.session import session_faults
+
+            faults = session_faults()
+        if faults:
+            from repro.faults.inject import FaultProgram
+            from repro.signal.dac import DAC
+
+            self._faults = FaultProgram(
+                faults,
+                batch=self.batch,
+                adc_bits=self._adc.bits,
+                dac_full_scale=DAC(bits=16, vpp=2.0).full_scale,
+            )
+        else:
+            self._faults = None
+
         self.model: CompiledModel = compile_beam_model(
             n_bunches=config.n_bunches,
             pipelined=config.pipelined,
@@ -279,7 +310,12 @@ class BatchedCavityInTheLoop:
         return self._adc.quantize(adc_volts)
 
     def _ref_adc_voltage(self, addr_samples: np.ndarray) -> np.ndarray:
-        """Reference-buffer read: undisturbed sine at f_R, ADC volts."""
+        """Reference-buffer read: undisturbed sine at f_R, ADC volts.
+
+        Deliberately fault-free: the reference leg doubles as the
+        synchronous-energy bookkeeping, so all signal-chain faults act
+        on the gap leg (see :mod:`repro.faults.inject`).
+        """
         t = addr_samples / 250e6
         v = self.config.adc_amplitude * np.sin(TWO_PI * self.f_rev * t)
         return self._maybe_quantize(v)
@@ -288,6 +324,18 @@ class BatchedCavityInTheLoop:
         """Gap-buffer read: harmonic signal with the commanded phase."""
         t = addr_samples / 250e6
         base = TWO_PI * self.config.harmonic * self.f_rev * t + self._gap_phase_rad
+        f = self._faults
+        if f is not None and f.active:
+            # Per-lane fault channels; unfaulted lanes carry neutral
+            # elements (+0.0, x1.0, clip at inf, mask 0), which are
+            # bitwise no-ops, so co-resident lanes are undisturbed.
+            v = self.config.adc_amplitude * np.sin(base + f.gap_phase)
+            v = v * f.gap_gain
+            np.clip(v, -f.gap_clip, f.gap_clip, out=v)
+            if f.stuck_any:
+                codes = self._adc.apply_stuck_mask(self._adc.convert(v), f.stuck_mask)
+                return self._adc.codes_to_volts(codes)
+            return self._maybe_quantize(v)
         v = self.config.adc_amplitude * np.sin(base)
         return self._maybe_quantize(v)
 
@@ -331,6 +379,9 @@ class BatchedCavityInTheLoop:
 
     def step_revolution(self) -> None:
         """Advance all lanes by one revolution."""
+        f = self._faults
+        if f is not None:
+            f.update(self._time)
         jump_rad = float(self._jump_unit.phase_rad_at(self._time)) * self._jump_amps
         self._gap_phase_rad = jump_rad + deg_to_rad(self.control.last_output_deg)
         self._executor.run_iteration()
@@ -361,8 +412,12 @@ class BatchedCavityInTheLoop:
         mbuf = np.empty(self.batch)
         tmp = np.empty(self.batch)
 
+        faults = self._faults
+
         def pre(i: int) -> None:
             deadline.check_revolution(t_rev)
+            if faults is not None:
+                faults.update(self._time)
             jr = jump_unit.phase_rad_at(self._time)
             np.multiply(amps, jr, out=gap)
             np.multiply(ctrl.last_output_deg, d2r, out=tmp)
@@ -430,12 +485,10 @@ class BatchedCavityInTheLoop:
 
         record()
         t_rev = 1.0 / self.f_rev
-        with get_tracer().span(
-            "hil.run_batched",
-            batch=B,
-            duration_s=duration,
-            n_turns=n_turns,
-        ):
+        span_attrs = dict(batch=B, duration_s=duration, n_turns=n_turns)
+        if self._faults is not None:
+            span_attrs["fault"] = self._faults.label
+        with get_tracer().span("hil.run_batched", **span_attrs):
             # One profiler phase for the whole lockstep loop (the
             # batched engine hook below it adds per-op-class detail).
             with get_profiler().phase("hil.run_batched"):
@@ -451,6 +504,9 @@ class BatchedCavityInTheLoop:
         if _OBS.enabled:
             _HIL_ITERATIONS.inc(n_turns, engine="batched")
             _LANE_ITERATIONS.inc(n_turns * B)
+            extras = {}
+            if self._faults is not None:
+                extras["fault"] = self._faults.label
             record_hil_run(
                 name="batched_cavity_in_the_loop",
                 stats=stats,
@@ -460,6 +516,7 @@ class BatchedCavityInTheLoop:
                 f_rev_hz=self.f_rev,
                 batch=B,
                 control_saturations=self.control.saturation_count,
+                **extras,
             )
         return BatchHilRunResult(
             time=time[:idx],

@@ -44,6 +44,7 @@ from repro.cgra.sensor import (
 from repro.constants import SPEED_OF_LIGHT, TWO_PI, deg_to_rad
 from repro.control import BeamPhaseControlLoop, ControlLoopConfig
 from repro.errors import ConfigurationError, HilError
+from repro.faults.spec import FaultSpec
 from repro.hil.realtime import DeadlineMonitor, JitterStats
 from repro.obs import get_registry, get_tracer, record_hil_run
 from repro.obs._state import STATE as _OBS
@@ -117,6 +118,11 @@ class HilConfig:
     #: simulated: the first bunch ("bunch0") or the average dipole phase
     #: across all bunches ("mean") — the multi-bunch LLRF behaviour.
     control_source: str = "bunch0"
+    #: Faults to arm for this run (see :mod:`repro.faults.inject`).  The
+    #: empty default also consults the session faults armed by the
+    #: runner's ``--faults`` flag; benches with no faults armed carry no
+    #: injection state at all.
+    faults: tuple[FaultSpec, ...] = ()
 
     def __post_init__(self) -> None:
         if self.engine not in ("python", "cgra"):
@@ -154,6 +160,11 @@ class HilConfig:
             raise ConfigurationError(
                 f"control_source must be 'bunch0' or 'mean', got {self.control_source!r}"
             )
+        for s in self.faults:
+            if not isinstance(s, FaultSpec):
+                raise ConfigurationError(
+                    f"faults must be FaultSpec instances, got {type(s).__name__}"
+                )
 
 
 @dataclass
@@ -239,6 +250,27 @@ class CavityInTheLoop:
         ) / config.adc_amplitude
         self._adc = ADC(bits=14, vpp=2.0, sample_rate=250e6)
 
+        # Fault injection: explicit config faults win; an empty config
+        # consults the session faults armed by the runner's --faults
+        # flag.  Unfaulted benches keep self._faults is None, so the hot
+        # path pays exactly one None check per revolution.
+        faults = config.faults
+        if not faults:
+            from repro.faults.session import session_faults
+
+            faults = session_faults()
+        if faults:
+            from repro.faults.inject import FaultProgram
+            from repro.signal.dac import DAC
+
+            self._faults = FaultProgram(
+                faults,
+                adc_bits=self._adc.bits,
+                dac_full_scale=DAC(bits=16, vpp=2.0).full_scale,
+            )
+        else:
+            self._faults = None
+
         self.model: CompiledModel = compile_beam_model(
             n_bunches=config.n_bunches,
             pipelined=config.pipelined,
@@ -283,7 +315,13 @@ class CavityInTheLoop:
         return self._adc.quantize_scalar(adc_volts)
 
     def _ref_adc_voltage(self, addr_samples: float) -> float:
-        """Reference-buffer read: undisturbed sine at f_R, ADC volts."""
+        """Reference-buffer read: undisturbed sine at f_R, ADC volts.
+
+        Deliberately fault-free: the reference leg doubles as the
+        synchronous-energy bookkeeping (``gamma_r += q/mc² · v_r``), so
+        all signal-chain faults act on the gap leg (see
+        :mod:`repro.faults.inject`).
+        """
         t = addr_samples / 250e6
         v = self.config.adc_amplitude * math.sin(TWO_PI * self.f_rev * t)
         return self._maybe_quantize(v)
@@ -292,12 +330,43 @@ class CavityInTheLoop:
         """Gap-buffer read: (dual-)harmonic signal with the commanded phase."""
         t = addr_samples / 250e6
         base = TWO_PI * self.config.harmonic * self.f_rev * t + self._gap_phase_rad
+        f = self._faults
+        if f is not None and f.active:
+            return self._faulted_gap_voltage(base, f)
         if self._dh_ratio:
             v = (self.config.adc_amplitude / self._dh_headroom) * (
                 math.sin(base) - self._dh_ratio * math.sin(2.0 * base)
             )
         else:
             v = self.config.adc_amplitude * math.sin(base)
+        return self._maybe_quantize(v)
+
+    def _faulted_gap_voltage(self, base: float, f) -> float:
+        """Gap transfer with the active fault channels folded in.
+
+        Same physics as the clean branch plus phase offset, gradient
+        loss, clip level and stuck ADC bits; a stuck bit acts on output
+        *codes*, so it forces the conversion even with ``quantize_adc``
+        off (the fault is defined in the code domain).
+        """
+        base += f.gap_phase
+        if self._dh_ratio:
+            v = (self.config.adc_amplitude / self._dh_headroom) * (
+                math.sin(base) - self._dh_ratio * math.sin(2.0 * base)
+            )
+        else:
+            v = self.config.adc_amplitude * math.sin(base)
+        v *= f.gap_gain
+        clip = f.gap_clip
+        if v > clip:
+            v = clip
+        elif v < -clip:
+            v = -clip
+        if f.stuck_any:
+            code = self._adc.apply_stuck_mask_scalar(
+                self._adc.convert_scalar(v), f.stuck_mask
+            )
+            return code * self._adc.lsb
         return self._maybe_quantize(v)
 
     def _build_executor(self) -> CgraExecutor:
@@ -392,6 +461,9 @@ class CavityInTheLoop:
         if _OBS.profile:
             self._step_revolution_profiled()
             return
+        f = self._faults
+        if f is not None:
+            f.update(self._time)
         # 1. gap phase for this revolution: AWG drive + control correction.
         jump_rad = float(self.jump.phase_rad_at(self._time))
         self._gap_phase_rad = jump_rad + deg_to_rad(self.control.last_output_deg)
@@ -408,6 +480,9 @@ class CavityInTheLoop:
     def _step_revolution_profiled(self) -> None:
         """step_revolution with per-phase timing (profiling on)."""
         profiler = get_profiler()
+        f = self._faults
+        if f is not None:
+            f.update(self._time)
         t0 = perf_counter()
         jump_rad = float(self.jump.phase_rad_at(self._time))
         self._gap_phase_rad = jump_rad + deg_to_rad(self.control.last_output_deg)
@@ -460,12 +535,12 @@ class CavityInTheLoop:
 
         record()
         t_rev = 1.0 / self.f_rev
-        with get_tracer().span(
-            "hil.run",
-            engine=self.config.engine,
-            duration_s=duration,
-            n_turns=n_turns,
-        ):
+        span_attrs = dict(
+            engine=self.config.engine, duration_s=duration, n_turns=n_turns
+        )
+        if self._faults is not None:
+            span_attrs["fault"] = self._faults.label
+        with get_tracer().span("hil.run", **span_attrs):
             for n in range(n_turns):
                 self.deadline.check_revolution(t_rev)
                 self.step_revolution()
@@ -476,6 +551,9 @@ class CavityInTheLoop:
         stats = self.deadline.stats(allow_empty=True)
         if _OBS.enabled:
             _HIL_ITERATIONS.inc(n_turns, engine=self.config.engine)
+            extras = {}
+            if self._faults is not None:
+                extras["fault"] = self._faults.label
             record_hil_run(
                 name="cavity_in_the_loop",
                 stats=stats,
@@ -484,6 +562,7 @@ class CavityInTheLoop:
                 duration_s=duration,
                 f_rev_hz=self.f_rev,
                 control_saturations=self.control.saturation_count,
+                **extras,
             )
         return HilRunResult(
             time=time[:idx],

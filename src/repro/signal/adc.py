@@ -130,6 +130,34 @@ class ADC:
         input of the HIL bench."""
         return self.codes_to_volts(self.convert(volts))
 
+    def apply_stuck_bit(self, codes, bit: int) -> np.ndarray:
+        """Force ``bit`` of the two's-complement output word to 1.
+
+        The fault model of :mod:`repro.faults`: a defective output
+        driver pins one bit of the converter word high.  Acts on the
+        raw ``bits``-wide word, so sticking the top bit flips the sign
+        of positive codes — exactly what the hardware fault does.
+        """
+        if not 0 <= bit < self.bits:
+            raise SignalError(
+                f"stuck bit {bit} out of range for a {self.bits}-bit ADC"
+            )
+        return self.apply_stuck_mask(codes, 1 << bit)
+
+    def apply_stuck_mask(self, codes, or_mask) -> np.ndarray:
+        """Vector form of :meth:`apply_stuck_bit` with per-element OR
+        masks (mask 0 is an exact identity — unfaulted batch lanes pass
+        through untouched)."""
+        word_mask = (1 << self.bits) - 1
+        word = (np.asarray(codes, dtype=np.int64) & word_mask) | or_mask
+        return word - ((word >> (self.bits - 1)) & 1) * (1 << self.bits)
+
+    def apply_stuck_mask_scalar(self, code: int, or_mask: int) -> int:
+        """Scalar fast path of :meth:`apply_stuck_mask` (identical
+        transfer)."""
+        word = (code & ((1 << self.bits) - 1)) | or_mask
+        return word - ((word >> (self.bits - 1)) & 1) * (1 << self.bits)
+
     def convert_scalar(self, volts: float) -> int:
         """Scalar fast path of :meth:`convert` — identical transfer
         function without the ndarray round-trip (Python ``round`` and

@@ -61,6 +61,11 @@ class DAC:
         self.scale = float(scale)
 
     @property
+    def full_scale(self) -> float:
+        """Positive output rail in volts (vpp/2)."""
+        return 0.5 * self.vpp
+
+    @property
     def lsb(self) -> float:
         """Voltage step of one code."""
         return self.vpp / (2**self.bits)
@@ -78,6 +83,18 @@ class DAC:
     def set_scale(self, scale: float) -> None:
         """Program the runtime output scaling (parameter interface)."""
         self.scale = float(scale)
+
+    def saturation_level(self, fraction: float) -> float:
+        """Output level (volts) at ``fraction`` of full scale.
+
+        The :mod:`repro.faults` DAC-clipping model: a degraded output
+        stage saturates at this level instead of the rail.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise SignalError(
+                f"saturation fraction must be in [0, 1], got {fraction!r}"
+            )
+        return fraction * self.full_scale
 
     def volts_to_codes(self, volts) -> np.ndarray:
         """Convert requested voltages (after scaling) to clipped codes."""

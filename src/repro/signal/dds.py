@@ -98,6 +98,16 @@ class DDS:
         self._accum_phase = 0.0
         self.current_time = float(at_time)
 
+    def glitch_phase(self, radians: float) -> None:
+        """Kick the phase accumulator by ``radians`` (fault injection).
+
+        Models a synchronisation glitch: the accumulator jumps but stays
+        phase-continuous afterwards, so the error persists until the
+        next :meth:`reset_phase` — the :mod:`repro.faults`
+        DDS-phase-glitch mechanism on the streamed signal path.
+        """
+        self._accum_phase += float(radians)
+
     def phase_at(self, t) -> np.ndarray | float:
         """Total phase (radians) at time(s) ``t`` ≥ the last event time.
 

@@ -1,0 +1,373 @@
+"""Campaign tests: plan purity, end-to-end outcomes, containment, CSV
+byte-identity across job counts and engines, runner integration.
+"""
+
+import dataclasses
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import FaultSpecError
+from repro.faults.campaign import (
+    CAMPAIGN_CHUNK,
+    KIND_CODES,
+    MAGNITUDE_LADDER,
+    CampaignConfig,
+    CampaignResult,
+    _subsample,
+    campaign_grid,
+    plan_campaign,
+    run_campaign,
+)
+from repro.faults.inject import LOOP_KINDS
+from repro.faults.report import Outcome
+from repro.faults.spec import MAGNITUDE_WINDOWS, FaultKind, FaultSpec
+from repro.experiments.runner import _RUNNER_OPTIONS, main
+
+
+@pytest.fixture(autouse=True)
+def _reset_runner_options():
+    yield
+    _RUNNER_OPTIONS["batch"] = 8
+    _RUNNER_OPTIONS["jobs"] = 1
+    _RUNNER_OPTIONS["pool"] = None
+
+
+@pytest.fixture(scope="module")
+def quick_result():
+    """One shared quick campaign (mildest rung, one onset, per kind)."""
+    return run_campaign(CampaignConfig.quick())
+
+
+class TestGrid:
+    def test_grid_is_deterministic(self):
+        config = CampaignConfig()
+        assert campaign_grid(config) == campaign_grid(config)
+
+    def test_ladders_stay_inside_spec_windows(self):
+        for kind, ladder in MAGNITUDE_LADDER.items():
+            lo, hi, integral = MAGNITUDE_WINDOWS[kind]
+            for rung in ladder:
+                assert lo <= rung <= hi, (kind, rung)
+                if integral:
+                    assert rung == int(rung), (kind, rung)
+
+    def test_subsample_keeps_mildest_and_endpoints(self):
+        ladder = (1.0, 2.0, 3.0, 4.0)
+        assert _subsample(ladder, 1) == (1.0,)
+        assert _subsample(ladder, 2) == (1.0, 4.0)
+        assert _subsample(ladder, 4) == ladder
+
+    def test_every_kind_is_swept(self):
+        grid = campaign_grid(CampaignConfig.quick())
+        assert {s.kind for s in grid} == set(FaultKind)
+
+    def test_context_kind_sweeps_single_onset(self):
+        grid = campaign_grid(CampaignConfig(onset_times=(0.02, 0.05)))
+        onsets = {
+            s.onset_time
+            for s in grid
+            if s.kind is FaultKind.CGRA_CONTEXT_CORRUPTION
+        }
+        assert onsets == {0.02}
+
+    def test_seeds_are_positional_children_of_base_seed(self):
+        from repro.parallel.seeding import shard_seeds
+
+        config = CampaignConfig.quick()
+        grid = campaign_grid(config)
+        expected = shard_seeds(config.base_seed, len(grid))
+        assert [s.seed for s in grid] == list(expected)
+        # A different root reseeds every scenario.
+        other = campaign_grid(dataclasses.replace(config, base_seed=7))
+        assert all(a.seed != b.seed for a, b in zip(grid, other))
+
+    def test_config_validation(self):
+        with pytest.raises(FaultSpecError, match="duration"):
+            CampaignConfig(duration=0.0)
+        with pytest.raises(FaultSpecError, match="onset"):
+            CampaignConfig(onset_times=(0.5,), duration=0.1)
+        with pytest.raises(FaultSpecError, match="magnitudes_per_kind"):
+            CampaignConfig(magnitudes_per_kind=99)
+        with pytest.raises(FaultSpecError, match="chunk"):
+            CampaignConfig(chunk=0)
+
+
+class TestPlan:
+    def test_baseline_first_and_chunking(self):
+        config = CampaignConfig()
+        scenarios, tasks, verifier_tasks = plan_campaign(config)
+        assert tasks[0].indices == (-1,) and tasks[0].specs == (None,)
+        loop_count = sum(1 for s in scenarios if s.kind in LOOP_KINDS)
+        for task in tasks[1:]:
+            assert 1 <= len(task.indices) <= CAMPAIGN_CHUNK
+            for lane, index in enumerate(task.indices):
+                # Spec j runs on lane j of its shard.
+                assert task.specs[lane] == scenarios[index]
+        covered = [i for t in tasks[1:] for i in t.indices]
+        assert covered == [
+            i for i, s in enumerate(scenarios) if s.kind in LOOP_KINDS
+        ]
+        assert len(covered) == loop_count
+        assert {t.index for t in verifier_tasks} == {
+            i for i, s in enumerate(scenarios) if s.kind not in LOOP_KINDS
+        }
+
+    def test_plan_is_independent_of_jobs(self):
+        """The shard plan is a pure function of the config — the chunk
+        size comes from the config, never from a worker count."""
+        config = CampaignConfig()
+        assert plan_campaign(config)[1] == plan_campaign(config)[1]
+
+
+class TestEndToEndOutcomes:
+    """Every FaultKind classified end-to-end (acceptance criterion)."""
+
+    def _outcome(self, result, kind):
+        outcomes = [
+            r.outcome
+            for s, r in zip(result.scenarios, result.reports)
+            if s.kind is kind
+        ]
+        assert outcomes, f"no scenario for {kind}"
+        return outcomes
+
+    @pytest.mark.parametrize(
+        "kind",
+        [k for k in FaultKind if k is not FaultKind.CGRA_CONTEXT_CORRUPTION],
+    )
+    def test_mild_rung_recovers(self, quick_result, kind):
+        assert self._outcome(quick_result, kind) == [Outcome.RECOVERED]
+
+    def test_context_corruption_detected_by_verifier(self, quick_result):
+        assert self._outcome(
+            quick_result, FaultKind.CGRA_CONTEXT_CORRUPTION
+        ) == [Outcome.DETECTED]
+
+    def test_severe_rungs_go_unstable(self):
+        """Severe microphonics / detuning / DDS rungs destabilise the
+        loop — run as lanes of one batched bench against lane 0."""
+        from repro.faults.engine import run_fault_lanes
+        from repro.faults.report import classify_trace
+
+        severe = [
+            FaultSpec(kind=FaultKind.MICROPHONIC_DETUNING, magnitude=60.0,
+                      onset_time=0.02, duration=0.02, seed=11),
+            FaultSpec(kind=FaultKind.DETUNING_TRANSIENT, magnitude=25.0,
+                      onset_time=0.02, duration=0.02),
+            FaultSpec(kind=FaultKind.DDS_PHASE_GLITCH, magnitude=math.pi / 2,
+                      onset_time=0.02, duration=0.02),
+        ]
+        times, phase, _, _ = run_fault_lanes((None, *severe), 0.08)
+        for lane, spec in enumerate(severe, start=1):
+            report = classify_trace(times, phase[:, lane], phase[:, 0], spec)
+            assert report.outcome is Outcome.UNSTABLE, spec.kind
+            assert report.max_excursion_deg > 60.0
+
+    def test_quick_summary_and_counts(self, quick_result):
+        counts = quick_result.outcome_counts()
+        assert counts[Outcome.RECOVERED] == 7
+        assert counts[Outcome.DETECTED] == 1
+        lines = quick_result.summary_lines()
+        assert any("8 scenarios" in line for line in lines)
+        assert any("worst excursion" in line for line in lines)
+
+    def test_csv_columns_match_header(self, quick_result):
+        cols = quick_result.csv_columns()
+        names = CampaignResult.CSV_HEADER.split(",")
+        assert len(cols) == len(names)
+        n = len(quick_result.scenarios)
+        assert all(c.shape == (n,) for c in cols)
+        by_name = dict(zip(names, cols))
+        assert list(by_name["scenario"]) == list(range(n))
+        context_rows = by_name["kind_code"] == KIND_CODES[
+            FaultKind.CGRA_CONTEXT_CORRUPTION
+        ]
+        np.testing.assert_array_equal(by_name["detected"][context_rows], 1.0)
+        np.testing.assert_array_equal(by_name["detected"][~context_rows], 0.0)
+        assert np.isnan(by_name["settle_s"][context_rows]).all()
+
+
+class TestContainment:
+    """A poisoned shard is retried lane-by-lane; a scenario that still
+    fails classifies FAILED without killing the campaign."""
+
+    CONFIG = CampaignConfig(
+        duration=0.02,
+        onset_times=(0.005,),
+        magnitudes_per_kind=1,
+        fault_duration=0.005,
+    )
+
+    def test_shard_failure_is_retried_single_lane(self, monkeypatch):
+        import repro.faults.campaign as campaign_mod
+
+        scenarios = campaign_grid(self.CONFIG)
+        poisoned = next(
+            i for i, s in enumerate(scenarios)
+            if s.kind is FaultKind.DDS_PHASE_GLITCH
+        )
+        real_shard = campaign_mod.run_campaign_shard
+
+        def flaky_shard(task):
+            if len(task.indices) > 1 and poisoned in task.indices:
+                raise RuntimeError("poisoned shard")
+            return real_shard(task)
+
+        monkeypatch.setattr(campaign_mod, "run_campaign_shard", flaky_shard)
+        result = run_campaign(self.CONFIG)
+        # Every lane of the failed shard was retried; all classified.
+        assert poisoned in result.retried
+        assert len(result.reports) == len(scenarios)
+        assert all(
+            r.outcome is not Outcome.FAILED for r in result.reports
+        )
+
+    def test_scenario_failing_retry_classifies_failed(self, monkeypatch):
+        import repro.faults.campaign as campaign_mod
+
+        scenarios = campaign_grid(self.CONFIG)
+        poisoned = next(
+            i for i, s in enumerate(scenarios)
+            if s.kind is FaultKind.ADC_STUCK_BIT
+        )
+        real_shard = campaign_mod.run_campaign_shard
+
+        def poisoned_shard(task):
+            if poisoned in task.indices:
+                raise RuntimeError("always fails")
+            return real_shard(task)
+
+        monkeypatch.setattr(campaign_mod, "run_campaign_shard", poisoned_shard)
+        result = run_campaign(self.CONFIG)
+        report = result.reports[poisoned]
+        assert report.outcome is Outcome.FAILED
+        assert math.isnan(report.settle_s)
+        # Shard-mates of the poisoned scenario still classified.
+        others = [
+            r
+            for i, r in enumerate(result.reports)
+            if i != poisoned and result.scenarios[i].kind in LOOP_KINDS
+        ]
+        assert all(r.outcome is not Outcome.FAILED for r in others)
+
+    def test_baseline_failure_raises(self, monkeypatch):
+        import repro.faults.campaign as campaign_mod
+
+        def dead_shard(task):
+            raise RuntimeError("no baseline")
+
+        monkeypatch.setattr(campaign_mod, "run_campaign_shard", dead_shard)
+        with pytest.raises(Exception, match="faults baseline"):
+            run_campaign(self.CONFIG)
+
+
+class TestByteIdentity:
+    """Acceptance criteria: identical CSVs across --jobs and engines."""
+
+    def test_runner_csv_identical_across_jobs(self, tmp_path):
+        out1, out2 = tmp_path / "j1", tmp_path / "j2"
+        assert main(["faults", "--out", str(out1), "--quick"]) == 0
+        assert main(
+            ["faults", "--out", str(out2), "--quick", "--jobs", "2"]
+        ) == 0
+        b1 = (out1 / "faults_campaign.csv").read_bytes()
+        assert b1 == (out2 / "faults_campaign.csv").read_bytes()
+        assert b1.startswith(b"scenario,kind_code")
+
+    def test_campaign_identical_across_engines(self):
+        from repro.cgra import get_default_engine, set_default_engine
+
+        config = CampaignConfig(
+            duration=0.03,
+            onset_times=(0.01,),
+            magnitudes_per_kind=1,
+            fault_duration=0.01,
+        )
+        saved = get_default_engine()
+        outputs = {}
+        try:
+            for engine in ("compiled", "vector", "auto"):
+                set_default_engine(engine)
+                result = run_campaign(config)
+                outputs[engine] = np.column_stack(result.csv_columns()).tobytes()
+        finally:
+            set_default_engine(saved)
+        assert outputs["compiled"] == outputs["vector"] == outputs["auto"]
+
+
+class TestRunnerFaultsFlag:
+    """Satellite: ``--faults path.json`` arms ad-hoc faults on any
+    existing experiment."""
+
+    def _payload(self, tmp_path):
+        spec = FaultSpec(
+            kind=FaultKind.CAVITY_FAILURE,
+            magnitude=0.6,
+            onset_time=0.001,
+            label="adhoc",
+        )
+        path = tmp_path / "faults.json"
+        path.write_text(json.dumps([spec.to_dict()]))
+        return path
+
+    def test_armed_faults_perturb_fig5a(self, tmp_path):
+        clean_out, faulted_out = tmp_path / "clean", tmp_path / "faulted"
+        assert main(["fig5a", "--out", str(clean_out), "--quick"]) == 0
+        assert main(
+            [
+                "fig5a",
+                "--out", str(faulted_out),
+                "--quick",
+                "--faults", str(self._payload(tmp_path)),
+            ]
+        ) == 0
+        clean = (clean_out / "fig5a_phase.csv").read_bytes()
+        faulted = (faulted_out / "fig5a_phase.csv").read_bytes()
+        assert clean != faulted
+
+    def test_session_faults_cleared_after_run(self, tmp_path):
+        from repro.faults.session import session_faults
+
+        assert main(
+            [
+                "fig5a",
+                "--out", str(tmp_path / "o"),
+                "--quick",
+                "--faults", str(self._payload(tmp_path)),
+            ]
+        ) == 0
+        assert session_faults() == ()
+
+    def test_bad_payload_is_a_usage_error(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"kind": "cavity_failure"}))  # not a list
+        assert main(
+            ["fig5a", "--out", str(tmp_path / "o"), "--quick",
+             "--faults", str(path)]
+        ) == 2
+        path.write_text("not json")
+        assert main(
+            ["fig5a", "--out", str(tmp_path / "o"), "--quick",
+             "--faults", str(path)]
+        ) == 2
+        assert main(
+            ["fig5a", "--out", str(tmp_path / "o"), "--quick",
+             "--faults", str(tmp_path / "missing.json")]
+        ) == 2
+
+
+class TestLintGate:
+    def test_shardlint_covers_faults_package(self):
+        """CI satellite: the ``repro.analysis --all`` gate lints the
+        faults modules (and they are clean)."""
+        from repro.analysis import default_targets, lint_shard_file
+
+        targets = [str(p) for p in default_targets()]
+        for module in ("inject", "campaign", "engine", "report", "session"):
+            matches = [t for t in targets if t.endswith(f"faults/{module}.py")]
+            assert matches, f"faults/{module}.py not in shardlint targets"
+            report = lint_shard_file(matches[0])
+            assert not report.errors(), report.errors()

@@ -1,0 +1,321 @@
+"""Injector tests: channel math, validation, bit-identity, parity.
+
+The load-bearing invariants of the tentpole:
+
+* armed-but-never-active runs are **bit-identical** to unfaulted runs
+  (the handlers take their original branches outside the fault window);
+* in a batch, a fault touches **only its target lane** — co-resident
+  lanes carry neutral channel elements, which are bitwise no-ops;
+* faults act in the sensor handlers shared by every engine, so the
+  python and CGRA engines stay bit-exact *under fault*;
+* context corruption never reaches execution — the PR-2 static
+  verifier is the detector.
+"""
+
+import dataclasses
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import FaultSpecError, SignalError
+from repro.experiments import mde
+from repro.faults.inject import (
+    LOOP_KINDS,
+    MICROPHONIC_LINES,
+    FaultProgram,
+    _Microphonics,
+    corrupt_context_images,
+)
+from repro.faults.spec import FaultKind, FaultSpec
+from repro.hil.batch import BatchedCavityInTheLoop, BatchHilConfig
+from repro.hil.simulator import CavityInTheLoop
+from repro.signal.adc import ADC
+
+
+def _spec(kind=FaultKind.CAVITY_FAILURE, magnitude=0.5, onset=0.001, **kw):
+    return FaultSpec(kind=kind, magnitude=magnitude, onset_time=onset, **kw)
+
+
+def _batch_config(batch, faults=(), duration_unused=None, **overrides):
+    base = mde.bench_config()
+    kwargs = dict(
+        ring=base.ring,
+        ion=base.ion,
+        harmonic=base.harmonic,
+        revolution_frequency=base.revolution_frequency,
+        synchrotron_frequency=base.synchrotron_frequency,
+        jump_deg=(8.0,) * batch,
+        jump_toggle_period=base.jump_toggle_period,
+        control=base.control,
+        record_every=8,
+        faults=tuple(faults),
+    )
+    kwargs.update(overrides)
+    return BatchHilConfig(**kwargs)
+
+
+class TestFaultProgramChannels:
+    def test_disarmed_defaults_are_neutral(self):
+        p = FaultProgram(())
+        assert not p.active
+        assert p.gap_gain == 1.0 and p.gap_phase == 0.0
+        assert math.isinf(p.gap_clip) and p.stuck_mask == 0
+
+    def test_cavity_failure_scales_gain(self):
+        p = FaultProgram([_spec(magnitude=0.3)])
+        p.update(0.002)
+        assert p.active
+        assert p.gap_gain == pytest.approx(0.7)
+        p.update(0.0)  # before onset: neutral again
+        assert not p.active and p.gap_gain == 1.0
+
+    def test_detuning_transient_is_a_phase_ramp(self):
+        s = _spec(kind=FaultKind.DETUNING_TRANSIENT, magnitude=10.0, onset=0.01)
+        p = FaultProgram([s])
+        p.update(0.01 + 0.005)
+        assert p.gap_phase == pytest.approx(2.0 * math.pi * 10.0 * 0.005)
+
+    def test_dds_glitch_kicks_gap_phase(self):
+        s = _spec(kind=FaultKind.DDS_PHASE_GLITCH, magnitude=0.25, onset=0.0)
+        p = FaultProgram([s])
+        p.update(0.001)
+        assert p.gap_phase == pytest.approx(0.25)
+
+    def test_clip_channels_take_the_minimum(self):
+        specs = [
+            _spec(kind=FaultKind.AMPLIFIER_SATURATION, magnitude=0.4),
+            _spec(kind=FaultKind.DAC_CLIPPING, magnitude=0.25),  # x 1.0 V
+        ]
+        p = FaultProgram(specs, dac_full_scale=1.0)
+        p.update(0.002)
+        assert p.gap_clip == pytest.approx(0.25)
+
+    def test_stuck_bits_accumulate_or_masks(self):
+        specs = [
+            _spec(kind=FaultKind.ADC_STUCK_BIT, magnitude=2.0),
+            _spec(kind=FaultKind.ADC_STUCK_BIT, magnitude=5.0),
+        ]
+        p = FaultProgram(specs)
+        p.update(0.002)
+        assert p.stuck_any and p.stuck_mask == (1 << 2) | (1 << 5)
+
+    def test_batched_channels_touch_only_the_target_lane(self):
+        specs = [
+            _spec(magnitude=0.5, target=2),
+            _spec(kind=FaultKind.ADC_STUCK_BIT, magnitude=3.0, target=1),
+        ]
+        p = FaultProgram(specs, batch=4)
+        p.update(0.002)
+        np.testing.assert_array_equal(p.gap_gain, [1.0, 1.0, 0.5, 1.0])
+        np.testing.assert_array_equal(p.stuck_mask, [0, 1 << 3, 0, 0])
+
+    def test_window_end_is_exclusive(self):
+        p = FaultProgram([_spec(magnitude=0.5, onset=0.01, duration=0.01)])
+        p.update(0.015)
+        assert p.active
+        p.update(0.02)  # onset + duration: cleared
+        assert not p.active and p.gap_gain == 1.0
+
+    def test_label_joins_specs(self):
+        specs = [_spec(label="c1"), _spec(kind=FaultKind.DAC_CLIPPING, magnitude=0.5)]
+        assert FaultProgram(specs).label == "c1,dac_clipping"
+
+
+class TestValidation:
+    def test_rejects_non_spec(self):
+        with pytest.raises(FaultSpecError, match="FaultSpec"):
+            FaultProgram([{"kind": "cavity_failure"}])
+
+    def test_scalar_bench_rejects_nonzero_target(self):
+        with pytest.raises(FaultSpecError, match="lane 1"):
+            FaultProgram([_spec(target=1)])
+
+    def test_batched_rejects_out_of_range_target(self):
+        with pytest.raises(FaultSpecError, match="lane 4"):
+            FaultProgram([_spec(target=4)], batch=4)
+
+    def test_stuck_bit_validated_against_adc_bits(self):
+        # Satellite: bit 13 passes the spec window but a 12-bit ADC
+        # must reject it at injection time.
+        spec = _spec(kind=FaultKind.ADC_STUCK_BIT, magnitude=13.0)
+        FaultProgram([spec], adc_bits=14)  # fine for the bench ADC
+        with pytest.raises(FaultSpecError, match="12-bit"):
+            FaultProgram([spec], adc_bits=12)
+
+
+class TestMicrophonics:
+    def test_seeded_realisation_is_deterministic(self):
+        s = _spec(kind=FaultKind.MICROPHONIC_DETUNING, magnitude=20.0, seed=7)
+        a, b = _Microphonics(s), _Microphonics(s)
+        np.testing.assert_array_equal(a.freqs, b.freqs)
+        assert a.phase_rad(0.013) == b.phase_rad(0.013)
+
+    def test_distinct_seeds_give_distinct_spectra(self):
+        s1 = _spec(kind=FaultKind.MICROPHONIC_DETUNING, magnitude=20.0, seed=1)
+        s2 = dataclasses.replace(s1, seed=2)
+        assert not np.array_equal(_Microphonics(s1).freqs, _Microphonics(s2).freqs)
+
+    def test_band_and_line_count(self):
+        s = _spec(kind=FaultKind.MICROPHONIC_DETUNING, magnitude=20.0, seed=3)
+        m = _Microphonics(s)
+        assert m.freqs.shape == (MICROPHONIC_LINES,)
+        assert np.all((m.freqs >= 10.0) & (m.freqs <= 300.0))
+
+    def test_phase_zero_at_onset(self):
+        s = _spec(kind=FaultKind.MICROPHONIC_DETUNING, magnitude=20.0,
+                  onset=0.004, seed=5)
+        assert _Microphonics(s).phase_rad(0.004) == 0.0
+
+
+class TestStuckBitMath:
+    def test_mask_zero_is_identity(self):
+        adc = ADC()
+        codes = np.array([-8192, -1, 0, 1, 8191], dtype=np.int64)
+        np.testing.assert_array_equal(adc.apply_stuck_mask(codes, 0), codes)
+        assert adc.apply_stuck_mask_scalar(-123, 0) == -123
+
+    def test_stuck_msb_flips_positive_codes_negative(self):
+        adc = ADC()
+        out = adc.apply_stuck_bit(np.array([1, 100], dtype=np.int64), 13)
+        assert np.all(out < 0)
+
+    def test_scalar_matches_vector(self):
+        adc = ADC()
+        codes = np.arange(-8192, 8192, 17, dtype=np.int64)
+        mask = (1 << 3) | (1 << 9)
+        vec = adc.apply_stuck_mask(codes, mask)
+        assert all(
+            adc.apply_stuck_mask_scalar(int(c), mask) == int(v)
+            for c, v in zip(codes, vec)
+        )
+
+    def test_bit_out_of_range_raises(self):
+        with pytest.raises(SignalError, match="stuck bit 14"):
+            ADC().apply_stuck_bit(np.zeros(1, dtype=np.int64), 14)
+
+
+class TestBitIdentity:
+    """Zero-impact contracts: disarmed and armed-inactive runs."""
+
+    DURATION = 0.004
+
+    def test_armed_inactive_scalar_run_is_bit_identical(self):
+        clean = CavityInTheLoop(mde.bench_config()).run(self.DURATION)
+        late = tuple(
+            _spec(kind=k, magnitude=1.0 if k is not FaultKind.CAVITY_FAILURE else 0.5,
+                  onset=10.0)
+            for k in (FaultKind.CAVITY_FAILURE, FaultKind.ADC_STUCK_BIT)
+        )
+        armed = CavityInTheLoop(mde.bench_config(faults=late)).run(self.DURATION)
+        np.testing.assert_array_equal(
+            np.asarray(armed.phase_deg), np.asarray(clean.phase_deg)
+        )
+
+    def test_batched_fault_isolated_to_target_lane(self):
+        clean = BatchedCavityInTheLoop(_batch_config(4)).run(self.DURATION)
+        specs = (
+            _spec(magnitude=0.5, onset=0.001, target=2),
+            _spec(kind=FaultKind.ADC_STUCK_BIT, magnitude=8.0, onset=0.001,
+                  target=2),
+        )
+        faulted = BatchedCavityInTheLoop(_batch_config(4, faults=specs)).run(
+            self.DURATION
+        )
+        for lane in (0, 1, 3):
+            np.testing.assert_array_equal(
+                faulted.phase_deg[:, lane], clean.phase_deg[:, lane]
+            )
+        assert not np.array_equal(faulted.phase_deg[:, 2], clean.phase_deg[:, 2])
+
+    def test_fault_actually_perturbs_scalar_run(self):
+        clean = CavityInTheLoop(mde.bench_config()).run(self.DURATION)
+        spec = _spec(kind=FaultKind.DDS_PHASE_GLITCH, magnitude=0.3, onset=0.001)
+        faulted = CavityInTheLoop(mde.bench_config(faults=(spec,))).run(
+            self.DURATION
+        )
+        assert not np.array_equal(
+            np.asarray(faulted.phase_deg), np.asarray(clean.phase_deg)
+        )
+
+
+class TestEngineParityUnderFault:
+    def test_cgra_tiers_bit_exact_with_faults(self):
+        """Faults act in the sensor handlers every engine shares, so
+        the bit-exactness of the CGRA tiers survives injection."""
+        specs = (
+            _spec(magnitude=0.4, onset=0.0005, duration=0.001),
+            _spec(kind=FaultKind.ADC_STUCK_BIT, magnitude=6.0, onset=0.001),
+        )
+        results = {}
+        for tier in ("interpreted", "compiled", "vector"):
+            res = CavityInTheLoop(
+                mde.bench_config(engine="cgra", cgra_engine=tier, faults=specs)
+            ).run(0.003)
+            results[tier] = np.asarray(res.phase_deg)
+        np.testing.assert_array_equal(results["interpreted"], results["compiled"])
+        np.testing.assert_array_equal(results["interpreted"], results["vector"])
+
+    def test_python_and_cgra_close_with_faults(self):
+        """python vs cgra keep their usual 1e-9 parity under a smooth
+        (non-quantising) fault; the stuck-bit OR is excluded because its
+        code thresholds amplify ulp-level engine differences."""
+        specs = (_spec(magnitude=0.4, onset=0.0005, duration=0.001),)
+        runs = {
+            engine: CavityInTheLoop(
+                mde.bench_config(engine=engine, faults=specs)
+            ).run(0.003)
+            for engine in ("python", "cgra")
+        }
+        np.testing.assert_allclose(
+            np.asarray(runs["cgra"].phase_deg),
+            np.asarray(runs["python"].phase_deg),
+            atol=1e-9,
+        )
+
+
+class TestContextCorruption:
+    def test_corruption_is_detected_by_the_verifier(self):
+        from repro.cgra import verify_context_images
+        from repro.cgra.models import compile_beam_model
+
+        model = compile_beam_model()
+        assert verify_context_images(
+            model.images, model.graph, model.schedule.fabric
+        ).ok
+        corrupted, (pe, index) = corrupt_context_images(model.images, 5)
+        report = verify_context_images(
+            corrupted, model.graph, model.schedule.fabric
+        )
+        assert not report.ok
+        # Input untouched; exactly one entry differs in the copy.
+        assert corrupted[pe].entries[index] != model.images[pe].entries[index]
+        diffs = sum(
+            a != b
+            for p in model.images
+            for a, b in zip(model.images[p].entries, corrupted[p].entries)
+        )
+        assert diffs == 1
+
+    def test_slot_wraps_modulo_entry_count(self):
+        from repro.cgra.models import compile_beam_model
+
+        images = compile_beam_model().images
+        n = sum(len(img.entries) for img in images.values())
+        _, hit_0 = corrupt_context_images(images, 0)
+        _, hit_n = corrupt_context_images(images, n)
+        assert hit_0 == hit_n
+
+    def test_empty_images_raise(self):
+        with pytest.raises(FaultSpecError, match="empty"):
+            corrupt_context_images({}, 0)
+
+    def test_context_kind_never_reaches_loop_channels(self):
+        spec = FaultSpec(
+            kind=FaultKind.CGRA_CONTEXT_CORRUPTION, magnitude=3.0,
+            onset_time=0.0,
+        )
+        p = FaultProgram([spec])
+        p.update(1.0)
+        assert not p.active
+        assert spec.kind not in LOOP_KINDS

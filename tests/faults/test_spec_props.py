@@ -1,0 +1,116 @@
+"""Property suite: ``to_dict``/``from_dict`` round trip and the
+``active_at`` window boundary semantics (onset inclusive, clearance
+exclusive)."""
+
+import json
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults.spec import MAGNITUDE_WINDOWS, FaultKind, FaultSpec
+
+_FINITE_KINDS = [
+    kind
+    for kind, (lo, hi, _integral) in MAGNITUDE_WINDOWS.items()
+    if math.isfinite(lo) and math.isfinite(hi)
+]
+
+
+@st.composite
+def fault_specs(draw):
+    """Valid FaultSpecs across every kind and magnitude window."""
+    kind = draw(st.sampled_from(list(FaultKind)))
+    lo, hi, integral = MAGNITUDE_WINDOWS[kind]
+    lo = max(lo, -1e6) if not math.isfinite(lo) else lo
+    hi = min(hi, 1e6) if not math.isfinite(hi) else hi
+    if integral:
+        magnitude = float(draw(st.integers(int(lo), int(hi))))
+    else:
+        magnitude = draw(
+            st.floats(lo, hi, allow_nan=False, allow_infinity=False)
+        )
+    return FaultSpec(
+        kind=kind,
+        magnitude=magnitude,
+        onset_time=draw(st.floats(0.0, 10.0, allow_nan=False)),
+        duration=draw(
+            st.none()
+            | st.floats(1e-6, 10.0, allow_nan=False, allow_infinity=False)
+        ),
+        target=draw(st.integers(0, 63)),
+        seed=draw(st.none() | st.integers(0, 2**63 - 1)),
+        label=draw(st.text(max_size=20)),
+    )
+
+
+class TestRoundTrip:
+    @given(fault_specs())
+    @settings(max_examples=200)
+    def test_dict_round_trip_is_identity(self, spec):
+        assert FaultSpec.from_dict(spec.to_dict()) == spec
+
+    @given(fault_specs())
+    @settings(max_examples=50)
+    def test_json_round_trip_is_identity(self, spec):
+        """The runner's ``--faults`` payload path: through real JSON."""
+        payload = json.loads(json.dumps([spec.to_dict()]))
+        assert FaultSpec.from_dict(payload[0]) == spec
+
+    @given(fault_specs())
+    @settings(max_examples=50)
+    def test_dict_is_json_scalar_only(self, spec):
+        for key, value in spec.to_dict().items():
+            assert value is None or isinstance(value, (str, int, float)), key
+
+
+class TestActiveAtBoundaries:
+    def _spec(self, onset, duration):
+        return FaultSpec(
+            kind=FaultKind.CAVITY_FAILURE,
+            magnitude=0.5,
+            onset_time=onset,
+            duration=duration,
+        )
+
+    def test_onset_is_inclusive(self):
+        spec = self._spec(0.01, 0.005)
+        assert not spec.active_at(0.01 - 1e-12)
+        assert spec.active_at(0.01)
+
+    def test_clearance_is_exclusive(self):
+        spec = self._spec(0.01, 0.005)
+        assert spec.active_at(0.015 - 1e-9)
+        assert not spec.active_at(0.015)
+        assert not spec.active_at(1.0)
+
+    def test_persistent_fault_never_clears(self):
+        spec = self._spec(0.01, None)
+        assert not spec.is_transient()
+        assert spec.active_at(0.01) and spec.active_at(1e9)
+
+    def test_zero_onset_active_immediately(self):
+        assert self._spec(0.0, None).active_at(0.0)
+
+    @given(
+        st.floats(0.0, 10.0, allow_nan=False),
+        st.floats(1e-6, 10.0, allow_nan=False, allow_infinity=False),
+        st.floats(-1.0, 25.0, allow_nan=False),
+    )
+    @settings(max_examples=200)
+    def test_window_matches_half_open_interval(self, onset, duration, t):
+        spec = self._spec(onset, duration)
+        assert spec.active_at(t) == (onset <= t < onset + duration)
+
+    @given(fault_specs())
+    @settings(max_examples=100)
+    def test_round_trip_preserves_activity_window(self, spec):
+        clone = FaultSpec.from_dict(spec.to_dict())
+        probes = [0.0, spec.onset_time, spec.onset_time + 1e-9]
+        if spec.duration is not None:
+            probes += [
+                spec.onset_time + spec.duration - 1e-9,
+                spec.onset_time + spec.duration,
+            ]
+        for t in probes:
+            assert clone.active_at(t) == spec.active_at(t)
